@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Workloads are built once per session; benchmark functions only measure the
+operation under study (the diversification step, a metric computation,
+an index build, ...), mirroring how the paper times its Table 2 cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import build_topic_tasks
+from repro.experiments.workloads import (
+    SMALL_SCALE,
+    build_trec_workload,
+    synthetic_task,
+)
+
+
+@pytest.fixture(scope="session")
+def task_1k():
+    return synthetic_task(1000, num_specs=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def task_10k():
+    return synthetic_task(10_000, num_specs=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trec_workload():
+    return build_trec_workload(SMALL_SCALE, logs=("AOL", "MSN"))
+
+
+@pytest.fixture(scope="session")
+def topic_tasks(trec_workload):
+    """Per-topic diversification tasks (threshold 0) plus baseline run."""
+    tasks, baseline = build_topic_tasks(trec_workload)
+    return trec_workload, tasks, baseline

@@ -1,0 +1,61 @@
+"""Benchmarks for the two design-choice ablations (DESIGN.md §4).
+
+* λ sweep — sensitivity of OptSelect/xQuAD to the relevance/coverage mix.
+* proportionality constraint — OptSelect variants (constrained /
+  strict-pseudocode / pure top-k), checking the constraint's effect on
+  subtopic coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_constraint import run_constraint_ablation
+from repro.experiments.ablation_lambda import run_lambda_ablation
+
+
+def test_lambda_sweep(benchmark, trec_workload):
+    benchmark.group = "ablation-lambda"
+    result = benchmark.pedantic(
+        run_lambda_ablation,
+        kwargs=dict(
+            workload=trec_workload,
+            lambdas=(0.0, 0.15, 0.5, 1.0),
+            algorithms=("OptSelect", "xQuAD"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for algorithm, per_lambda in result.reports.items():
+        values = {
+            lam: report.mean("alpha-ndcg", result.cutoff)
+            for lam, report in per_lambda.items()
+        }
+        assert all(0.0 <= v <= 1.0 for v in values.values()), algorithm
+
+
+def test_constraint_variants(benchmark, trec_workload):
+    benchmark.group = "ablation-constraint"
+    result = benchmark.pedantic(
+        run_constraint_ablation,
+        kwargs=dict(workload=trec_workload),
+        rounds=1,
+        iterations=1,
+    )
+    recalls = result.avg_subtopic_recall
+    # The constrained variant must cover at least as many subtopics as the
+    # unconstrained top-k — that is the constraint's entire purpose.
+    assert recalls["constrained"] >= recalls["pure-topk"] - 1e-9
+
+
+@pytest.mark.parametrize("variant", ("constrained", "strict"))
+def test_optselect_variant_cost(benchmark, task_10k, variant):
+    """The proportional fill must not change OptSelect's cost class."""
+    from repro.core.optselect import OptSelect
+
+    algo = OptSelect(strict_paper_pseudocode=(variant == "strict"))
+    benchmark.group = "ablation-constraint-cost"
+    benchmark(algo.diversify, task_10k, 100)
+    assert algo.last_stats.operations <= task_10k.n * len(
+        task_10k.specializations
+    )

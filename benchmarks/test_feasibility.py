@@ -1,0 +1,25 @@
+"""Benchmark for the Section 4.1 feasibility estimate.
+
+Times mining the full ambiguous-query side structure plus surrogate
+materialisation, and checks the paper's point: the storage needed by the
+diversification framework is small (megabytes, not the index's gigabytes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.feasibility import run_feasibility
+
+
+def test_feasibility_footprint(benchmark, trec_workload):
+    benchmark.group = "feasibility"
+    result = benchmark.pedantic(
+        run_feasibility,
+        kwargs=dict(workload=trec_workload, min_frequency=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_ambiguous_queries > 0
+    # The side structures must be tiny relative to any realistic index:
+    # single-digit megabytes at this scale.
+    assert result.measured_mb < 10.0
+    assert result.analytic_bound_bytes >= result.measured_surrogate_bytes

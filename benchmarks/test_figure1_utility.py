@@ -1,0 +1,41 @@
+"""Benchmark for Figure 1 — the Appendix C utility-ratio experiment.
+
+Measures the per-query cost of the Figure 1 protocol (external-engine
+retrieval + utility matrix + OptSelect re-rank + ratio) and verifies the
+figure's shape claim on a small sample: the diversified list's summed
+utility exceeds the original external top-k's for most ambiguous queries.
+
+Regenerate the full figure with ``python -m repro.experiments.figure1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+
+
+@pytest.mark.parametrize("log_name", ("AOL", "MSN"))
+def test_figure1_protocol(benchmark, trec_workload, log_name):
+    benchmark.group = "figure1"
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs=dict(
+            workload=trec_workload,
+            logs=(log_name,),
+            external_candidates=100,
+            k=12,
+            spec_results=12,
+            max_queries_per_log=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    points = result.points[log_name]
+    assert points, f"no ambiguous queries evaluated for {log_name}"
+    average = result.overall_average(log_name)
+    # Shape claim: diversification improves the list utility on average
+    # (the paper reports 5–10×; scale-dependent, see EXPERIMENTS.md).
+    assert average > 1.0
+    improved = sum(1 for p in points if p.ratio >= 1.0)
+    assert improved >= len(points) * 0.5

@@ -1,0 +1,123 @@
+"""Micro-benchmarks of the substrates the experiments stand on.
+
+Not a paper table — these track the cost of the building blocks (indexing,
+DPH search, snippet extraction, utility-matrix construction, QFG build,
+recommender training) so substrate regressions are visible independently
+of the headline experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import UtilityMatrix
+from repro.querylog.flowgraph import QueryFlowGraph
+from repro.querylog.recommend import SearchShortcutsRecommender
+from repro.querylog.sessions import split_by_time_gap
+from repro.retrieval.analysis import Analyzer, PorterStemmer
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.snippets import SnippetExtractor
+
+
+@pytest.fixture(scope="module")
+def corpus(trec_workload):
+    return trec_workload.corpus
+
+
+def test_porter_stemmer_throughput(benchmark):
+    stemmer = PorterStemmer()
+    vocabulary = [
+        "diversification", "relational", "running", "leopards", "caresses",
+        "formalize", "adjustment", "electricity", "hopefulness", "national",
+    ] * 50
+
+    def stem_all():
+        return [stemmer(w) for w in vocabulary]
+
+    benchmark.group = "substrate-analysis"
+    assert len(benchmark(stem_all)) == len(vocabulary)
+
+
+def test_analyzer_throughput(benchmark, corpus):
+    analyzer = Analyzer()
+    texts = [doc.text for doc in list(corpus.collection)[:100]]
+    benchmark.group = "substrate-analysis"
+    benchmark(lambda: [analyzer.analyze(t) for t in texts])
+
+
+def test_index_build(benchmark, corpus):
+    docs = list(corpus.collection)[:300]
+
+    def build():
+        index = InvertedIndex()
+        for doc in docs:
+            index.index_document(doc)
+        return index
+
+    benchmark.group = "substrate-index"
+    index = benchmark(build)
+    assert index.num_documents == len(docs)
+
+
+def test_dph_search(benchmark, trec_workload):
+    engine = trec_workload.engine
+    query = trec_workload.corpus.topics[0].query
+    benchmark.group = "substrate-search"
+    results = benchmark(engine.search, query, 100)
+    assert len(results) > 0
+
+
+def test_snippet_extraction(benchmark, trec_workload):
+    engine = trec_workload.engine
+    topic = trec_workload.corpus.topics[0]
+    results = engine.search(topic.query, 50)
+    benchmark.group = "substrate-search"
+    benchmark(lambda: engine.snippet_vectors(topic.query, results))
+
+
+def test_utility_matrix_build(benchmark, trec_workload):
+    engine = trec_workload.engine
+    topic = trec_workload.corpus.topics[0]
+    candidates = engine.search(topic.query, 100)
+    vectors = dict(engine.snippet_vectors(topic.query, candidates))
+    spec_results = {}
+    for aspect in topic.aspects[:4]:
+        results = engine.search(aspect.query, 20)
+        spec_results[aspect.query] = results
+        vectors.update(engine.snippet_vectors(aspect.query, results))
+
+    benchmark.group = "substrate-utility"
+    matrix = benchmark(
+        UtilityMatrix.build, candidates, spec_results, vectors, 0.0
+    )
+    assert matrix.specializations
+
+
+def test_sessionization(benchmark, trec_workload):
+    log = trec_workload.logs["AOL"]
+    benchmark.group = "substrate-querylog"
+    sessions = benchmark(split_by_time_gap, log)
+    assert sessions
+
+
+def test_query_flow_graph_build(benchmark, trec_workload):
+    sessions = split_by_time_gap(trec_workload.logs["AOL"])
+    benchmark.group = "substrate-querylog"
+    graph = benchmark(QueryFlowGraph.build, sessions)
+    assert graph.num_nodes > 0
+
+
+def test_recommender_training(benchmark, trec_workload):
+    sessions = split_by_time_gap(trec_workload.logs["AOL"])
+    benchmark.group = "substrate-querylog"
+    recommender = benchmark(
+        lambda: SearchShortcutsRecommender.train(sessions)
+    )
+    assert recommender.is_trained
+
+
+def test_specialization_mining(benchmark, trec_workload):
+    miner = trec_workload.miner("AOL")
+    query = trec_workload.corpus.topics[0].query
+    benchmark.group = "substrate-querylog"
+    benchmark(miner.mine, query)

@@ -1,0 +1,75 @@
+"""Benchmark for Table 1 — asymptotic complexity of the three algorithms.
+
+Table 1 of the paper:
+
+    IASelect   O(n·k)
+    xQuAD      O(n·k)
+    OptSelect  O(n·log2 k)
+
+Each benchmark times one (algorithm, k) cell at fixed n = 1000; the
+benchmark *names* group by algorithm so the k-scaling is visible in the
+report.  The paired assertions verify the operation-count shape, which is
+what the table actually claims (wall-clock constants are interpreter
+noise).
+
+Regenerate the paper-style table with ``python -m repro.experiments.table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iaselect import IASelect
+from repro.core.optselect import OptSelect
+from repro.core.xquad import XQuAD
+
+K_VALUES = (10, 100, 500)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_optselect_complexity(benchmark, task_1k, k):
+    algo = OptSelect()
+    benchmark.group = "table1-optselect"
+    benchmark(algo.diversify, task_1k, k)
+    # O(n log k): operation count independent of k, bounded by n·|S_q|.
+    assert algo.last_stats.operations <= task_1k.n * len(
+        task_1k.specializations
+    )
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_xquad_complexity(benchmark, task_1k, k):
+    algo = XQuAD()
+    benchmark.group = "table1-xquad"
+    benchmark(algo.diversify, task_1k, k)
+    # O(n·k): the exact greedy count Σ_{i<k} |S_q|(n−i).
+    n, m = task_1k.n, len(task_1k.specializations)
+    assert algo.last_stats.operations == sum(m * (n - i) for i in range(k))
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_iaselect_complexity(benchmark, task_1k, k):
+    algo = IASelect()
+    benchmark.group = "table1-iaselect"
+    benchmark(algo.diversify, task_1k, k)
+    n, m = task_1k.n, len(task_1k.specializations)
+    assert algo.last_stats.operations == sum(m * (n - i) for i in range(k))
+
+
+def test_operation_shape_summary(benchmark, task_1k):
+    """One combined cell verifying the k-independence of OptSelect versus
+    the k-linearity of the greedy pair (the content of Table 1)."""
+
+    def measure():
+        results = {}
+        for k in (10, 500):
+            for algo in (OptSelect(), XQuAD(), IASelect()):
+                algo.diversify(task_1k, k)
+                results[(algo.name, k)] = algo.last_stats.operations
+        return results
+
+    benchmark.group = "table1-shape"
+    results = benchmark(measure)
+    assert results[("OptSelect", 500)] == results[("OptSelect", 10)]
+    assert results[("xQuAD", 500)] > 20 * results[("xQuAD", 10)]
+    assert results[("IASelect", 500)] > 20 * results[("IASelect", 10)]

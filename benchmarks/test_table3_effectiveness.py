@@ -1,0 +1,87 @@
+"""Benchmark for Table 3 — the effectiveness pipeline.
+
+Table 3 is a quality table, not a timing table; the benchmark measures the
+cost of producing one Table 3 *column* (diversify every detected topic and
+evaluate α-NDCG + IA-P), and the paired assertions re-verify the headline
+shape claims on the measured run:
+
+* diversified runs beat the DPH baseline on α-NDCG at the best threshold,
+* an extreme threshold collapses every algorithm onto the baseline.
+
+Regenerate the paper-style table with
+``python -m repro.experiments.table3 [--paper-scale]``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import get_diversifier
+from repro.evaluation.runner import evaluate_run
+
+
+def _run_column(workload, tasks, baseline_run, algorithm_name, threshold):
+    diversifier = get_diversifier(algorithm_name)
+    run = {}
+    for topic in workload.testbed.topics:
+        task = tasks.get(topic.topic_id)
+        if task is None:
+            run[topic.topic_id] = baseline_run[topic.topic_id]
+        else:
+            run[topic.topic_id] = diversifier.diversify(
+                task.with_threshold(threshold), workload.scale.k
+            )
+    return evaluate_run(run, workload.testbed, workload.scale.cutoffs)
+
+
+@pytest.mark.parametrize("algorithm", ("optselect", "xquad", "iaselect"))
+def test_diversify_and_evaluate_column(benchmark, topic_tasks, algorithm):
+    workload, tasks, baseline_run = topic_tasks
+    benchmark.group = "table3-column"
+    report = benchmark(
+        _run_column, workload, tasks, baseline_run, algorithm, 0.2
+    )
+    cutoff = workload.scale.cutoffs[0]
+    assert 0.0 <= report.mean("alpha-ndcg", cutoff) <= 1.0
+
+
+def test_best_runs_beat_baseline(benchmark, topic_tasks):
+    workload, tasks, baseline_run = topic_tasks
+
+    def measure():
+        baseline = evaluate_run(
+            baseline_run, workload.testbed, workload.scale.cutoffs
+        )
+        best = {}
+        for algorithm in ("optselect", "xquad", "iaselect"):
+            reports = [
+                _run_column(workload, tasks, baseline_run, algorithm, c)
+                for c in (0.0, 0.2)
+            ]
+            best[algorithm] = max(
+                r.mean("alpha-ndcg", 10) for r in reports
+            )
+        return baseline, best
+
+    benchmark.group = "table3-claims"
+    baseline, best = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for algorithm, value in best.items():
+        assert value >= baseline.mean("alpha-ndcg", 10) - 1e-9, algorithm
+
+
+def test_extreme_threshold_collapses_to_baseline(benchmark, topic_tasks):
+    workload, tasks, baseline_run = topic_tasks
+
+    def measure():
+        baseline = evaluate_run(
+            baseline_run, workload.testbed, workload.scale.cutoffs
+        )
+        collapsed = _run_column(workload, tasks, baseline_run, "optselect", 0.99)
+        return baseline, collapsed
+
+    benchmark.group = "table3-claims"
+    baseline, collapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for cutoff in workload.scale.cutoffs:
+        assert collapsed.mean("alpha-ndcg", cutoff) == pytest.approx(
+            baseline.mean("alpha-ndcg", cutoff), abs=0.05
+        )

@@ -1,0 +1,44 @@
+"""Efficiency comparison: Tables 1 and 2 at interactive scale.
+
+Measures operation counts (Table 1's complexity shapes) and wall-clock
+milliseconds (Table 2) for OptSelect, xQuAD and IASelect on the synthetic
+utility workload, and prints the OptSelect speedup factors.
+
+Run::
+
+    python examples/efficiency_comparison.py
+
+For the paper's full grid (|R_q| up to 100k, k up to 1000 — slow in pure
+Python) use ``python -m repro.experiments.table2 --full``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1, summarize as summarize_table1
+from repro.experiments.table2 import (
+    run_table2,
+    speedup_at_largest,
+    summarize as summarize_table2,
+)
+
+
+def main() -> None:
+    print("measuring operation counts (Table 1 shapes) ...\n")
+    cells = run_table1(ns=(1000, 2000), ks=(10, 100, 200))
+    print(summarize_table1(cells))
+
+    print("\nmeasuring wall-clock times (Table 2, reduced grid) ...\n")
+    timing = run_table2(grid=((1000, 5000), (10, 50, 100)), repeats=3)
+    print(summarize_table2(timing))
+
+    print()
+    for name, factor in speedup_at_largest(timing).items():
+        print(f"OptSelect vs {name}: {factor:.1f}x faster at the largest cell")
+    print(
+        "\nThe gap grows linearly with k — at the paper's k = 1000 it"
+        " reaches the two orders of magnitude reported in Table 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Query-log mining walkthrough: sessions → QFG → shortcuts → Algorithm 1.
+
+Shows each stage of Section 3's pipeline on a synthetic AOL-like log:
+
+1. time-gap sessionization,
+2. the Query-Flow-Graph and its chaining probabilities,
+3. logical sessions,
+4. Search-Shortcuts recommendations,
+5. ambiguity detection with mined P(q'|q) against the generator's
+   ground truth,
+6. the Appendix C recall measure.
+
+Run::
+
+    python examples/querylog_specialization_mining.py
+"""
+
+from __future__ import annotations
+
+from repro import AOL_PROFILE, CorpusConfig, generate_corpus, generate_query_log
+from repro.experiments.recall import measure_recall
+from repro.querylog.sessions import split_by_time_gap
+from repro.querylog.specializations import SpecializationMiner
+
+
+def main() -> None:
+    corpus = generate_corpus(
+        CorpusConfig(num_topics=8, docs_per_aspect=10, background_docs=150)
+    )
+    log = generate_query_log(corpus, AOL_PROFILE.scaled(0.2))
+    print(
+        f"log: {len(log)} records, {log.num_users} users, "
+        f"{log.distinct_queries} distinct queries"
+    )
+
+    # 1. raw sessionization
+    raw_sessions = split_by_time_gap(log)
+    satisfactory = sum(1 for s in raw_sessions if s.is_satisfactory)
+    print(
+        f"time-gap sessions: {len(raw_sessions)} "
+        f"({satisfactory} satisfactory)"
+    )
+
+    # 2-4. the miner owns the QFG, logical sessions and the recommender
+    miner = SpecializationMiner(log).build()
+    graph = miner.flow_graph
+    print(
+        f"query-flow graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+        f"logical sessions: {len(miner.logical_sessions)}"
+    )
+
+    topic = max(corpus.topics, key=lambda t: log.frequency(t.query))
+    root = topic.query
+    print(f"\nchaining probabilities out of {root!r}:")
+    for successor in graph.successors(root)[:5]:
+        print(
+            f"  {root!r} -> {successor!r}: "
+            f"chain={graph.chain_probability(root, successor):.2f} "
+            f"transition={graph.transition_probability(root, successor):.2f}"
+        )
+
+    print(f"\nSearch-Shortcuts recommendations for {root!r}:")
+    for suggestion, score in miner.recommender.recommend_scored(root, n=5):
+        print(f"  {suggestion:28s} score={score:.2f}")
+
+    # 5. Algorithm 1
+    mined = miner.mine(root)
+    print(f"\nAlgorithm 1 on {root!r}: ambiguous = {bool(mined)}")
+    print(f"{'specialization':30s} {'P(q-prime|q)':>12s} {'ground truth':>12s}")
+    for spec, p in mined:
+        print(f"{spec:30s} {p:12.3f} {topic.popularity_of(spec):12.3f}")
+
+    unambiguous = "zzz unknown"
+    print(
+        f"\nAlgorithm 1 on {unambiguous!r}: "
+        f"ambiguous = {miner.is_ambiguous(unambiguous)}"
+    )
+
+    # 6. recall measure (Appendix C)
+    result = measure_recall(log)
+    print(
+        f"\nAppendix C recall on {log.name}: {result.detected}/{result.events}"
+        f" refinement events covered = {result.recall:.0%}"
+        " (paper: AOL 61%, MSN 65%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

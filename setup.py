@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment has no ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail.  ``pip install -e . --no-use-pep517``
+falls back to ``setup.py develop``, which needs this file.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

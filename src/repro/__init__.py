@@ -1,0 +1,167 @@
+"""repro — reproduction of "Efficient Diversification of Web Search Results".
+
+Capannini, Nardini, Perego, Silvestri — PVLDB 4(7), 2011.
+
+The package is organised by subsystem (see DESIGN.md):
+
+* :mod:`repro.core` — OptSelect, xQuAD, IASelect, MMR, Algorithm 1,
+  the utility measure and the end-to-end framework;
+* :mod:`repro.retrieval` — the Terrier-equivalent search engine (Porter
+  stemmer, inverted index, DPH/DFR, snippets, cosine similarity);
+* :mod:`repro.querylog` — query-log model, Query-Flow-Graph sessions,
+  Search-Shortcuts recommender, synthetic AOL/MSN logs, specialization
+  mining;
+* :mod:`repro.corpus` — synthetic ClueWeb-B substitute and the TREC
+  diversity testbed (topics/subtopics/qrels/run files);
+* :mod:`repro.evaluation` — α-NDCG, IA-P, intent-aware metrics,
+  Wilcoxon significance, TREC-style runner;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import (CorpusConfig, generate_corpus, build_testbed,
+                       SearchEngine, SpecializationMiner,
+                       generate_query_log, AOL_PROFILE,
+                       DiversificationFramework, OptSelect)
+
+    corpus = generate_corpus(CorpusConfig(num_topics=10))
+    engine = SearchEngine(corpus.collection)
+    log = generate_query_log(corpus, AOL_PROFILE.scaled(0.2))
+    miner = SpecializationMiner(log).build()
+    framework = DiversificationFramework(engine, miner, OptSelect())
+    result = framework.diversify_query(corpus.topics[0].query)
+"""
+
+from repro.core import (
+    AmbiguityDetector,
+    BoundedMaxHeap,
+    DiversificationFramework,
+    DiversificationTask,
+    DiversifiedResult,
+    Diversifier,
+    DiversifierStats,
+    FrameworkConfig,
+    IASelect,
+    MMR,
+    OptSelect,
+    SpecializationSet,
+    UtilityMatrix,
+    XQuAD,
+    ambiguous_query_detect,
+    get_diversifier,
+    harmonic_number,
+    normalized_utility,
+)
+from repro.corpus import (
+    CorpusConfig,
+    DiversityQrels,
+    DiversityTestbed,
+    DiversityTopic,
+    Subtopic,
+    SyntheticCorpus,
+    build_testbed,
+    generate_corpus,
+)
+from repro.evaluation import (
+    PAPER_CUTOFFS,
+    EvaluationReport,
+    alpha_ndcg,
+    compare_reports,
+    evaluate_run,
+    intent_aware_precision,
+    wilcoxon_signed_rank,
+)
+from repro.querylog import (
+    AOL_PROFILE,
+    MSN_PROFILE,
+    LogProfile,
+    QueryFlowGraph,
+    QueryLog,
+    QueryRecord,
+    SearchShortcutsRecommender,
+    Session,
+    SpecializationMiner,
+    generate_query_log,
+    split_by_time_gap,
+)
+from repro.retrieval import (
+    Analyzer,
+    BM25,
+    DPH,
+    Document,
+    DocumentCollection,
+    InvertedIndex,
+    PorterStemmer,
+    ResultList,
+    SearchEngine,
+    TermVector,
+    cosine,
+    delta,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "AmbiguityDetector",
+    "BoundedMaxHeap",
+    "DiversificationFramework",
+    "DiversificationTask",
+    "DiversifiedResult",
+    "Diversifier",
+    "DiversifierStats",
+    "FrameworkConfig",
+    "IASelect",
+    "MMR",
+    "OptSelect",
+    "SpecializationSet",
+    "UtilityMatrix",
+    "XQuAD",
+    "ambiguous_query_detect",
+    "get_diversifier",
+    "harmonic_number",
+    "normalized_utility",
+    # corpus
+    "CorpusConfig",
+    "DiversityQrels",
+    "DiversityTestbed",
+    "DiversityTopic",
+    "Subtopic",
+    "SyntheticCorpus",
+    "build_testbed",
+    "generate_corpus",
+    # evaluation
+    "PAPER_CUTOFFS",
+    "EvaluationReport",
+    "alpha_ndcg",
+    "compare_reports",
+    "evaluate_run",
+    "intent_aware_precision",
+    "wilcoxon_signed_rank",
+    # querylog
+    "AOL_PROFILE",
+    "MSN_PROFILE",
+    "LogProfile",
+    "QueryFlowGraph",
+    "QueryLog",
+    "QueryRecord",
+    "SearchShortcutsRecommender",
+    "Session",
+    "SpecializationMiner",
+    "generate_query_log",
+    "split_by_time_gap",
+    # retrieval
+    "Analyzer",
+    "BM25",
+    "DPH",
+    "Document",
+    "DocumentCollection",
+    "InvertedIndex",
+    "PorterStemmer",
+    "ResultList",
+    "SearchEngine",
+    "TermVector",
+    "cosine",
+    "delta",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""Core diversification algorithms and framework — the paper's contribution.
+
+* Algorithm 1 (:mod:`repro.core.ambiguity`) — ambiguous-query detection.
+* Definition 2 (:mod:`repro.core.utility`) — the utility measure Ũ.
+* **OptSelect** (:mod:`repro.core.optselect`) — the paper's O(n log k)
+  algorithm for MaxUtility Diversify(k).
+* IASelect / xQuAD (:mod:`repro.core.iaselect`, :mod:`repro.core.xquad`)
+  — the two state-of-the-art competitors, re-cast in the query-log
+  framework exactly as Sections 3.1.1–3.1.2 describe.
+* MMR (:mod:`repro.core.mmr`) — the classic related-work baseline.
+* :mod:`repro.core.framework` — the end-to-end pipeline.
+"""
+
+from repro.core.ambiguity import (
+    AmbiguityDetector,
+    SpecializationSet,
+    ambiguous_query_detect,
+)
+from repro.core.base import Diversifier, DiversifierStats
+from repro.core.framework import (
+    DiversificationFramework,
+    DiversifiedResult,
+    FrameworkConfig,
+    get_diversifier,
+)
+from repro.core.heaps import BoundedMaxHeap
+from repro.core.iaselect import IASelect
+from repro.core.mmr import MMR
+from repro.core.objectives import (
+    brute_force_best,
+    coverage_counts,
+    max_utility_objective,
+    ql_diversify_objective,
+    satisfies_proportionality,
+    xquad_step_score,
+)
+from repro.core.optselect import OptSelect
+from repro.core.personalized import PersonalizedDetector, UserProfile
+from repro.core.relevance import (
+    estimate_relevance,
+    minmax_relevance,
+    reciprocal_rank_relevance,
+    softmax_relevance,
+    sum_relevance,
+)
+from repro.core.task import DiversificationTask
+from repro.core.utility import (
+    UtilityMatrix,
+    harmonic_number,
+    normalized_utility,
+    utility,
+)
+from repro.core.xquad import XQuAD
+
+__all__ = [
+    "AmbiguityDetector",
+    "SpecializationSet",
+    "ambiguous_query_detect",
+    "Diversifier",
+    "DiversifierStats",
+    "DiversificationFramework",
+    "DiversifiedResult",
+    "FrameworkConfig",
+    "get_diversifier",
+    "BoundedMaxHeap",
+    "IASelect",
+    "MMR",
+    "brute_force_best",
+    "coverage_counts",
+    "max_utility_objective",
+    "ql_diversify_objective",
+    "satisfies_proportionality",
+    "xquad_step_score",
+    "OptSelect",
+    "PersonalizedDetector",
+    "UserProfile",
+    "estimate_relevance",
+    "minmax_relevance",
+    "reciprocal_rank_relevance",
+    "softmax_relevance",
+    "sum_relevance",
+    "DiversificationTask",
+    "UtilityMatrix",
+    "harmonic_number",
+    "normalized_utility",
+    "utility",
+    "XQuAD",
+]

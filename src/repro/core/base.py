@@ -1,0 +1,56 @@
+"""Common interface and instrumentation for diversification algorithms.
+
+Every algorithm consumes a :class:`~repro.core.task.DiversificationTask`
+and produces a ranking of ``k`` doc_ids.  They also record an *operation
+count* of their dominant loop — the quantity Table 1 reasons about
+(``O(nk)`` for the greedy baselines vs ``O(n log k)`` for OptSelect) —
+so the complexity benchmark can verify asymptotic shape independently of
+wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.task import DiversificationTask
+
+__all__ = ["DiversifierStats", "Diversifier"]
+
+
+@dataclass
+class DiversifierStats:
+    """Counters of the last :meth:`Diversifier.diversify` call.
+
+    ``operations`` counts the dominant-loop steps (marginal-utility
+    updates for the greedy algorithms, heap pushes for OptSelect);
+    ``selected`` is the size of the returned set.
+    """
+
+    operations: int = 0
+    heap_pushes: int = 0
+    marginal_updates: int = 0
+    selected: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class Diversifier(ABC):
+    """Base class: re-rank a candidate list into a diversified top-k."""
+
+    #: Human-readable algorithm name, as used in the paper's tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.last_stats = DiversifierStats()
+
+    @abstractmethod
+    def diversify(self, task: DiversificationTask, k: int) -> list[str]:
+        """Return up to *k* doc_ids, best-first."""
+
+    def _check_k(self, task: DiversificationTask, k: int) -> int:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return min(k, task.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,230 @@
+"""End-to-end diversification framework (Section 3's pipeline).
+
+Once trained, the paper's system answers a query ``q`` in three steps:
+
+  (a) check whether ``q`` is ambiguous/faceted (Algorithm 1 over the
+      query-log model);
+  (b) if so, retrieve documents relevant to every mined specialization
+      (the small precomputed lists ``R_q'``, |R_q'| ≪ |R_q|);
+  (c) re-rank the original result list ``R_q`` so the final top-k
+      maximises the chosen objective (OptSelect by default).
+
+:class:`DiversificationFramework` implements that pipeline on top of the
+library's search engine and specialization miner, and is what the
+examples and the Table 3 / Figure 1 experiments drive.  A per-framework
+cache of specialization result lists mirrors the paper's feasibility
+argument (Section 4.1): those lists are tiny and computed once, offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ambiguity import SpecializationSet
+from repro.core.base import Diversifier
+from repro.core.iaselect import IASelect
+from repro.core.mmr import MMR
+from repro.core.optselect import OptSelect
+from repro.core.task import DiversificationTask
+from repro.core.utility import UtilityMatrix
+from repro.core.xquad import XQuAD
+from repro.retrieval.engine import ResultList, SearchEngine
+
+__all__ = [
+    "FrameworkConfig",
+    "DiversifiedResult",
+    "DiversificationFramework",
+    "get_diversifier",
+]
+
+
+def get_diversifier(name: str, **kwargs) -> Diversifier:
+    """Instantiate an algorithm by its paper name (case-insensitive).
+
+    >>> get_diversifier("xquad").name
+    'xQuAD'
+    """
+    registry = {
+        "optselect": OptSelect,
+        "iaselect": IASelect,
+        "xquad": XQuAD,
+        "mmr": MMR,
+    }
+    try:
+        factory = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown diversifier {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Operating parameters of the online pipeline.
+
+    Paper defaults for Table 3: ``spec_results=20`` (|R_q'|), ``k=1000``,
+    ``candidates=25000`` (|R_q|), ``lambda_=0.15``, ``threshold`` swept.
+    The library defaults are SERP-scale; experiments override them.
+    """
+
+    k: int = 10
+    candidates: int = 100
+    spec_results: int = 20
+    lambda_: float = 0.15
+    threshold: float = 0.0
+    relevance_method: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.candidates <= 0 or self.spec_results <= 0:
+            raise ValueError("k, candidates and spec_results must be positive")
+        if not 0.0 <= self.lambda_ <= 1.0:
+            raise ValueError("lambda_ must lie in [0, 1]")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+
+
+@dataclass
+class DiversifiedResult:
+    """Outcome of one query: the final ranking plus full provenance."""
+
+    query: str
+    ranking: list[str]
+    diversified: bool
+    baseline: ResultList
+    specializations: SpecializationSet
+    task: DiversificationTask | None = None
+    algorithm: str = ""
+
+    @property
+    def k(self) -> int:
+        return len(self.ranking)
+
+
+class DiversificationFramework:
+    """Glue object: engine + ambiguity detection + diversifier.
+
+    Parameters
+    ----------
+    engine:
+        The search engine producing ``R_q`` and the ``R_q'`` lists.
+    detector:
+        Anything with a ``mine(query) -> SpecializationSet`` method (a
+        :class:`~repro.querylog.specializations.SpecializationMiner`) or a
+        ``detect(query)`` method (an
+        :class:`~repro.core.ambiguity.AmbiguityDetector`).
+    diversifier:
+        Algorithm instance; OptSelect by default.
+    config:
+        Pipeline parameters.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        detector,
+        diversifier: Diversifier | None = None,
+        config: FrameworkConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.detector = detector
+        self.diversifier = diversifier or OptSelect()
+        self.config = config or FrameworkConfig()
+        # Offline side structures (Section 4.1): specialization result
+        # lists and their surrogate vectors, built once per specialization.
+        self._spec_cache: dict[str, ResultList] = {}
+        self._spec_vector_cache: dict[str, dict] = {}
+
+    # -- pipeline pieces ---------------------------------------------------------
+
+    def detect(self, query: str) -> SpecializationSet:
+        """Step (a): Algorithm 1 via the configured detector."""
+        if hasattr(self.detector, "mine"):
+            return self.detector.mine(query)
+        return self.detector.detect(query)
+
+    def _spec_results(self, spec_query: str) -> tuple[ResultList, dict]:
+        """Step (b): the cached small list R_q' and its snippet vectors."""
+        cached = self._spec_cache.get(spec_query)
+        if cached is None:
+            cached = self.engine.search(spec_query, self.config.spec_results)
+            self._spec_cache[spec_query] = cached
+            self._spec_vector_cache[spec_query] = self.engine.snippet_vectors(
+                spec_query, cached
+            )
+        return cached, self._spec_vector_cache[spec_query]
+
+    def build_task(
+        self, query: str, specializations: SpecializationSet
+    ) -> DiversificationTask | None:
+        """Steps (b)+(c) inputs: retrieve, vectorise and score utilities."""
+        candidates = self.engine.search(query, self.config.candidates)
+        if not len(candidates):
+            return None
+        vectors = dict(self.engine.snippet_vectors(query, candidates))
+        spec_results: dict[str, ResultList] = {}
+        for spec_query, _p in specializations:
+            results, spec_vectors = self._spec_results(spec_query)
+            spec_results[spec_query] = results
+            for doc_id, vector in spec_vectors.items():
+                vectors.setdefault(doc_id, vector)
+        matrix = UtilityMatrix.build(
+            candidates,
+            spec_results,
+            vectors,
+            threshold=self.config.threshold,
+        )
+        task = DiversificationTask.create(
+            query=query,
+            candidates=candidates,
+            specializations=specializations,
+            utilities=matrix,
+            lambda_=self.config.lambda_,
+            relevance_method=self.config.relevance_method,
+        )
+        task.vectors = vectors
+        return task
+
+    # -- main entry point -----------------------------------------------------------
+
+    def diversify_query(self, query: str) -> DiversifiedResult:
+        """Run the full pipeline for one query.
+
+        Unambiguous queries (Algorithm 1 returns ∅) get the plain baseline
+        top-k — the paper only diversifies when detection triggers.
+        """
+        specializations = self.detect(query)
+        if not specializations:
+            baseline = self.engine.search(query, self.config.k)
+            return DiversifiedResult(
+                query=query,
+                ranking=baseline.doc_ids,
+                diversified=False,
+                baseline=baseline,
+                specializations=specializations,
+            )
+        task = self.build_task(query, specializations)
+        if task is None:
+            return DiversifiedResult(
+                query=query,
+                ranking=[],
+                diversified=False,
+                baseline=ResultList(query, []),
+                specializations=specializations,
+            )
+        ranking = self.diversifier.diversify(task, self.config.k)
+        return DiversifiedResult(
+            query=query,
+            ranking=ranking,
+            diversified=True,
+            baseline=task.candidates,
+            specializations=specializations,
+            task=task,
+            algorithm=self.diversifier.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiversificationFramework(diversifier={self.diversifier.name}, "
+            f"k={self.config.k})"
+        )

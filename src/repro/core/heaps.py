@@ -1,0 +1,118 @@
+"""Bounded top-k heaps — the data structure behind OptSelect.
+
+Algorithm 2 keeps "a collection of |S_q| heaps each of those keeps the top
+⌊k·P(q'|q)⌋ + 1 most useful documents for that specialization" plus a
+general k-sized heap; "all the heap operations are carried out on data
+structures having a constant size bounded by k", which is where the
+O(n·|S_q|·log k) bound comes from.
+
+:class:`BoundedMaxHeap` implements exactly that contract: pushes cost
+O(log capacity) and evict the current minimum when full; items drain in
+descending score order.  An operation counter supports the Table 1
+complexity instrumentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["BoundedMaxHeap"]
+
+
+class BoundedMaxHeap(Generic[T]):
+    """Keep the *capacity* highest-scored items; pop them best-first.
+
+    Internally a min-heap of size <= capacity: pushing onto a full heap
+    replaces the minimum iff the new score beats it, so memory stays
+    O(capacity) and each push is O(log capacity).
+
+    Ties are broken by insertion order (earlier wins), making behaviour
+    deterministic — important because diversification re-ranks lists whose
+    scores frequently tie.
+
+    >>> heap = BoundedMaxHeap(2)
+    >>> for score, item in [(1.0, "a"), (3.0, "b"), (2.0, "c")]:
+    ...     heap.push(item, score)
+    >>> heap.pop_max(), heap.pop_max(), len(heap)
+    ('b', 2.0, 0)
+    """
+
+    __slots__ = ("capacity", "_heap", "_counter", "pushes")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        # Entries are (score, -insertion_counter, item): the min-heap root
+        # is the worst item, with later insertions evicted first on ties.
+        self._heap: list[tuple[float, int, T]] = []
+        self._counter = 0
+        self.pushes = 0
+
+    def push(self, item: T, score: float) -> bool:
+        """Offer *item*; returns True when it was retained."""
+        self.pushes += 1
+        if self.capacity == 0:
+            return False
+        self._counter += 1
+        entry = (score, -self._counter, item)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def pop_max(self) -> tuple[T, float]:
+        """Remove and return the best (item, score); raises if empty.
+
+        The underlying structure is a min-heap, so the max pop is O(size);
+        OptSelect only pops O(k) times from heaps of size O(k), keeping the
+        total cost dominated by the n·|S_q| pushes.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        best_index = max(range(len(self._heap)), key=lambda i: self._heap[i])
+        score, _, item = self._heap[best_index]
+        last = self._heap.pop()
+        if best_index < len(self._heap):
+            self._heap[best_index] = last
+            heapq.heapify(self._heap)
+        return item, score
+
+    def drain(self) -> Iterator[tuple[T, float]]:
+        """Yield all retained items best-first, emptying the heap."""
+        items = sorted(self._heap, reverse=True)
+        self._heap.clear()
+        for score, _, item in items:
+            yield item, score
+
+    def peek_max(self) -> tuple[T, float]:
+        if not self._heap:
+            raise IndexError("peek on empty heap")
+        score, _, item = max(self._heap)
+        return item, score
+
+    @property
+    def min_score(self) -> float:
+        """Score of the worst retained item (the eviction bar)."""
+        if not self._heap:
+            raise IndexError("empty heap has no min score")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: T) -> bool:
+        return any(entry[2] == item for entry in self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundedMaxHeap(capacity={self.capacity}, size={len(self)})"

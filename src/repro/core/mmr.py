@@ -1,0 +1,88 @@
+"""Maximal Marginal Relevance (Carbonell & Goldstein, SIGIR'98).
+
+The pioneering diversification method the paper's related-work section
+opens with.  It is not part of the paper's evaluation, but it is the
+standard extra baseline any diversification toolkit ships, and the
+ablation benchmarks use it as a query-log-free reference point::
+
+    MMR(d) = λ · sim1(d, q) − (1 − λ) · max_{dj ∈ S} sim2(d, dj)
+
+We use the task's relevance estimate P(d|q) as ``sim1`` and the cosine
+between candidate surrogate vectors as ``sim2`` — so MMR needs the task's
+``vectors`` to be populated (the framework does this automatically).
+
+Greedy selection over k iterations costs O(n·k) pairwise similarities.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Diversifier, DiversifierStats
+from repro.core.task import DiversificationTask
+from repro.retrieval.similarity import cosine
+
+__all__ = ["MMR"]
+
+
+class MMR(Diversifier):
+    """The classic relevance-vs-redundancy greedy re-ranker.
+
+    Parameters
+    ----------
+    lambda_:
+        MMR's own trade-off (1.0 = pure relevance, 0.0 = pure novelty).
+        Note this is *not* the task's λ: the paper's λ weights coverage of
+        specializations, MMR's weights redundancy among selected items.
+    """
+
+    name = "MMR"
+
+    def __init__(self, lambda_: float = 0.7) -> None:
+        super().__init__()
+        if not 0.0 <= lambda_ <= 1.0:
+            raise ValueError("lambda_ must lie in [0, 1]")
+        self.lambda_ = lambda_
+
+    def diversify(self, task: DiversificationTask, k: int) -> list[str]:
+        k = self._check_k(task, k)
+        if not task.vectors:
+            raise ValueError(
+                "MMR needs candidate surrogate vectors in task.vectors"
+            )
+        stats = DiversifierStats()
+        lam = self.lambda_
+        relevance = task.relevance
+        vectors = task.vectors
+        rank_of = task.candidates.rank_of
+
+        selected: list[str] = []
+        selected_set: set[str] = set()
+        remaining = task.candidates.doc_ids
+
+        for _ in range(k):
+            best_doc: str | None = None
+            best_score = float("-inf")
+            best_rank = 0
+            for doc_id in remaining:
+                if doc_id in selected_set:
+                    continue
+                redundancy = 0.0
+                vector = vectors.get(doc_id)
+                if vector is not None:
+                    for picked in selected:
+                        other = vectors.get(picked)
+                        if other is not None:
+                            redundancy = max(redundancy, cosine(vector, other))
+                        stats.marginal_updates += 1
+                score = lam * relevance.get(doc_id, 0.0) - (1.0 - lam) * redundancy
+                rank = rank_of(doc_id)
+                if score > best_score or (score == best_score and rank < best_rank):
+                    best_doc, best_score, best_rank = doc_id, score, rank
+            if best_doc is None:
+                break
+            selected.append(best_doc)
+            selected_set.add(best_doc)
+
+        stats.operations = stats.marginal_updates
+        stats.selected = len(selected)
+        self.last_stats = stats
+        return selected

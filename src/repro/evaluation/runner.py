@@ -1,0 +1,113 @@
+"""TREC-style evaluation runner: runs × metrics × cutoffs tables.
+
+Table 3 of the paper reports α-NDCG and IA-P at cutoffs
+{5, 10, 20, 100, 1000} for each system configuration, averaged over the
+50 diversity-task topics.  :func:`evaluate_run` produces exactly that
+slice for one run; :class:`EvaluationReport` keeps the per-topic values
+so systems can be compared with the Wilcoxon test, as the paper does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.corpus.trec import DiversityTestbed
+from repro.evaluation.metrics import alpha_ndcg, intent_aware_precision
+from repro.evaluation.significance import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = ["EvaluationReport", "evaluate_run", "compare_reports", "PAPER_CUTOFFS"]
+
+#: The rank cutoffs of Table 3.
+PAPER_CUTOFFS = (5, 10, 20, 100, 1000)
+
+
+@dataclass
+class EvaluationReport:
+    """Per-topic and averaged metric values of one run.
+
+    ``per_topic[metric][cutoff]`` is a mapping topic_id → value;
+    ``mean(metric, cutoff)`` averages over *all* evaluated topics
+    (topics missing from the run count as zero, per trec_eval
+    ``-c`` semantics).
+    """
+
+    name: str
+    topics: list[int]
+    per_topic: dict[str, dict[int, dict[int, float]]] = field(default_factory=dict)
+
+    def mean(self, metric: str, cutoff: int) -> float:
+        values = self.per_topic[metric][cutoff]
+        if not self.topics:
+            return 0.0
+        return sum(values.get(t, 0.0) for t in self.topics) / len(self.topics)
+
+    def vector(self, metric: str, cutoff: int) -> list[float]:
+        """Per-topic values in topic order (for significance testing)."""
+        values = self.per_topic[metric][cutoff]
+        return [values.get(t, 0.0) for t in self.topics]
+
+    def row(self, metric: str, cutoffs: Sequence[int] = PAPER_CUTOFFS) -> list[float]:
+        """One Table 3 row: the metric at every cutoff."""
+        return [self.mean(metric, c) for c in cutoffs]
+
+
+def evaluate_run(
+    run: Mapping[int, Sequence[str]],
+    testbed: DiversityTestbed,
+    cutoffs: Sequence[int] = PAPER_CUTOFFS,
+    alpha: float = 0.5,
+    use_testbed_probabilities: bool = False,
+    name: str = "run",
+) -> EvaluationReport:
+    """Score *run* (topic_id → ranked doc_ids) on the paper's two metrics.
+
+    ``alpha = 0.5`` follows "the standard practice in the TREC 2009
+    Web-Track's Diversity Task" quoted by the paper.  IA-P uses uniform
+    subtopic weights by default (the official setting); set
+    *use_testbed_probabilities* to weight by the testbed's ground-truth
+    popularities instead.
+    """
+    report = EvaluationReport(
+        name=name,
+        topics=[t.topic_id for t in testbed.topics],
+        per_topic={
+            "alpha-ndcg": {c: {} for c in cutoffs},
+            "ia-p": {c: {} for c in cutoffs},
+        },
+    )
+    for topic in testbed.topics:
+        ranking = list(run.get(topic.topic_id, ()))
+        probabilities = None
+        if use_testbed_probabilities:
+            probabilities = testbed.subtopic_probabilities.get(topic.topic_id)
+        for cutoff in cutoffs:
+            report.per_topic["alpha-ndcg"][cutoff][topic.topic_id] = alpha_ndcg(
+                ranking, topic.topic_id, testbed.qrels, alpha=alpha, cutoff=cutoff
+            )
+            report.per_topic["ia-p"][cutoff][topic.topic_id] = (
+                intent_aware_precision(
+                    ranking,
+                    topic.topic_id,
+                    testbed.qrels,
+                    cutoff=cutoff,
+                    probabilities=probabilities,
+                )
+            )
+    return report
+
+
+def compare_reports(
+    a: EvaluationReport,
+    b: EvaluationReport,
+    metric: str = "alpha-ndcg",
+    cutoff: int = 20,
+) -> WilcoxonResult:
+    """Wilcoxon signed-rank test between two runs on one metric@cutoff.
+
+    This is the paper's significance methodology ("Wilcoxon signed-rank
+    test at 0.05 level of significance").
+    """
+    if a.topics != b.topics:
+        raise ValueError("reports must cover the same topics in the same order")
+    return wilcoxon_signed_rank(a.vector(metric, cutoff), b.vector(metric, cutoff))

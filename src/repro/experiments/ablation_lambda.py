@@ -1,0 +1,116 @@
+"""Ablation — sensitivity of OptSelect and xQuAD to the mixing λ.
+
+The paper fixes λ = 0.15 for both OptSelect and xQuAD, citing the value
+that maximises α-NDCG@20 in Santos et al.  This ablation sweeps λ over
+{0, 0.15, 0.3, 0.5, 0.75, 1.0} at a fixed utility threshold and reports
+α-NDCG@20 and IA-P@20, showing where the relevance/coverage trade-off
+peaks on our testbed:
+
+* λ = 0 ranks by relevance only → baseline behaviour,
+* λ = 1 ranks by coverage only → relevance is ignored (IASelect-like
+  failure mode for xQuAD; OptSelect keeps ordering by summed utility).
+
+Run as a script::
+
+    python -m repro.experiments.ablation_lambda
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.core.framework import get_diversifier
+from repro.evaluation.runner import EvaluationReport, evaluate_run
+from repro.experiments.reporting import render_table
+from repro.experiments.table3 import build_topic_tasks
+from repro.experiments.workloads import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TrecWorkload,
+    build_trec_workload,
+)
+
+__all__ = ["LambdaAblationResult", "run_lambda_ablation", "main"]
+
+DEFAULT_LAMBDAS = (0.0, 0.15, 0.3, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class LambdaAblationResult:
+    cutoff: int
+    #: reports[algorithm][lambda]
+    reports: dict[str, dict[float, EvaluationReport]] = field(default_factory=dict)
+
+    def best_lambda(self, algorithm: str, metric: str = "alpha-ndcg") -> float:
+        per_lambda = self.reports[algorithm]
+        return max(per_lambda, key=lambda lam: per_lambda[lam].mean(metric, self.cutoff))
+
+
+def run_lambda_ablation(
+    workload: TrecWorkload | None = None,
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+    algorithms: tuple[str, ...] = ("OptSelect", "xQuAD"),
+    threshold: float = 0.2,
+    log_name: str = "AOL",
+) -> LambdaAblationResult:
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    scale = workload.scale
+    cutoff = scale.cutoffs[min(2, len(scale.cutoffs) - 1)]
+    tasks, baseline_run = build_topic_tasks(workload, log_name)
+    result = LambdaAblationResult(cutoff=cutoff)
+    for algorithm_name in algorithms:
+        diversifier = get_diversifier(algorithm_name)
+        per_lambda: dict[float, EvaluationReport] = {}
+        for lam in lambdas:
+            run: dict[int, list[str]] = {}
+            for topic in workload.testbed.topics:
+                task = tasks.get(topic.topic_id)
+                if task is None:
+                    run[topic.topic_id] = baseline_run[topic.topic_id]
+                else:
+                    adjusted = task.with_threshold(threshold).with_lambda(lam)
+                    run[topic.topic_id] = diversifier.diversify(adjusted, scale.k)
+            per_lambda[lam] = evaluate_run(
+                run,
+                workload.testbed,
+                scale.cutoffs,
+                name=f"{diversifier.name} lambda={lam}",
+            )
+        result.reports[diversifier.name] = per_lambda
+    return result
+
+
+def summarize(result: LambdaAblationResult) -> str:
+    headers = ["algorithm", "lambda", f"a-nDCG@{result.cutoff}", f"IA-P@{result.cutoff}"]
+    rows = []
+    for algorithm, per_lambda in result.reports.items():
+        for lam, report in sorted(per_lambda.items()):
+            rows.append(
+                [
+                    algorithm,
+                    lam,
+                    round(report.mean("alpha-ndcg", result.cutoff), 3),
+                    round(report.mean("ia-p", result.cutoff), 3),
+                ]
+            )
+    return render_table(headers, rows, title="Ablation — mixing parameter lambda")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+    workload = build_trec_workload(scale)
+    result = run_lambda_ablation(workload)
+    print(summarize(result))
+    for algorithm in result.reports:
+        print(
+            f"best lambda for {algorithm} by a-nDCG@{result.cutoff}: "
+            f"{result.best_lambda(algorithm)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

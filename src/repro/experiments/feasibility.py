@@ -1,0 +1,116 @@
+"""Section 4.1 — feasibility: memory footprint of the side structures.
+
+The paper argues the diversification side data is small: "storing N
+ambiguous queries along with the data needed to assess the similarity
+among results lists incurs in a maximal memory occupancy of
+N · |S_q̂| · |R_q̂'| · L bytes", where |S_q̂| is the largest number of
+specializations, |R_q̂'| the per-specialization list length and L the
+average surrogate length in bytes.
+
+This harness mines the ambiguous-query structure from a log, materialises
+the specialization result lists and surrogates, and reports:
+
+* the analytic bound N · |S_q̂| · |R_q̂'| · L,
+* the actually measured bytes of surrogate text stored,
+* per-ambiguous-query averages.
+
+Run as a script::
+
+    python -m repro.experiments.feasibility
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TrecWorkload,
+    build_trec_workload,
+)
+
+__all__ = ["FeasibilityResult", "run_feasibility", "main"]
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Measured footprint of the diversification side structures."""
+
+    num_ambiguous_queries: int
+    max_specializations: int
+    spec_results: int
+    avg_surrogate_bytes: float
+    analytic_bound_bytes: int
+    measured_surrogate_bytes: int
+
+    @property
+    def analytic_bound_mb(self) -> float:
+        return self.analytic_bound_bytes / (1024.0 * 1024.0)
+
+    @property
+    def measured_mb(self) -> float:
+        return self.measured_surrogate_bytes / (1024.0 * 1024.0)
+
+
+def run_feasibility(
+    workload: TrecWorkload | None = None,
+    log_name: str = "AOL",
+    min_frequency: int = 3,
+) -> FeasibilityResult:
+    """Mine every ambiguous query and measure the surrogate storage."""
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    miner = workload.miner(log_name)
+    engine = workload.engine
+    spec_results = workload.scale.spec_results
+
+    mined = miner.mine_all(min_frequency=min_frequency)
+    max_specs = max((len(s) for s in mined.values()), default=0)
+
+    total_bytes = 0
+    total_snippets = 0
+    seen_specs: set[str] = set()
+    for spec_set in mined.values():
+        for spec_query, _p in spec_set:
+            if spec_query in seen_specs:
+                continue
+            seen_specs.add(spec_query)
+            results = engine.search(spec_query, spec_results)
+            for r in results:
+                snippet = engine.snippet(spec_query, r.doc_id)
+                total_bytes += len(snippet.text.encode("utf-8"))
+                total_snippets += 1
+    avg_len = total_bytes / total_snippets if total_snippets else 0.0
+    bound = int(len(mined) * max_specs * spec_results * avg_len)
+    return FeasibilityResult(
+        num_ambiguous_queries=len(mined),
+        max_specializations=max_specs,
+        spec_results=spec_results,
+        avg_surrogate_bytes=avg_len,
+        analytic_bound_bytes=bound,
+        measured_surrogate_bytes=total_bytes,
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+    workload = build_trec_workload(scale)
+    result = run_feasibility(workload)
+    rows = [
+        ["ambiguous queries N", result.num_ambiguous_queries],
+        ["max specializations |S_q̂|", result.max_specializations],
+        ["per-spec results |R_q̂'|", result.spec_results],
+        ["avg surrogate bytes L", round(result.avg_surrogate_bytes, 1)],
+        ["analytic bound N·|S|·|R|·L (MB)", round(result.analytic_bound_mb, 3)],
+        ["measured surrogate storage (MB)", round(result.measured_mb, 3)],
+    ]
+    print(render_table(["quantity", "value"], rows, title="Section 4.1 — feasibility"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Appendix C's recall measure — how often diversification triggers when
+it is actually needed.
+
+"we measured the number of times our method is able to provide
+diversified results when they are actually needed, i.e., a sort of recall
+measure.  This was done by considering the number of times a user, after
+submitting an ambiguous/faceted query, issued a new query that is a
+specialization of the previous one.  Concerning AOL, we are able to
+diversify results for the 61% of the cases, whereas for MSN this recall
+measure raises up to 65%."
+
+Our harness replays that protocol: train the miner on the 70% split, walk
+the test split's sessions, find every (q → q') event where q' specializes
+q, and check whether Algorithm 1 (trained on the train split only) fires
+for q.
+
+Run as a script::
+
+    python -m repro.experiments.recall
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TrecWorkload,
+    build_trec_workload,
+)
+from repro.querylog.flowgraph import is_specialization
+from repro.querylog.records import QueryLog
+from repro.querylog.sessions import split_by_time_gap
+from repro.querylog.specializations import MinerConfig, SpecializationMiner
+
+__all__ = ["RecallResult", "measure_recall", "run_recall", "main"]
+
+
+@dataclass(frozen=True)
+class RecallResult:
+    """Recall of ambiguity detection over one log's test split."""
+
+    log_name: str
+    events: int
+    detected: int
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.events if self.events else 0.0
+
+
+def measure_recall(log: QueryLog, train_fraction: float = 0.7) -> RecallResult:
+    """Replay the Appendix C protocol on one log."""
+    train, test = log.split(train_fraction)
+    miner = SpecializationMiner(train, MinerConfig()).build()
+    # Detection outcomes are query-level; cache them across events.
+    detected_cache: dict[str, bool] = {}
+
+    events = 0
+    detected = 0
+    for session in split_by_time_gap(test):
+        for first, second in session.pairs():
+            if not is_specialization(first.query, second.query):
+                continue
+            events += 1
+            query = first.query
+            hit = detected_cache.get(query)
+            if hit is None:
+                hit = bool(miner.mine(query))
+                detected_cache[query] = hit
+            if hit:
+                detected += 1
+    return RecallResult(log_name=log.name, events=events, detected=detected)
+
+
+def run_recall(
+    workload: TrecWorkload | None = None,
+    logs: tuple[str, ...] = ("AOL", "MSN"),
+) -> list[RecallResult]:
+    workload = workload or build_trec_workload(SMALL_SCALE, logs=logs)
+    return [measure_recall(workload.logs[log_name]) for log_name in logs]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+    workload = build_trec_workload(scale, logs=("AOL", "MSN"))
+    results = run_recall(workload)
+    rows = [
+        [r.log_name, r.events, r.detected, f"{r.recall:.0%}"] for r in results
+    ]
+    print(
+        render_table(
+            ["log", "refinement events", "detected", "recall"],
+            rows,
+            title="Appendix C — diversification recall (paper: AOL 61%, MSN 65%)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

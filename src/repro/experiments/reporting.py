@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the experiment CLIs.
+
+Each experiment module prints its regenerated table/figure in roughly the
+paper's layout; this module keeps the alignment logic in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned fixed-width table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a  b
+    1  2.500
+    """
+    text_rows = [
+        [format_number(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: dict[str, dict[object, float]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render multiple named series sharing an x axis (a textual figure)."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name].get(x, float("nan")) for name in series]
+        for x in xs
+    ]
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,121 @@
+"""Table 1 — time complexity of the three algorithms.
+
+The paper's Table 1 states::
+
+    IASelect   O(n·k)
+    xQuAD      O(n·k)
+    OptSelect  O(n·log2 k)
+
+This experiment verifies the asymptotic *shape* empirically, using the
+operation counters every algorithm records (marginal-utility updates for
+the greedy pair, heap pushes for OptSelect) — which is hardware and
+interpreter independent, unlike Table 2's wall-clock times:
+
+* for fixed k, all three scale linearly in n;
+* for fixed n, the greedy pair scales linearly in k while OptSelect's
+  count stays flat (the log k factor sits inside each heap push, not in
+  the number of operations).
+
+Run as a script::
+
+    python -m repro.experiments.table1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.iaselect import IASelect
+from repro.core.optselect import OptSelect
+from repro.core.xquad import XQuAD
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import synthetic_task
+
+__all__ = ["ComplexityCell", "run_table1", "main"]
+
+DEFAULT_N = (1000, 2000, 4000)
+DEFAULT_K = (10, 50, 100, 200)
+NUM_SPECS = 8
+
+
+@dataclass(frozen=True)
+class ComplexityCell:
+    """Measured operation count of one (algorithm, n, k) combination."""
+
+    algorithm: str
+    n: int
+    k: int
+    operations: int
+
+    @property
+    def ops_per_candidate(self) -> float:
+        return self.operations / self.n
+
+
+def run_table1(
+    ns: tuple[int, ...] = DEFAULT_N,
+    ks: tuple[int, ...] = DEFAULT_K,
+    num_specs: int = NUM_SPECS,
+    seed: int = 7,
+) -> list[ComplexityCell]:
+    """Measure dominant-loop operation counts over the (n, k) grid."""
+    algorithms = [OptSelect(), XQuAD(), IASelect()]
+    cells: list[ComplexityCell] = []
+    for n in ns:
+        task = synthetic_task(n, num_specs=num_specs, seed=seed)
+        for k in ks:
+            if k > n:
+                continue
+            for algorithm in algorithms:
+                algorithm.diversify(task, k)
+                cells.append(
+                    ComplexityCell(
+                        algorithm=algorithm.name,
+                        n=n,
+                        k=k,
+                        operations=algorithm.last_stats.operations,
+                    )
+                )
+    return cells
+
+
+def summarize(cells: list[ComplexityCell]) -> str:
+    """Render measured counts next to the paper's complexity claims."""
+    by_algo: dict[str, list[ComplexityCell]] = {}
+    for cell in cells:
+        by_algo.setdefault(cell.algorithm, []).append(cell)
+    headers = ["algorithm", "paper claim", "n", "k", "measured ops", "ops / n"]
+    claims = {
+        "IASelect": "O(n k)",
+        "xQuAD": "O(n k)",
+        "OptSelect": "O(n log k)",
+    }
+    rows = []
+    for algorithm, algo_cells in by_algo.items():
+        for cell in algo_cells:
+            rows.append(
+                [
+                    algorithm,
+                    claims.get(algorithm, "?"),
+                    cell.n,
+                    cell.k,
+                    cell.operations,
+                    round(cell.ops_per_candidate, 2),
+                ]
+            )
+    return render_table(headers, rows, title="Table 1 — measured complexity")
+
+
+def main() -> None:
+    cells = run_table1()
+    print(summarize(cells))
+    print()
+    print(
+        "Shape check: for the greedy pair 'ops / n' grows ~linearly with k;"
+        " for OptSelect it stays ~constant (bounded by |S_q| pushes per"
+        " candidate)."
+    )
+
+
+if __name__ == "__main__":
+    main()

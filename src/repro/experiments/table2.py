@@ -1,0 +1,152 @@
+"""Table 2 — execution time of OptSelect, xQuAD and IASelect.
+
+The paper times the three algorithms diversifying the retrieved list for
+the 50 TREC 2009 diversity topics, varying |R_q| ∈ {1k, 10k, 100k} and
+k ∈ {10, 50, 100, 500, 1000} (milliseconds, Table 2).  Headline claims:
+
+* every algorithm is linear in |R_q| for fixed k;
+* OptSelect's time barely grows with k while the greedy pair grows
+  linearly in k;
+* at large k OptSelect is about two orders of magnitude faster.
+
+Our harness reproduces the same grid over the synthetic utility workload
+(:func:`repro.experiments.workloads.synthetic_task` — the paper also
+times the selection step on precomputed utilities).  The full paper grid
+takes tens of minutes in pure Python (the greedy algorithms really are
+O(n·k·|S_q|)); the default grid is scaled down and ``--full`` opts into
+the paper's sizes.
+
+Run as a script::
+
+    python -m repro.experiments.table2 [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.core.base import Diversifier
+from repro.core.iaselect import IASelect
+from repro.core.optselect import OptSelect
+from repro.core.xquad import XQuAD
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import synthetic_task
+
+__all__ = ["TimingCell", "run_table2", "main", "DEFAULT_GRID", "PAPER_GRID"]
+
+#: (list of |R_q| sizes, list of k sizes)
+DEFAULT_GRID = ((1000, 10000), (10, 50, 100))
+PAPER_GRID = ((1000, 10000, 100000), (10, 50, 100, 500, 1000))
+NUM_SPECS = 8
+
+
+@dataclass(frozen=True)
+class TimingCell:
+    """Wall-clock measurement of one (algorithm, n, k) combination."""
+
+    algorithm: str
+    n: int
+    k: int
+    milliseconds: float
+
+
+def time_once(algorithm: Diversifier, task, k: int, repeats: int = 3) -> float:
+    """Best-of-*repeats* wall-clock milliseconds for one diversification."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        algorithm.diversify(task, k)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        best = min(best, elapsed)
+    return best
+
+
+def run_table2(
+    grid: tuple[tuple[int, ...], tuple[int, ...]] = DEFAULT_GRID,
+    num_specs: int = NUM_SPECS,
+    seed: int = 7,
+    repeats: int = 3,
+) -> list[TimingCell]:
+    """Measure the timing grid; returns one cell per (algorithm, n, k)."""
+    ns, ks = grid
+    algorithms = [OptSelect(), XQuAD(), IASelect()]
+    cells: list[TimingCell] = []
+    for n in ns:
+        task = synthetic_task(n, num_specs=num_specs, seed=seed)
+        for k in ks:
+            if k > n:
+                continue
+            for algorithm in algorithms:
+                cells.append(
+                    TimingCell(
+                        algorithm=algorithm.name,
+                        n=n,
+                        k=k,
+                        milliseconds=time_once(algorithm, task, k, repeats),
+                    )
+                )
+    return cells
+
+
+def summarize(cells: list[TimingCell]) -> str:
+    """Render the paper's Table 2 layout: one block per algorithm,
+    |R_q| rows × k columns, milliseconds."""
+    ks = sorted({c.k for c in cells})
+    ns = sorted({c.n for c in cells})
+    blocks = []
+    for algorithm in ("OptSelect", "xQuAD", "IASelect"):
+        algo_cells = {
+            (c.n, c.k): c.milliseconds for c in cells if c.algorithm == algorithm
+        }
+        if not algo_cells:
+            continue
+        headers = ["|R_q|"] + [f"k={k}" for k in ks]
+        rows = []
+        for n in ns:
+            row: list[object] = [n]
+            for k in ks:
+                ms = algo_cells.get((n, k))
+                row.append(round(ms, 2) if ms is not None else "-")
+            rows.append(row)
+        blocks.append(render_table(headers, rows, title=algorithm, precision=2))
+    return "\n\n".join(blocks)
+
+
+def speedup_at_largest(cells: list[TimingCell]) -> dict[str, float]:
+    """OptSelect speedup factors at the largest measured (n, k) cell."""
+    n = max(c.n for c in cells)
+    k = max(c.k for c in cells if c.n == n)
+    times = {
+        c.algorithm: c.milliseconds for c in cells if c.n == n and c.k == k
+    }
+    base = times.get("OptSelect")
+    if not base:
+        return {}
+    return {
+        name: ms / base for name, ms in times.items() if name != "OptSelect"
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full grid (n up to 100k, k up to 1000; slow)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    grid = PAPER_GRID if args.full else DEFAULT_GRID
+    cells = run_table2(grid, repeats=args.repeats)
+    print("Table 2 — execution time (msec)")
+    print()
+    print(summarize(cells))
+    print()
+    for name, factor in speedup_at_largest(cells).items():
+        print(f"OptSelect vs {name} at the largest cell: {factor:.1f}x faster")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Reader/writer for the public AOL query-log TSV format.
+
+The paper trains on the AOL log (Appendix B).  The 2006 public release is
+a set of tab-separated files with header::
+
+    AnonID\tQuery\tQueryTime\tItemRank\tClickURL
+
+One row per (query submission | click): a submission without clicks has
+empty ``ItemRank``/``ClickURL``; a submission with several clicks repeats
+the query row once per click.  This module converts between that format
+and :class:`~repro.querylog.records.QueryLog`, so the library's pipeline
+(sessionization → QFG → Search Shortcuts → Algorithm 1) runs unchanged on
+the real data when the user has it.
+
+The synthetic generator (:mod:`repro.querylog.synthesis`) remains the
+bundled substitute; see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections.abc import Iterable, Iterator
+
+from repro.querylog.records import QueryLog, QueryRecord
+
+__all__ = ["parse_aol", "format_aol", "AOL_TIME_FORMAT"]
+
+AOL_TIME_FORMAT = "%Y-%m-%d %H:%M:%S"
+_HEADER = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL"
+
+
+def _parse_time(text: str) -> float:
+    parsed = _dt.datetime.strptime(text, AOL_TIME_FORMAT)
+    return parsed.replace(tzinfo=_dt.timezone.utc).timestamp()
+
+
+def _format_time(timestamp: float) -> str:
+    parsed = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return parsed.strftime(AOL_TIME_FORMAT)
+
+
+def parse_aol(lines: Iterable[str], name: str = "AOL") -> QueryLog:
+    """Parse AOL TSV lines into a :class:`QueryLog`.
+
+    Click rows belonging to the same (user, query, time) submission are
+    merged into one record with all clicked URLs; the clicked URLs double
+    as the record's result set (the file does not carry the full SERP).
+
+    >>> log = parse_aol([
+    ...     "AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL",
+    ...     "142\\tleopard\\t2006-03-01 10:00:00\\t\\t",
+    ...     "142\\tleopard tank\\t2006-03-01 10:01:00\\t1\\thttp://a",
+    ...     "142\\tleopard tank\\t2006-03-01 10:01:00\\t3\\thttp://b",
+    ... ])
+    >>> len(log), log.frequency("leopard tank")
+    (2, 1)
+    """
+    merged: dict[tuple[str, str, float], list[tuple[int, str]]] = {}
+    order: list[tuple[str, str, float]] = []
+    for line_no, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line or line == _HEADER:
+            continue
+        parts = line.split("\t")
+        if len(parts) == 3:
+            parts += ["", ""]
+        if len(parts) != 5:
+            raise ValueError(
+                f"AOL line {line_no}: expected 5 tab-separated fields, got "
+                f"{len(parts)}"
+            )
+        anon_id, query, time_text, item_rank, click_url = parts
+        query = query.strip()
+        if not anon_id.strip() or not query:
+            continue  # the public files contain a few malformed rows
+        key = (anon_id.strip(), query, _parse_time(time_text))
+        if key not in merged:
+            merged[key] = []
+            order.append(key)
+        if click_url.strip():
+            rank = int(item_rank) if item_rank.strip() else 0
+            merged[key].append((rank, click_url.strip()))
+
+    records = []
+    for user_id, query, timestamp in order:
+        clicks = tuple(
+            url for _rank, url in sorted(merged[(user_id, query, timestamp)])
+        )
+        records.append(
+            QueryRecord(
+                timestamp=timestamp,
+                user_id=user_id,
+                query=query,
+                results=clicks,  # the file only preserves clicked results
+                clicks=clicks,
+            )
+        )
+    return QueryLog(records, name=name)
+
+
+def format_aol(log: QueryLog) -> Iterator[str]:
+    """Serialise *log* in the AOL TSV format (header first).
+
+    Records without clicks emit a single row with empty click columns;
+    records with clicks emit one row per click, ranks taken from the
+    position in the record's result list when available.
+    """
+    yield _HEADER
+    for record in log:
+        time_text = _format_time(record.timestamp)
+        if not record.clicks:
+            yield f"{record.user_id}\t{record.query}\t{time_text}\t\t"
+            continue
+        for url in record.clicks:
+            try:
+                rank = record.results.index(url) + 1
+            except ValueError:
+                rank = 1
+            yield (
+                f"{record.user_id}\t{record.query}\t{time_text}\t{rank}\t{url}"
+            )

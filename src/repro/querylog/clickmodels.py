@@ -1,0 +1,138 @@
+"""Click models — the paper's future-work item (ii).
+
+Section 6: "Future work will regard: ... ii) the use of click-through
+data to improve our effectiveness results".  Two standard user click
+models are implemented (they also back the synthetic log generator's
+click simulation):
+
+* :class:`PositionBiasedModel` — examination decays with rank;
+  P(click at r) = attractiveness · examination(r) with examination(r) =
+  base / r (the model the generator uses);
+* :class:`CascadeModel` — the user scans top-down and stops at the first
+  satisfying result (Craswell et al.).
+
+On top of them, :func:`click_boosted_probabilities` implements the
+effectiveness improvement the paper sketches: re-estimate P(q'|q) from
+*satisfied* sessions only — a specialization whose sessions end in clicks
+is a better interpretation than one users bounce off, so its probability
+is boosted relative to raw submission frequency (Definition 1 uses raw
+frequency only).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.core.ambiguity import SpecializationSet
+from repro.querylog.sessions import Session
+
+__all__ = [
+    "ClickModel",
+    "PositionBiasedModel",
+    "CascadeModel",
+    "click_boosted_probabilities",
+]
+
+
+class ClickModel(ABC):
+    """Simulate which of a ranked result list's items get clicked."""
+
+    @abstractmethod
+    def click_probability(self, rank: int, attractiveness: float) -> float:
+        """Probability that the result at 1-based *rank* is clicked,
+        conditional on the user reaching it (model specific)."""
+
+    def simulate(
+        self,
+        results: Sequence[str],
+        rng: random.Random,
+        attractiveness: float = 0.65,
+    ) -> tuple[str, ...]:
+        """Sample a click set for *results* (best first)."""
+        clicks = []
+        for rank, doc_id in enumerate(results, start=1):
+            if rng.random() < self.click_probability(rank, attractiveness):
+                clicks.append(doc_id)
+                if self.stops_after_click():
+                    break
+        return tuple(clicks)
+
+    def stops_after_click(self) -> bool:
+        return False
+
+
+class PositionBiasedModel(ClickModel):
+    """Examination decays as 1/rank: P(click@r) = a / r.
+
+    This is the model :mod:`repro.querylog.synthesis` applies; exposing
+    it as a class makes the generator's behaviour testable and swappable.
+    """
+
+    def click_probability(self, rank: int, attractiveness: float) -> float:
+        if rank < 1:
+            raise ValueError("ranks are 1-based")
+        return min(1.0, attractiveness / rank)
+
+
+class CascadeModel(ClickModel):
+    """Craswell et al.'s cascade: scan top-down, stop at first click."""
+
+    def __init__(self, continuation: float = 0.85) -> None:
+        if not 0.0 <= continuation <= 1.0:
+            raise ValueError("continuation must lie in [0, 1]")
+        self.continuation = continuation
+
+    def click_probability(self, rank: int, attractiveness: float) -> float:
+        if rank < 1:
+            raise ValueError("ranks are 1-based")
+        # Reaching rank r requires r−1 non-clicks *and* continuations.
+        return attractiveness * self.continuation ** (rank - 1)
+
+    def stops_after_click(self) -> bool:
+        return True
+
+
+def click_boosted_probabilities(
+    specializations: SpecializationSet,
+    sessions: Iterable[Session],
+    boost: float = 1.0,
+) -> SpecializationSet:
+    """Reweight P(q'|q) by click-through satisfaction.
+
+    For each mined specialization q', count the sessions whose final
+    query is q': ``satisfied`` (final query clicked) vs ``abandoned``.
+    The specialization's probability mass is multiplied by::
+
+        1 + boost · satisfaction_rate(q')
+
+    and renormalised.  Specializations never observed as session finals
+    keep their prior mass (rate 0).  ``boost = 0`` returns the input
+    distribution unchanged.
+
+    This is a deliberately simple instantiation of the paper's future
+    work: it only consumes data already in the log model (the C_i click
+    sets) and keeps Definition 1's contract (a proper distribution over
+    the same specializations).
+    """
+    if boost < 0:
+        raise ValueError("boost must be non-negative")
+    if not specializations or boost == 0.0:
+        return specializations
+    wanted = set(specializations.queries)
+    satisfied: dict[str, int] = {q: 0 for q in wanted}
+    total: dict[str, int] = {q: 0 for q in wanted}
+    for session in sessions:
+        final = session.final_query
+        if final in wanted:
+            total[final] += 1
+            if session.is_satisfactory:
+                satisfied[final] += 1
+    reweighted = {}
+    for spec, p in specializations:
+        rate = satisfied[spec] / total[spec] if total[spec] else 0.0
+        reweighted[spec] = p * (1.0 + boost * rate)
+    return SpecializationSet.from_frequencies(
+        specializations.query, reweighted
+    )

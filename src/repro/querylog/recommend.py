@@ -1,0 +1,193 @@
+"""Search-Shortcuts query recommender (Broccolo et al., 2010).
+
+Section 3.1 of the paper: "we experimented the use of a very efficient
+query recommendation algorithm [7] for computing the possible
+specializations of queries.  The algorithm used learns the suggestion
+model from the query log, and returns as related specializations, only
+queries that are present in Q".
+
+The Search-Shortcuts technique treats query recommendation as retrieval
+over the query log itself:
+
+1. take the **satisfactory logical sessions** (sessions whose final query
+   received a click — the reformulation chain "worked");
+2. for every distinct final query, build a **virtual document** whose text
+   is the concatenation of all queries of all satisfactory sessions ending
+   with it (so a final query is described by the reformulation vocabulary
+   that leads to it);
+3. index the virtual documents in an inverted index;
+4. at recommendation time, run the submitted query against that index and
+   return the final queries of the best-matching virtual documents.
+
+Our implementation reuses the library's own inverted index and TF-IDF
+weighting model — the recommender is literally a small search engine over
+the log, which is the point of the Search-Shortcuts design.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.querylog.sessions import Session
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.models import TFIDF, WeightingModel
+
+__all__ = ["SearchShortcutsRecommender"]
+
+
+class SearchShortcutsRecommender:
+    """Recommend follow-up queries by retrieval over satisfactory sessions.
+
+    Parameters
+    ----------
+    model:
+        Weighting model used to match queries against virtual documents
+        (TF-IDF by default, as in the Search-Shortcuts paper).
+    analyzer:
+        Query analysis pipeline.  Stopwords are *kept* by default: queries
+        are short and their function words carry intent.
+    min_sessions:
+        Final queries backed by fewer satisfactory sessions than this are
+        not indexed (noise suppression).
+
+    >>> from repro.querylog.records import QueryRecord
+    >>> sessions = [Session((QueryRecord(0.0, "u1", "apple"),
+    ...                      QueryRecord(5.0, "u1", "apple iphone",
+    ...                                  clicks=("d1",))))]
+    >>> rec = SearchShortcutsRecommender.train(sessions)
+    >>> rec.recommend("apple")
+    ['apple iphone']
+    """
+
+    def __init__(
+        self,
+        model: WeightingModel | None = None,
+        analyzer: Analyzer | None = None,
+        min_sessions: int = 1,
+    ) -> None:
+        if min_sessions < 1:
+            raise ValueError("min_sessions must be at least 1")
+        self.model = model or TFIDF()
+        self.analyzer = analyzer or Analyzer(stopwords=())
+        self.min_sessions = min_sessions
+        self._index: InvertedIndex | None = None
+        self._final_queries: list[str] = []
+        self._support: Counter[str] = Counter()
+
+    # -- training ---------------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        sessions: Iterable[Session],
+        model: WeightingModel | None = None,
+        analyzer: Analyzer | None = None,
+        min_sessions: int = 1,
+    ) -> "SearchShortcutsRecommender":
+        """Build the model from (logical) sessions."""
+        recommender = cls(model=model, analyzer=analyzer, min_sessions=min_sessions)
+        recommender.fit(sessions)
+        return recommender
+
+    def fit(self, sessions: Iterable[Session]) -> "SearchShortcutsRecommender":
+        """(Re)build the virtual-document index from *sessions*."""
+        texts: dict[str, list[str]] = {}
+        support: Counter[str] = Counter()
+        for session in sessions:
+            if not session.is_satisfactory:
+                continue
+            final = session.final_query
+            support[final] += 1
+            texts.setdefault(final, []).extend(session.queries)
+
+        self._support = support
+        self._final_queries = []
+        self._index = InvertedIndex(self.analyzer)
+        for ordinal, (final, queries) in enumerate(sorted(texts.items())):
+            if support[final] < self.min_sessions:
+                continue
+            del ordinal  # ordinals are assigned by the index itself
+            self._final_queries.append(final)
+            self._index.index_document(
+                Document(doc_id=final, text=" ".join(queries))
+            )
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return self._index is not None and self._index.num_documents > 0
+
+    @property
+    def num_shortcuts(self) -> int:
+        """Number of indexed virtual documents (distinct final queries)."""
+        return self._index.num_documents if self._index else 0
+
+    def support(self, final_query: str) -> int:
+        """Number of satisfactory sessions ending with *final_query*."""
+        return self._support.get(final_query, 0)
+
+    # -- recommendation -------------------------------------------------------------
+
+    def recommend(self, query: str, n: int = 10) -> list[str]:
+        """Top-*n* suggested queries for *query*, best first.
+
+        The submitted query itself is never suggested.  Returns queries
+        that occurred in the training log by construction (they are final
+        queries of logged sessions) — the property Algorithm 1 relies on
+        to look up their frequencies.
+        """
+        return [query for query, _ in self.recommend_scored(query, n)]
+
+    def recommend_scored(self, query: str, n: int = 10) -> list[tuple[str, float]]:
+        """Like :meth:`recommend` but with matching scores."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        index = self._index
+        if index is None or index.num_documents == 0:
+            return []
+        terms = self.analyzer.analyze(query)
+        if not terms:
+            return []
+        accumulators: dict[int, float] = {}
+        n_docs = index.num_documents
+        avg_dl = index.average_document_length
+        for term, qtf in Counter(terms).items():
+            postings = index.postings(term)
+            if postings is None:
+                continue
+            df = postings.document_frequency
+            cf = postings.collection_frequency
+            for ordinal, tf in zip(postings.ordinals, postings.tfs):
+                score = self.model.score(
+                    tf,
+                    index.document_length(ordinal),
+                    df,
+                    cf,
+                    n_docs,
+                    avg_dl,
+                    key_frequency=float(qtf),
+                )
+                accumulators[ordinal] = accumulators.get(ordinal, 0.0) + score
+        ranked = heapq.nsmallest(
+            n + 1, accumulators.items(), key=lambda item: (-item[1], item[0])
+        )
+        out: list[tuple[str, float]] = []
+        for ordinal, score in ranked:
+            suggestion = index.doc_id(ordinal)
+            if suggestion == query:
+                continue
+            out.append((suggestion, score))
+            if len(out) == n:
+                break
+        return out
+
+    def __call__(self, query: str) -> Sequence[str]:
+        """Make the recommender usable directly as Algorithm 1's ``A``."""
+        return self.recommend(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SearchShortcutsRecommender(shortcuts={self.num_shortcuts})"

@@ -1,0 +1,149 @@
+"""Query-log data model.
+
+Section 3.1 of the paper: "We assume that a query log Q is composed by a
+set of records ⟨qi, ui, ti, Vi, Ci⟩ storing, for each submitted query qi:
+(i) the anonymized user ui; (ii) the timestamp ti at which ui issued qi;
+(iii) the set Vi of URLs of documents returned as top-k results of the
+query, and, (iv), the set Ci of URLs corresponding to results clicked by
+ui."
+
+:class:`QueryRecord` is exactly that record; :class:`QueryLog` is an
+ordered multiset of records with the access paths the rest of the library
+needs: per-user chronological streams, the query-popularity function
+``f(q)`` of Algorithm 1, and the chronological train/test split used by
+the Figure 1 / Appendix C experiments (70% / 30%).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+
+@dataclass(frozen=True, order=True)
+class QueryRecord:
+    """One interaction: user ``user_id`` issued ``query`` at ``timestamp``.
+
+    ``results`` (the paper's ``Vi``) and ``clicks`` (``Ci``) hold document
+    identifiers; ``clicks`` should be a subset of ``results`` in real logs,
+    but this is not enforced because public logs (e.g. AOL) violate it.
+
+    Ordering is by ``(timestamp, user_id, query)`` so sorting a list of
+    records yields a stable chronological stream.
+    """
+
+    timestamp: float
+    user_id: str
+    query: str
+    results: tuple[str, ...] = field(default=(), compare=False)
+    clicks: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.query:
+            raise ValueError("QueryRecord requires a non-empty query")
+        if not self.user_id:
+            raise ValueError("QueryRecord requires a non-empty user_id")
+
+    @property
+    def clicked(self) -> bool:
+        """True when the user clicked at least one result."""
+        return bool(self.clicks)
+
+
+class QueryLog:
+    """A chronologically sorted query log with per-user access.
+
+    >>> log = QueryLog([
+    ...     QueryRecord(10.0, "u1", "apple"),
+    ...     QueryRecord(20.0, "u1", "apple iphone", clicks=("d1",)),
+    ... ])
+    >>> log.frequency("apple"), log.num_users
+    (1, 1)
+    """
+
+    def __init__(self, records: Iterable[QueryRecord] = (), name: str = "") -> None:
+        self.name = name
+        self._records: list[QueryRecord] = sorted(records)
+        self._frequencies: Counter[str] = Counter(r.query for r in self._records)
+        self._by_user: dict[str, list[QueryRecord]] = {}
+        for record in self._records:
+            self._by_user.setdefault(record.user_id, []).append(record)
+
+    # -- container protocol -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, i: int) -> QueryRecord:
+        return self._records[i]
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def num_users(self) -> int:
+        return len(self._by_user)
+
+    @property
+    def distinct_queries(self) -> int:
+        return len(self._frequencies)
+
+    def frequency(self, query: str) -> int:
+        """The popularity function ``f(q)`` of Algorithm 1."""
+        return self._frequencies.get(query, 0)
+
+    def frequencies(self) -> Counter[str]:
+        """A copy of the full query-frequency table."""
+        return Counter(self._frequencies)
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        if not self._records:
+            return (0.0, 0.0)
+        return (self._records[0].timestamp, self._records[-1].timestamp)
+
+    # -- access paths ---------------------------------------------------------------
+
+    @property
+    def users(self) -> list[str]:
+        return sorted(self._by_user)
+
+    def user_stream(self, user_id: str) -> list[QueryRecord]:
+        """Chronological records of one user (empty if unknown)."""
+        return list(self._by_user.get(user_id, ()))
+
+    def contains_query(self, query: str) -> bool:
+        return query in self._frequencies
+
+    # -- manipulation ---------------------------------------------------------------
+
+    def split(self, train_fraction: float = 0.7) -> tuple["QueryLog", "QueryLog"]:
+        """Chronological train/test split (Appendix C uses 70/30).
+
+        The split is by position in the time-sorted stream, matching the
+        paper's "first ~70% of the queries used for training".
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must lie strictly between 0 and 1")
+        cut = int(len(self._records) * train_fraction)
+        return (
+            QueryLog(self._records[:cut], name=f"{self.name}-train"),
+            QueryLog(self._records[cut:], name=f"{self.name}-test"),
+        )
+
+    def merged_with(self, other: "QueryLog") -> "QueryLog":
+        return QueryLog(
+            list(self._records) + list(other._records),
+            name=self.name or other.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryLog(name={self.name!r}, records={len(self)}, "
+            f"users={self.num_users}, distinct={self.distinct_queries})"
+        )

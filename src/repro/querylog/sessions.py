@@ -1,0 +1,135 @@
+"""Sessionization: from raw per-user query streams to sessions.
+
+The paper splits "the chronologically ordered sequence of queries
+submitted by a given user into sessions" and then refines the split with
+the Query-Flow-Graph technique (Section 3, citing Boldi et al.).  This
+module provides the first stage — classic time-gap segmentation — and the
+:class:`Session` type shared with :mod:`repro.querylog.flowgraph`, which
+implements the second stage.
+
+A session is *satisfactory* when its final query received clicks; the
+Search-Shortcuts recommender trains on satisfactory sessions only (a
+clicked final query is evidence the reformulation chain succeeded).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.querylog.records import QueryLog, QueryRecord
+
+__all__ = ["Session", "split_by_time_gap", "DEFAULT_SESSION_TIMEOUT"]
+
+#: The conventional 30-minute inactivity timeout used by most query-log
+#: studies (and by the Boldi et al. QFG paper as the raw segmentation).
+DEFAULT_SESSION_TIMEOUT = 30.0 * 60.0
+
+
+@dataclass(frozen=True)
+class Session:
+    """A chronological run of queries by one user.
+
+    >>> s = Session((QueryRecord(0.0, "u", "apple"),
+    ...              QueryRecord(9.0, "u", "apple iphone", clicks=("d1",))))
+    >>> s.queries, s.is_satisfactory
+    (('apple', 'apple iphone'), True)
+    """
+
+    records: tuple[QueryRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a session holds at least one record")
+        user_ids = {r.user_id for r in self.records}
+        if len(user_ids) != 1:
+            raise ValueError("a session belongs to exactly one user")
+        timestamps = [r.timestamp for r in self.records]
+        if timestamps != sorted(timestamps):
+            raise ValueError("session records must be chronological")
+
+    @property
+    def user_id(self) -> str:
+        return self.records[0].user_id
+
+    @property
+    def queries(self) -> tuple[str, ...]:
+        return tuple(r.query for r in self.records)
+
+    @property
+    def start(self) -> float:
+        return self.records[0].timestamp
+
+    @property
+    def end(self) -> float:
+        return self.records[-1].timestamp
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def final_query(self) -> str:
+        return self.records[-1].query
+
+    @property
+    def is_satisfactory(self) -> bool:
+        """True when the final query received at least one click."""
+        return self.records[-1].clicked
+
+    def pairs(self) -> Iterator[tuple[QueryRecord, QueryRecord]]:
+        """Consecutive (q, q') reformulation pairs within the session."""
+        for a, b in zip(self.records, self.records[1:]):
+            yield a, b
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.records)
+
+
+def split_by_time_gap(
+    log: QueryLog | Iterable[QueryRecord],
+    timeout: float = DEFAULT_SESSION_TIMEOUT,
+) -> list[Session]:
+    """Split every user's stream on inactivity gaps longer than *timeout*.
+
+    Records are grouped per user first, then cut whenever two consecutive
+    queries are more than *timeout* seconds apart.  Consecutive duplicate
+    submissions of the same query (page requeries) are collapsed into the
+    first occurrence, keeping the later record's clicks if the earlier one
+    had none.
+
+    >>> log = QueryLog([QueryRecord(0.0, "u", "a"),
+    ...                 QueryRecord(10_000.0, "u", "b")])
+    >>> [s.queries for s in split_by_time_gap(log)]
+    [('a',), ('b',)]
+    """
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
+    if isinstance(log, QueryLog):
+        streams: Iterable[Sequence[QueryRecord]] = (
+            log.user_stream(u) for u in log.users
+        )
+    else:
+        by_user: dict[str, list[QueryRecord]] = {}
+        for record in sorted(log):
+            by_user.setdefault(record.user_id, []).append(record)
+        streams = (by_user[u] for u in sorted(by_user))
+
+    sessions: list[Session] = []
+    for stream in streams:
+        current: list[QueryRecord] = []
+        for record in stream:
+            if current and record.timestamp - current[-1].timestamp > timeout:
+                sessions.append(Session(tuple(current)))
+                current = []
+            if current and record.query == current[-1].query:
+                if record.clicked and not current[-1].clicked:
+                    current[-1] = record
+                continue
+            current.append(record)
+        if current:
+            sessions.append(Session(tuple(current)))
+    return sessions

@@ -1,0 +1,148 @@
+"""Specialization mining: the full pipeline from raw log to ``S_q``.
+
+This module glues the query-log substrate together into the object the
+diversification framework consumes:
+
+    raw log → time-gap sessions → Query-Flow-Graph logical sessions →
+    Search-Shortcuts recommender → Algorithm 1 → SpecializationSet
+
+:class:`SpecializationMiner` owns every stage.  Besides the recommender
+candidates, mining enforces the *specialization* relation itself (the
+candidate must state the query's need more precisely — Section 3's
+definition via Boldi et al.'s taxonomy), which the generic Algorithm 1
+delegates to its recommender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ambiguity import SpecializationSet, ambiguous_query_detect
+from repro.querylog.flowgraph import QueryFlowGraph, is_specialization
+from repro.querylog.records import QueryLog
+from repro.querylog.recommend import SearchShortcutsRecommender
+from repro.querylog.sessions import DEFAULT_SESSION_TIMEOUT, Session, split_by_time_gap
+
+__all__ = ["MinerConfig", "SpecializationMiner"]
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Parameters of the mining pipeline.
+
+    ``s`` is Algorithm 1's popularity-ratio parameter; ``chain_threshold``
+    is the Query-Flow-Graph chaining-probability cut; ``candidates`` is how
+    many recommendations to request per query.
+
+    The default ``s = 10`` admits specializations down to a tenth of the
+    root query's popularity: with Zipf-distributed aspect popularity the
+    head aspect can absorb most refinements, and a stricter ratio (e.g.
+    s = 2) would often leave a single surviving candidate, which
+    Algorithm 1 treats as "not ambiguous".
+    """
+
+    s: float = 10.0
+    chain_threshold: float = 0.5
+    session_timeout: float = DEFAULT_SESSION_TIMEOUT
+    candidates: int = 20
+    max_specializations: int | None = None
+    require_specialization_relation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.s <= 0:
+            raise ValueError("s must be positive")
+        if not 0.0 <= self.chain_threshold <= 1.0:
+            raise ValueError("chain_threshold must lie in [0, 1]")
+        if self.candidates < 2:
+            raise ValueError("candidates must be at least 2")
+
+
+@dataclass
+class SpecializationMiner:
+    """End-to-end specialization mining over one query log.
+
+    >>> # doctest-level smoke test lives in tests/test_specializations.py
+    """
+
+    log: QueryLog
+    config: MinerConfig = field(default_factory=MinerConfig)
+    _flow_graph: QueryFlowGraph | None = field(default=None, repr=False)
+    _recommender: SearchShortcutsRecommender | None = field(default=None, repr=False)
+    _logical_sessions: list[Session] | None = field(default=None, repr=False)
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def build(self) -> "SpecializationMiner":
+        """Run sessionization, QFG segmentation and recommender training."""
+        raw_sessions = split_by_time_gap(self.log, self.config.session_timeout)
+        self._flow_graph = QueryFlowGraph.build(raw_sessions)
+        self._logical_sessions = self._flow_graph.logical_sessions(
+            raw_sessions, self.config.chain_threshold
+        )
+        self._recommender = SearchShortcutsRecommender.train(self._logical_sessions)
+        return self
+
+    @property
+    def flow_graph(self) -> QueryFlowGraph:
+        if self._flow_graph is None:
+            self.build()
+        assert self._flow_graph is not None
+        return self._flow_graph
+
+    @property
+    def recommender(self) -> SearchShortcutsRecommender:
+        if self._recommender is None:
+            self.build()
+        assert self._recommender is not None
+        return self._recommender
+
+    @property
+    def logical_sessions(self) -> list[Session]:
+        if self._logical_sessions is None:
+            self.build()
+        assert self._logical_sessions is not None
+        return self._logical_sessions
+
+    # -- mining -------------------------------------------------------------------
+
+    def _candidates(self, query: str) -> list[str]:
+        """Recommender candidates, optionally restricted to true
+        specializations of the query."""
+        suggestions = self.recommender.recommend(query, n=self.config.candidates)
+        if not self.config.require_specialization_relation:
+            return suggestions
+        return [q for q in suggestions if is_specialization(query, q)]
+
+    def mine(self, query: str) -> SpecializationSet:
+        """Algorithm 1 + Definition 1 for one query.
+
+        Returns an empty set when the query is not ambiguous (fewer than
+        two sufficiently popular specializations).
+        """
+        result = ambiguous_query_detect(
+            query,
+            recommend=self._candidates,
+            frequency=self.log.frequency,
+            s=self.config.s,
+        )
+        if result and self.config.max_specializations is not None:
+            result = result.top(self.config.max_specializations)
+        return result
+
+    def is_ambiguous(self, query: str) -> bool:
+        return bool(self.mine(query))
+
+    def mine_all(self, min_frequency: int = 1) -> dict[str, SpecializationSet]:
+        """Mine every distinct log query with frequency >= *min_frequency*.
+
+        This materialises the paper's ambiguous-query side structure
+        (Section 4.1 discusses its memory footprint).
+        """
+        out: dict[str, SpecializationSet] = {}
+        for query, f in self.log.frequencies().items():
+            if f < min_frequency:
+                continue
+            mined = self.mine(query)
+            if mined:
+                out[query] = mined
+        return out

@@ -1,0 +1,50 @@
+"""Retrieval substrate: the paper's Terrier-equivalent search engine.
+
+Provides text analysis (tokenizer, stopwords, Porter stemmer), an inverted
+index, DFR/BM25 weighting models, query-biased snippet extraction, cosine
+similarity, and the :class:`SearchEngine` facade producing the ranked
+result lists ``R_q`` that the diversification algorithms re-rank.
+"""
+
+from repro.retrieval.analysis import ENGLISH_STOPWORDS, Analyzer, PorterStemmer, tokenize
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.engine import ResultList, SearchEngine, SearchResult
+from repro.retrieval.index import InvertedIndex, Posting, PostingList
+from repro.retrieval.models import BM25, DPH, TFIDF, WeightingModel, get_model
+from repro.retrieval.persistence import (
+    dump_collection,
+    dump_query_log,
+    load_collection,
+    load_query_log,
+)
+from repro.retrieval.similarity import TermVector, cosine, delta
+from repro.retrieval.snippets import Snippet, SnippetExtractor
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "Analyzer",
+    "PorterStemmer",
+    "tokenize",
+    "Document",
+    "DocumentCollection",
+    "ResultList",
+    "SearchEngine",
+    "SearchResult",
+    "InvertedIndex",
+    "Posting",
+    "PostingList",
+    "BM25",
+    "DPH",
+    "TFIDF",
+    "WeightingModel",
+    "get_model",
+    "dump_collection",
+    "dump_query_log",
+    "load_collection",
+    "load_query_log",
+    "TermVector",
+    "cosine",
+    "delta",
+    "Snippet",
+    "SnippetExtractor",
+]

@@ -1,0 +1,210 @@
+"""Search-engine facade: ranked retrieval plus document surrogates.
+
+This is the substrate the paper obtains from (a modified) Terrier in
+Section 5: given a query it returns the ranked list ``R_q`` scored with a
+weighting model (DPH by default), and can produce query-biased snippets of
+the retrieved documents, which the diversification framework uses as
+document surrogates for the utility computation.
+
+The ranked-list data model (:class:`SearchResult` / :class:`ResultList`)
+is shared with the diversification core: ``rank`` is 1-based, as in the
+paper's ``rank(d', R_q')`` of Equation (1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.models import DPH, WeightingModel
+from repro.retrieval.similarity import TermVector
+from repro.retrieval.snippets import Snippet, SnippetExtractor
+
+__all__ = ["SearchResult", "ResultList", "SearchEngine"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked retrieval result (rank is 1-based)."""
+
+    doc_id: str
+    score: float
+    rank: int
+
+
+class ResultList:
+    """An ordered result list ``R_q`` for a query.
+
+    >>> rl = ResultList("apple", [("d1", 2.0), ("d2", 1.5)])
+    >>> rl[0].doc_id, rl[0].rank
+    ('d1', 1)
+    >>> rl.rank_of("d2")
+    2
+    """
+
+    def __init__(self, query: str, scored: Iterable[tuple[str, float]]) -> None:
+        self.query = query
+        self.results: list[SearchResult] = [
+            SearchResult(doc_id=doc_id, score=score, rank=i + 1)
+            for i, (doc_id, score) in enumerate(scored)
+        ]
+        self._rank_by_id = {r.doc_id: r.rank for r in self.results}
+        if len(self._rank_by_id) != len(self.results):
+            raise ValueError("result list contains duplicate doc_ids")
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> SearchResult:
+        return self.results[i]
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._rank_by_id
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return [r.doc_id for r in self.results]
+
+    @property
+    def scores(self) -> list[float]:
+        return [r.score for r in self.results]
+
+    def rank_of(self, doc_id: str) -> int:
+        """1-based rank of *doc_id*; raises ``KeyError`` if absent."""
+        return self._rank_by_id[doc_id]
+
+    def score_of(self, doc_id: str, default: float = 0.0) -> float:
+        rank = self._rank_by_id.get(doc_id)
+        if rank is None:
+            return default
+        return self.results[rank - 1].score
+
+    def truncate(self, k: int) -> "ResultList":
+        """A new list holding only the top *k* results."""
+        return ResultList(
+            self.query, [(r.doc_id, r.score) for r in self.results[:k]]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultList(query={self.query!r}, n={len(self)})"
+
+
+class SearchEngine:
+    """Index a collection once, then serve ranked queries and snippets.
+
+    Parameters
+    ----------
+    collection:
+        The documents to index.
+    model:
+        Weighting model; DPH (the paper's choice) by default.
+    analyzer:
+        Shared analysis pipeline (stemming + stopwords by default).
+
+    >>> coll = DocumentCollection([
+    ...     Document("d1", "apple iphone store prices"),
+    ...     Document("d2", "apple fruit orchard harvest"),
+    ... ])
+    >>> engine = SearchEngine(coll)
+    >>> engine.search("apple orchard").doc_ids[0]
+    'd2'
+    """
+
+    def __init__(
+        self,
+        collection: DocumentCollection,
+        model: WeightingModel | None = None,
+        analyzer: Analyzer | None = None,
+        snippet_extractor: SnippetExtractor | None = None,
+    ) -> None:
+        self.collection = collection
+        self.analyzer = analyzer or Analyzer()
+        self.model = model or DPH()
+        self.index = InvertedIndex.from_collection(collection, self.analyzer)
+        self.snippets = snippet_extractor or SnippetExtractor(analyzer=self.analyzer)
+
+    # -- retrieval -------------------------------------------------------------
+
+    def search(self, query: str, k: int = 1000) -> ResultList:
+        """Rank the top-*k* documents for *query* with the weighting model.
+
+        Scoring is term-at-a-time with an accumulator map, then a heap
+        selects the top-k — the standard document-at-a-time-free layout
+        for in-memory indexes.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        terms = self.analyzer.analyze(query)
+        if not terms:
+            return ResultList(query, [])
+        weights: dict[str, int] = {}
+        for term in terms:
+            weights[term] = weights.get(term, 0) + 1
+
+        accumulators: dict[int, float] = {}
+        index = self.index
+        n_docs = index.num_documents
+        avg_dl = index.average_document_length
+        for term, qtf in weights.items():
+            postings = index.postings(term)
+            if postings is None:
+                continue
+            df = postings.document_frequency
+            cf = postings.collection_frequency
+            for ordinal, tf in zip(postings.ordinals, postings.tfs):
+                contribution = self.model.score(
+                    tf,
+                    index.document_length(ordinal),
+                    df,
+                    cf,
+                    n_docs,
+                    avg_dl,
+                    key_frequency=float(qtf),
+                )
+                if ordinal in accumulators:
+                    accumulators[ordinal] += contribution
+                else:
+                    accumulators[ordinal] = contribution
+
+        # Deterministic top-k: score desc, ordinal asc for ties.
+        top = heapq.nsmallest(
+            k, accumulators.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ResultList(
+            query, [(index.doc_id(ordinal), score) for ordinal, score in top]
+        )
+
+    # -- surrogates -------------------------------------------------------------
+
+    def snippet(self, query: str, doc_id: str) -> Snippet:
+        """Query-biased surrogate for one retrieved document."""
+        document = self.collection[doc_id]
+        return self.snippets.extract(query, doc_id, document.text, document.title)
+
+    def snippet_vectors(
+        self, query: str, results: ResultList
+    ) -> dict[str, TermVector]:
+        """Term vectors of the surrogates of every result in *results*.
+
+        These vectors feed the cosine of Equation (2); the paper computes
+        the utility on snippets rather than whole documents (Section 5).
+        """
+        return {
+            r.doc_id: TermVector.from_terms(
+                self.analyzer.analyze(self.snippet(query, r.doc_id).text)
+            )
+            for r in results
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SearchEngine(docs={self.index.num_documents}, "
+            f"model={self.model.name})"
+        )

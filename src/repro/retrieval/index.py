@@ -1,0 +1,172 @@
+"""Inverted index over a :class:`~repro.retrieval.documents.DocumentCollection`.
+
+This is the indexing half of the Terrier substitute used by the paper's
+evaluation (Section 5).  It supports:
+
+* term-at-a-time scoring with any :class:`~repro.retrieval.models.WeightingModel`,
+* collection statistics needed by DFR models (collection frequency,
+  document frequency, average document length),
+* incremental construction (used by the Search-Shortcuts recommender,
+  which indexes query-log "virtual documents").
+
+The index stores postings as parallel lists per term, which keeps the pure
+Python implementation compact and fast enough for collections of a few
+hundred thousand documents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document, DocumentCollection
+
+__all__ = ["Posting", "PostingList", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """A single (document, term-frequency) pair."""
+
+    ordinal: int
+    tf: int
+
+
+class PostingList:
+    """Postings of one term, stored as parallel arrays sorted by ordinal."""
+
+    __slots__ = ("ordinals", "tfs", "collection_frequency")
+
+    def __init__(self) -> None:
+        self.ordinals: list[int] = []
+        self.tfs: list[int] = []
+        self.collection_frequency = 0
+
+    def append(self, ordinal: int, tf: int) -> None:
+        if self.ordinals and ordinal <= self.ordinals[-1]:
+            raise ValueError("postings must be appended in ordinal order")
+        self.ordinals.append(ordinal)
+        self.tfs.append(tf)
+        self.collection_frequency += tf
+
+    @property
+    def document_frequency(self) -> int:
+        return len(self.ordinals)
+
+    def __iter__(self):
+        return (Posting(o, t) for o, t in zip(self.ordinals, self.tfs))
+
+    def __len__(self) -> int:
+        return len(self.ordinals)
+
+
+class InvertedIndex:
+    """A term → postings map with collection statistics.
+
+    Parameters
+    ----------
+    analyzer:
+        Pipeline used for both documents and queries, so that query terms
+        and index terms live in the same stemmed space.
+
+    >>> index = InvertedIndex()
+    >>> index.index_document(Document("d1", "apple iphone store"))
+    >>> index.index_document(Document("d2", "apple fruit orchard"))
+    >>> index.document_frequency("appl")
+    2
+    """
+
+    def __init__(self, analyzer: Analyzer | None = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: list[int] = []
+        self._doc_ids: list[str] = []
+        self._ordinal_by_id: dict[str, int] = {}
+        self._total_tokens = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def index_document(self, document: Document) -> int:
+        """Analyse and add *document*; returns its ordinal."""
+        if document.doc_id in self._ordinal_by_id:
+            raise ValueError(f"doc_id already indexed: {document.doc_id!r}")
+        terms = self.analyzer.analyze(document.full_text)
+        ordinal = len(self._doc_ids)
+        self._doc_ids.append(document.doc_id)
+        self._ordinal_by_id[document.doc_id] = ordinal
+        self._doc_lengths.append(len(terms))
+        self._total_tokens += len(terms)
+        for term, tf in Counter(terms).items():
+            postings = self._postings.get(term)
+            if postings is None:
+                postings = self._postings[term] = PostingList()
+            postings.append(ordinal, tf)
+        return ordinal
+
+    def index_collection(self, collection: DocumentCollection) -> None:
+        for document in collection:
+            self.index_document(document)
+
+    @classmethod
+    def from_collection(
+        cls, collection: DocumentCollection, analyzer: Analyzer | None = None
+    ) -> "InvertedIndex":
+        index = cls(analyzer)
+        index.index_collection(collection)
+        return index
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_ids)
+
+    @property
+    def num_terms(self) -> int:
+        """Vocabulary size (number of distinct indexed terms)."""
+        return len(self._postings)
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total_tokens
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._doc_ids:
+            return 0.0
+        return self._total_tokens / len(self._doc_ids)
+
+    def document_length(self, ordinal: int) -> int:
+        return self._doc_lengths[ordinal]
+
+    def doc_id(self, ordinal: int) -> str:
+        return self._doc_ids[ordinal]
+
+    def ordinal(self, doc_id: str) -> int:
+        return self._ordinal_by_id[doc_id]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def postings(self, term: str) -> PostingList | None:
+        """Posting list for an *analysed* term, or ``None`` if absent."""
+        return self._postings.get(term)
+
+    def document_frequency(self, term: str) -> int:
+        postings = self._postings.get(term)
+        return postings.document_frequency if postings else 0
+
+    def collection_frequency(self, term: str) -> int:
+        postings = self._postings.get(term)
+        return postings.collection_frequency if postings else 0
+
+    def vocabulary(self) -> Iterable[str]:
+        return self._postings.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvertedIndex(docs={self.num_documents}, "
+            f"terms={self.num_terms}, tokens={self._total_tokens})"
+        )

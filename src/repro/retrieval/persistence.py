@@ -1,0 +1,121 @@
+"""Persistence: save/load collections and query logs as JSON lines.
+
+The synthetic corpus and logs are cheap to regenerate, but experiments
+that must be byte-stable across machines (or that plug in real data
+prepared elsewhere) want them on disk.  JSON-lines keeps files
+greppable, diffable and append-friendly — one document or record per
+line, UTF-8.
+
+The TREC artefacts (topics, qrels, runs) already have their official
+text formats in :mod:`repro.corpus.trec`; this module covers the two
+remaining data types.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.querylog.records import QueryLog, QueryRecord
+from repro.retrieval.documents import Document, DocumentCollection
+
+__all__ = [
+    "dump_collection",
+    "load_collection",
+    "dump_query_log",
+    "load_query_log",
+]
+
+
+def _write_lines(path: str | Path, lines: Iterable[str]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+
+
+def _read_lines(path: str | Path) -> Iterator[str]:
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield line
+
+
+def dump_collection(collection: DocumentCollection, path: str | Path) -> None:
+    """Write *collection* as JSON lines (one document per line)."""
+    _write_lines(
+        path,
+        (
+            json.dumps(
+                {
+                    "doc_id": doc.doc_id,
+                    "title": doc.title,
+                    "text": doc.text,
+                    "metadata": doc.metadata,
+                },
+                ensure_ascii=False,
+            )
+            for doc in collection
+        ),
+    )
+
+
+def load_collection(path: str | Path) -> DocumentCollection:
+    """Read a collection written by :func:`dump_collection`."""
+    collection = DocumentCollection()
+    for line_no, line in enumerate(_read_lines(path), start=1):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: invalid JSON") from exc
+        collection.add(
+            Document(
+                doc_id=raw["doc_id"],
+                text=raw.get("text", ""),
+                title=raw.get("title", ""),
+                metadata=raw.get("metadata", {}),
+            )
+        )
+    return collection
+
+
+def dump_query_log(log: QueryLog, path: str | Path) -> None:
+    """Write *log* as JSON lines (one ⟨q, u, t, V, C⟩ record per line)."""
+    _write_lines(
+        path,
+        (
+            json.dumps(
+                {
+                    "t": record.timestamp,
+                    "u": record.user_id,
+                    "q": record.query,
+                    "V": list(record.results),
+                    "C": list(record.clicks),
+                },
+                ensure_ascii=False,
+            )
+            for record in log
+        ),
+    )
+
+
+def load_query_log(path: str | Path, name: str = "") -> QueryLog:
+    """Read a log written by :func:`dump_query_log`."""
+    records = []
+    for line_no, line in enumerate(_read_lines(path), start=1):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: invalid JSON") from exc
+        records.append(
+            QueryRecord(
+                timestamp=float(raw["t"]),
+                user_id=raw["u"],
+                query=raw["q"],
+                results=tuple(raw.get("V", ())),
+                clicks=tuple(raw.get("C", ())),
+            )
+        )
+    return QueryLog(records, name=name)

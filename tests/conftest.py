@@ -1,0 +1,86 @@
+"""Shared fixtures: a small deterministic corpus/engine/log stack.
+
+Session-scoped so the expensive builds (corpus generation, indexing,
+query-log synthesis, miner training) happen once for the whole suite.
+Tests must treat these as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.core.optselect import OptSelect
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.corpus.trec import build_testbed
+from repro.querylog.specializations import SpecializationMiner
+from repro.querylog.synthesis import AOL_PROFILE, generate_query_log
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.engine import SearchEngine
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return generate_corpus(
+        CorpusConfig(
+            num_topics=6,
+            docs_per_aspect=8,
+            background_docs=80,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_testbed(small_corpus):
+    return build_testbed(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_corpus):
+    return SearchEngine(small_corpus.collection)
+
+
+@pytest.fixture(scope="session")
+def small_log(small_corpus):
+    return generate_query_log(small_corpus, AOL_PROFILE.scaled(0.08))
+
+
+@pytest.fixture(scope="session")
+def small_miner(small_log):
+    return SpecializationMiner(small_log).build()
+
+
+@pytest.fixture(scope="session")
+def small_framework(small_engine, small_miner):
+    return DiversificationFramework(
+        small_engine,
+        small_miner,
+        OptSelect(),
+        FrameworkConfig(k=10, candidates=80, spec_results=10),
+    )
+
+
+@pytest.fixture(scope="session")
+def ambiguous_topic(small_corpus, small_miner):
+    """A corpus topic whose root query the miner actually detects."""
+    for topic in small_corpus.topics:
+        if small_miner.is_ambiguous(topic.query):
+            return topic
+    pytest.skip("no detectable ambiguous topic in the small fixture log")
+
+
+@pytest.fixture()
+def tiny_collection():
+    """A handful of hand-written documents for retrieval unit tests."""
+    return DocumentCollection(
+        [
+            Document("apple-pc", "apple computer iphone store macbook laptop",
+                     title="Apple Inc"),
+            Document("apple-fruit", "apple fruit orchard harvest cider tree",
+                     title="Apple fruit"),
+            Document("apple-both", "apple computer and apple fruit together"),
+            Document("banana", "banana fruit tropical yellow"),
+            Document("empty-ish", "the of and to"),
+        ]
+    )

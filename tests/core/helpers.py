@@ -1,0 +1,53 @@
+"""Hand-built diversification tasks for algorithm unit tests.
+
+The canonical fixture models the paper's running example: an ambiguous
+query with a dominant and a minority interpretation, where the baseline
+ranking is biased toward the dominant one.
+"""
+
+from __future__ import annotations
+
+from repro.core.ambiguity import SpecializationSet
+from repro.core.task import DiversificationTask
+from repro.core.utility import UtilityMatrix
+from repro.retrieval.engine import ResultList
+
+
+def build_task(
+    utilities: dict[str, dict[str, float]],
+    probabilities: dict[str, float],
+    scores: list[tuple[str, float]],
+    lambda_: float = 0.15,
+    relevance_method: str = "sum",
+) -> DiversificationTask:
+    """Assemble a task from explicit utilities / probabilities / scores."""
+    candidates = ResultList("q", scores)
+    specializations = SpecializationSet.from_frequencies("q", probabilities)
+    matrix = UtilityMatrix(utilities, candidates.doc_ids)
+    return DiversificationTask.create(
+        query="q",
+        candidates=candidates,
+        specializations=specializations,
+        utilities=matrix,
+        lambda_=lambda_,
+        relevance_method=relevance_method,
+    )
+
+
+def two_intent_task(lambda_: float = 0.5) -> DiversificationTask:
+    """Dominant intent A (p=0.75) vs minority intent B (p=0.25).
+
+    Candidates a1..a4 serve A, b1..b2 serve B, junk1..junk2 serve nobody.
+    The baseline score ranks all A docs above all B docs above junk.
+    """
+    scores = [
+        ("a1", 10.0), ("a2", 9.0), ("a3", 8.0), ("a4", 7.0),
+        ("b1", 6.0), ("b2", 5.0),
+        ("junk1", 4.0), ("junk2", 3.0),
+    ]
+    utilities = {
+        "q A": {"a1": 0.9, "a2": 0.8, "a3": 0.7, "a4": 0.6},
+        "q B": {"b1": 0.9, "b2": 0.8},
+    }
+    probabilities = {"q A": 3.0, "q B": 1.0}
+    return build_task(utilities, probabilities, scores, lambda_=lambda_)

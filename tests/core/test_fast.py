@@ -1,0 +1,84 @@
+"""Equivalence tests: vectorised variants vs reference implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fast import FastIASelect, FastXQuAD
+from repro.core.iaselect import IASelect
+from repro.core.xquad import XQuAD
+from repro.experiments.workloads import synthetic_task
+
+from .helpers import two_intent_task
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_fast_xquad_matches_reference(self, seed, k):
+        task = synthetic_task(80, num_specs=5, seed=seed)
+        assert FastXQuAD().diversify(task, k) == XQuAD().diversify(task, k)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_fast_iaselect_matches_reference(self, seed, k):
+        task = synthetic_task(80, num_specs=5, seed=seed)
+        assert FastIASelect().diversify(task, k) == IASelect().diversify(
+            task, k
+        )
+
+    def test_hand_built_task(self):
+        task = two_intent_task()
+        for k in (2, 4, 8):
+            assert FastXQuAD().diversify(task, k) == XQuAD().diversify(task, k)
+            assert FastIASelect().diversify(task, k) == IASelect().diversify(
+                task, k
+            )
+
+    def test_thresholded_task(self):
+        task = synthetic_task(60, num_specs=4, seed=9).with_threshold(0.5)
+        assert FastXQuAD().diversify(task, 10) == XQuAD().diversify(task, 10)
+        assert FastIASelect().diversify(task, 10) == IASelect().diversify(
+            task, 10
+        )
+
+    def test_lambda_extremes(self):
+        base = synthetic_task(50, num_specs=3, seed=11)
+        for lam in (0.0, 1.0):
+            task = base.with_lambda(lam)
+            assert FastXQuAD().diversify(task, 8) == XQuAD().diversify(task, 8)
+
+
+class TestFastBehaviour:
+    def test_k_capped(self):
+        task = synthetic_task(10, num_specs=2, seed=1)
+        assert len(FastXQuAD().diversify(task, 50)) == 10
+
+    def test_invalid_k(self):
+        task = synthetic_task(10, num_specs=2, seed=1)
+        with pytest.raises(ValueError):
+            FastIASelect().diversify(task, 0)
+
+    def test_many_specializations_capped_at_k(self):
+        task = synthetic_task(30, num_specs=8, seed=2)
+        selected = FastXQuAD().diversify(task, 3)
+        assert len(selected) == 3
+
+    def test_stats_populated(self):
+        task = synthetic_task(40, num_specs=3, seed=3)
+        algo = FastXQuAD()
+        algo.diversify(task, 5)
+        assert algo.last_stats.selected == 5
+        assert algo.last_stats.operations > 0
+
+    def test_fast_is_actually_faster_at_scale(self):
+        import time
+
+        task = synthetic_task(3000, num_specs=8, seed=4)
+        start = time.perf_counter()
+        XQuAD().diversify(task, 50)
+        slow = time.perf_counter() - start
+        start = time.perf_counter()
+        FastXQuAD().diversify(task, 50)
+        fast = time.perf_counter() - start
+        assert fast < slow

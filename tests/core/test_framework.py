@@ -1,0 +1,137 @@
+"""Tests for the end-to-end diversification framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ambiguity import SpecializationSet
+from repro.core.framework import (
+    DiversificationFramework,
+    FrameworkConfig,
+    get_diversifier,
+)
+from repro.core.iaselect import IASelect
+from repro.core.mmr import MMR
+from repro.core.optselect import OptSelect
+from repro.core.xquad import XQuAD
+
+
+class TestGetDiversifier:
+    def test_registry(self):
+        assert isinstance(get_diversifier("optselect"), OptSelect)
+        assert isinstance(get_diversifier("XQUAD"), XQuAD)
+        assert isinstance(get_diversifier("IASelect"), IASelect)
+        assert isinstance(get_diversifier("mmr"), MMR)
+
+    def test_kwargs_forwarded(self):
+        algo = get_diversifier("optselect", strict_paper_pseudocode=True)
+        assert algo.strict_paper_pseudocode
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown diversifier"):
+            get_diversifier("pagerank")
+
+
+class TestFrameworkConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k=0),
+            dict(candidates=0),
+            dict(spec_results=-1),
+            dict(lambda_=2.0),
+            dict(threshold=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FrameworkConfig(**kwargs)
+
+
+class TestPipeline:
+    def test_ambiguous_query_is_diversified(
+        self, small_framework, ambiguous_topic
+    ):
+        result = small_framework.diversify_query(ambiguous_topic.query)
+        assert result.diversified
+        assert result.algorithm == "OptSelect"
+        assert len(result.ranking) == small_framework.config.k
+        assert result.task is not None
+        assert len(result.specializations) >= 2
+
+    def test_unambiguous_query_returns_baseline(self, small_framework):
+        result = small_framework.diversify_query("zzz unknown query")
+        assert not result.diversified
+        assert result.ranking == []
+
+    def test_rankings_drawn_from_baseline_candidates(
+        self, small_framework, ambiguous_topic
+    ):
+        result = small_framework.diversify_query(ambiguous_topic.query)
+        assert set(result.ranking) <= set(result.baseline.doc_ids)
+
+    def test_detection_via_detector_protocol(self, small_engine):
+        class FakeDetector:
+            def detect(self, query):
+                return SpecializationSet(query=query, items=())
+
+        framework = DiversificationFramework(small_engine, FakeDetector())
+        result = framework.diversify_query("whatever")
+        assert not result.diversified
+
+    def test_spec_list_cache_reused(self, small_engine, small_miner, ambiguous_topic):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            config=FrameworkConfig(k=5, candidates=50, spec_results=5),
+        )
+        framework.diversify_query(ambiguous_topic.query)
+        cached = dict(framework._spec_cache)
+        framework.diversify_query(ambiguous_topic.query)
+        for key, value in cached.items():
+            assert framework._spec_cache[key] is value
+
+    def test_task_vectors_populated_for_mmr(
+        self, small_engine, small_miner, ambiguous_topic
+    ):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            MMR(),
+            FrameworkConfig(k=5, candidates=50, spec_results=5),
+        )
+        result = framework.diversify_query(ambiguous_topic.query)
+        assert result.diversified
+        assert result.task.vectors
+
+    def test_threshold_flows_into_matrix(
+        self, small_engine, small_miner, ambiguous_topic
+    ):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            config=FrameworkConfig(k=5, candidates=50, spec_results=5, threshold=0.4),
+        )
+        result = framework.diversify_query(ambiguous_topic.query)
+        assert result.task.utilities.threshold == 0.4
+
+    def test_algorithms_produce_different_rankings_sometimes(
+        self, small_engine, small_miner, small_corpus
+    ):
+        """Across the detectable topics, at least one query must separate
+        OptSelect from the baseline ranking — otherwise the pipeline is
+        inert."""
+        config = FrameworkConfig(k=10, candidates=80, spec_results=10)
+        framework = DiversificationFramework(
+            small_engine, small_miner, OptSelect(), config
+        )
+        differs = 0
+        for topic in small_corpus.topics:
+            result = framework.diversify_query(topic.query)
+            if result.diversified and result.ranking != result.baseline.doc_ids[:10]:
+                differs += 1
+        assert differs >= 1
+
+    def test_result_k_property(self, small_framework, ambiguous_topic):
+        result = small_framework.diversify_query(ambiguous_topic.query)
+        assert result.k == len(result.ranking)

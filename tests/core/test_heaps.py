@@ -1,0 +1,114 @@
+"""Tests for the bounded max-heap behind OptSelect."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.heaps import BoundedMaxHeap
+
+
+class TestBoundedMaxHeap:
+    def test_keeps_top_capacity_items(self):
+        heap = BoundedMaxHeap(3)
+        for score in [5.0, 1.0, 9.0, 3.0, 7.0]:
+            heap.push(f"s{score}", score)
+        drained = [score for _, score in heap.drain()]
+        assert drained == [9.0, 7.0, 5.0]
+
+    def test_push_returns_retention(self):
+        heap = BoundedMaxHeap(1)
+        assert heap.push("a", 1.0)
+        assert heap.push("b", 2.0)  # evicts a
+        assert not heap.push("c", 0.5)
+
+    def test_pop_max_order(self):
+        heap = BoundedMaxHeap(5)
+        for score in [2.0, 8.0, 4.0]:
+            heap.push(f"i{score}", score)
+        assert heap.pop_max() == ("i8.0", 8.0)
+        assert heap.pop_max() == ("i4.0", 4.0)
+        assert heap.pop_max() == ("i2.0", 2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedMaxHeap(2).pop_max()
+
+    def test_peek_does_not_remove(self):
+        heap = BoundedMaxHeap(2)
+        heap.push("a", 1.0)
+        assert heap.peek_max() == ("a", 1.0)
+        assert len(heap) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedMaxHeap(2).peek_max()
+
+    def test_min_score_is_eviction_bar(self):
+        heap = BoundedMaxHeap(2)
+        heap.push("a", 1.0)
+        heap.push("b", 5.0)
+        assert heap.min_score == 1.0
+        heap.push("c", 3.0)
+        assert heap.min_score == 3.0
+
+    def test_zero_capacity_accepts_nothing(self):
+        heap = BoundedMaxHeap(0)
+        assert not heap.push("a", 1.0)
+        assert len(heap) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMaxHeap(-1)
+
+    def test_ties_keep_earlier_insertion(self):
+        heap = BoundedMaxHeap(1)
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop_max()[0] == "first"
+
+    def test_push_counter(self):
+        heap = BoundedMaxHeap(2)
+        for i in range(10):
+            heap.push(i, float(i))
+        assert heap.pushes == 10
+
+    def test_contains(self):
+        heap = BoundedMaxHeap(2)
+        heap.push("a", 1.0)
+        assert "a" in heap
+        assert "b" not in heap
+
+    def test_bool_and_len(self):
+        heap = BoundedMaxHeap(2)
+        assert not heap
+        heap.push("a", 1.0)
+        assert heap and len(heap) == 1
+
+    def test_drain_empties(self):
+        heap = BoundedMaxHeap(3)
+        heap.push("a", 1.0)
+        list(heap.drain())
+        assert len(heap) == 0
+
+    def test_matches_sorted_reference_on_random_input(self):
+        rng = random.Random(13)
+        for trial in range(20):
+            capacity = rng.randint(1, 8)
+            items = [(f"x{i}", rng.random()) for i in range(rng.randint(0, 40))]
+            heap = BoundedMaxHeap(capacity)
+            for item, score in items:
+                heap.push(item, score)
+            got = [score for _, score in heap.drain()]
+            expected = sorted((s for _, s in items), reverse=True)[:capacity]
+            assert got == expected, f"trial {trial}"
+
+    def test_interleaved_push_pop(self):
+        heap = BoundedMaxHeap(4)
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        assert heap.pop_max()[0] == "a"
+        heap.push("c", 2.0)
+        assert heap.pop_max()[0] == "c"
+        assert heap.pop_max()[0] == "b"

@@ -1,0 +1,105 @@
+"""Tests for the IASelect greedy algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iaselect import IASelect
+from repro.core.objectives import brute_force_best, ql_diversify_objective
+
+from .helpers import build_task, two_intent_task
+
+
+class TestBasicBehaviour:
+    def test_returns_k_documents(self):
+        assert len(IASelect().diversify(two_intent_task(), 5)) == 5
+
+    def test_k_capped_at_n(self):
+        task = two_intent_task()
+        assert len(IASelect().diversify(task, 100)) == task.n
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            IASelect().diversify(two_intent_task(), -1)
+
+    def test_no_duplicates(self):
+        selected = IASelect().diversify(two_intent_task(), 8)
+        assert len(selected) == len(set(selected))
+
+    def test_deterministic(self):
+        task = two_intent_task()
+        assert IASelect().diversify(task, 6) == IASelect().diversify(task, 6)
+
+
+class TestGreedyCoverage:
+    def test_first_pick_maximises_weighted_utility(self):
+        task = two_intent_task()
+        # marginal(d) = Σ P(q')·U(d|q'): a1 gives 0.75·0.9 — the largest.
+        assert IASelect().diversify(task, 1) == ["a1"]
+
+    def test_switches_to_minority_after_dominant_covered(self):
+        task = two_intent_task()
+        selected = IASelect().diversify(task, 3)
+        # after a1 (residual A weight 0.75·0.1) the best marginal is b1
+        # (0.25·0.9 = 0.225 > 0.075·0.8).
+        assert selected[0] == "a1"
+        assert selected[1] == "b1"
+
+    def test_relevance_ignored_junk_selected_late(self):
+        task = two_intent_task()
+        selected = IASelect().diversify(task, 8)
+        # junk has zero utility everywhere; with coverage saturated the
+        # algorithm falls back to baseline-rank tie-breaking.
+        assert set(selected[-2:]) == {"junk1", "junk2"}
+
+    def test_zero_utility_everywhere_degrades_to_baseline(self):
+        task = two_intent_task().with_threshold(0.95)
+        selected = IASelect().diversify(task, 5)
+        assert selected == task.candidates.doc_ids[:5]
+
+
+class TestApproximationGuarantee:
+    def test_greedy_within_1_minus_1_over_e_of_optimum(self):
+        """Nemhauser bound on the submodular objective (Eq. 4)."""
+        task = two_intent_task()
+        for k in (2, 3, 4):
+            greedy = IASelect().diversify(task, k)
+            greedy_value = ql_diversify_objective(task, greedy)
+            _best_set, best_value = brute_force_best(
+                task, k, ql_diversify_objective
+            )
+            assert greedy_value >= (1 - 1 / 2.718281828) * best_value - 1e-9
+
+    def test_greedy_is_optimal_on_modular_instance(self):
+        # With disjoint single-doc coverage per spec, greedy = optimal.
+        utilities = {
+            "q A": {"x": 0.9},
+            "q B": {"y": 0.8},
+            "q C": {"z": 0.7},
+        }
+        scores = [("x", 3.0), ("y", 2.0), ("z", 1.0), ("w", 0.5)]
+        task = build_task(utilities, {"q A": 1, "q B": 1, "q C": 1}, scores)
+        greedy = IASelect().diversify(task, 3)
+        _best, best_value = brute_force_best(task, 3, ql_diversify_objective)
+        assert ql_diversify_objective(task, greedy) == pytest.approx(best_value)
+
+
+class TestInstrumentation:
+    def test_operations_scale_with_k(self):
+        task = two_intent_task()
+        algo = IASelect()
+        algo.diversify(task, 2)
+        ops_k2 = algo.last_stats.operations
+        algo.diversify(task, 6)
+        ops_k6 = algo.last_stats.operations
+        assert ops_k6 > ops_k2
+
+    def test_operation_count_formula(self):
+        """C_I(n, k) = Σ_{i=0..k-1} |S_q|·(n−i) marginal updates."""
+        task = two_intent_task()
+        algo = IASelect()
+        k = 3
+        algo.diversify(task, k)
+        n, m = task.n, len(task.specializations)
+        expected = sum(m * (n - i) for i in range(k))
+        assert algo.last_stats.operations == expected

@@ -1,0 +1,69 @@
+"""Tests for the MMR baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mmr import MMR
+from repro.retrieval.similarity import TermVector
+
+from .helpers import two_intent_task
+
+
+def _task_with_vectors(lambda_=0.5):
+    task = two_intent_task(lambda_=lambda_)
+    task.vectors = {
+        "a1": TermVector({"a": 1.0}),
+        "a2": TermVector({"a": 1.0}),
+        "a3": TermVector({"a": 1.0, "x": 0.2}),
+        "a4": TermVector({"a": 1.0, "y": 0.2}),
+        "b1": TermVector({"b": 1.0}),
+        "b2": TermVector({"b": 1.0}),
+        "junk1": TermVector({"z": 1.0}),
+        "junk2": TermVector({"w": 1.0}),
+    }
+    return task
+
+
+class TestMMR:
+    def test_requires_vectors(self):
+        with pytest.raises(ValueError, match="vectors"):
+            MMR().diversify(two_intent_task(), 3)
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            MMR(lambda_=1.5)
+
+    def test_returns_k(self):
+        assert len(MMR().diversify(_task_with_vectors(), 4)) == 4
+
+    def test_first_pick_is_most_relevant(self):
+        task = _task_with_vectors()
+        assert MMR().diversify(task, 1) == ["a1"]
+
+    def test_redundancy_penalised(self):
+        # With strong novelty weighting, the second pick avoids the
+        # near-duplicate a2 and jumps to the b cluster.
+        task = _task_with_vectors()
+        selected = MMR(lambda_=0.3).diversify(task, 2)
+        assert selected[0] == "a1"
+        assert selected[1].startswith(("b", "junk"))
+
+    def test_pure_relevance_mode_is_baseline(self):
+        task = _task_with_vectors()
+        selected = MMR(lambda_=1.0).diversify(task, 5)
+        assert selected == task.candidates.doc_ids[:5]
+
+    def test_no_duplicates(self):
+        selected = MMR().diversify(_task_with_vectors(), 8)
+        assert len(selected) == len(set(selected))
+
+    def test_deterministic(self):
+        task = _task_with_vectors()
+        assert MMR().diversify(task, 5) == MMR().diversify(task, 5)
+
+    def test_stats_populated(self):
+        algo = MMR()
+        algo.diversify(_task_with_vectors(), 4)
+        assert algo.last_stats.selected == 4
+        assert algo.last_stats.operations > 0

@@ -1,0 +1,109 @@
+"""Tests for the objective-function reference implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import (
+    brute_force_best,
+    coverage_counts,
+    max_utility_objective,
+    ql_diversify_objective,
+    satisfies_proportionality,
+    xquad_step_score,
+)
+
+from .helpers import build_task, two_intent_task
+
+
+class TestQLDiversifyObjective:
+    def test_empty_set_zero(self):
+        assert ql_diversify_objective(two_intent_task(), []) == 0.0
+
+    def test_monotone_in_set(self):
+        task = two_intent_task()
+        assert ql_diversify_objective(task, ["a1"]) <= ql_diversify_objective(
+            task, ["a1", "b1"]
+        )
+
+    def test_submodular_diminishing_returns(self):
+        task = two_intent_task()
+        # gain of adding a2 to {a1} vs to {} must not increase.
+        gain_empty = ql_diversify_objective(task, ["a2"])
+        gain_after = ql_diversify_objective(
+            task, ["a1", "a2"]
+        ) - ql_diversify_objective(task, ["a1"])
+        assert gain_after <= gain_empty + 1e-12
+
+    def test_manual_value(self):
+        task = two_intent_task()
+        # P(S) = 0.75·(1−(1−0.9)) + 0.25·0 for S = {a1}
+        assert ql_diversify_objective(task, ["a1"]) == pytest.approx(0.675)
+
+    def test_bounded_by_one(self):
+        task = two_intent_task()
+        full = ql_diversify_objective(task, task.candidates.doc_ids)
+        assert full <= 1.0 + 1e-12
+
+
+class TestMaxUtilityObjective:
+    def test_additive(self):
+        task = two_intent_task()
+        assert max_utility_objective(task, ["a1", "b1"]) == pytest.approx(
+            task.overall_utility("a1") + task.overall_utility("b1")
+        )
+
+    def test_empty_zero(self):
+        assert max_utility_objective(two_intent_task(), []) == 0.0
+
+
+class TestXquadStepScore:
+    def test_first_step_mixes_relevance_and_coverage(self):
+        task = two_intent_task(lambda_=0.5)
+        score = xquad_step_score(task, [], "a1")
+        expected = 0.5 * task.relevance_of("a1") + 0.5 * (0.75 * 0.9)
+        assert score == pytest.approx(expected)
+
+    def test_coverage_shrinks_after_selection(self):
+        task = two_intent_task(lambda_=1.0)
+        fresh = xquad_step_score(task, [], "a2")
+        after_a1 = xquad_step_score(task, ["a1"], "a2")
+        assert after_a1 < fresh
+
+
+class TestConstraintHelpers:
+    def test_coverage_counts(self):
+        task = two_intent_task()
+        counts = coverage_counts(task, ["a1", "a2", "b1", "junk1"])
+        assert counts == {"q A": 2, "q B": 1}
+
+    def test_proportionality_bounded_by_availability(self):
+        # Spec with huge probability but only one useful candidate: the
+        # constraint must cap its demand at what exists.
+        utilities = {"q A": {"x": 0.9}, "q B": {"y": 0.9}}
+        scores = [("x", 2.0), ("y", 1.0), ("z", 0.5)]
+        task = build_task(utilities, {"q A": 9.0, "q B": 1.0}, scores)
+        assert satisfies_proportionality(task, ["x", "y", "z"], 3)
+
+    def test_proportionality_violation_detected(self):
+        task = two_intent_task()
+        # 6 slots, P(A)=0.75 → needs ≥ 4 useful-for-A docs, but the set
+        # has only a1.
+        assert not satisfies_proportionality(
+            task, ["a1", "b1", "b2", "junk1", "junk2"], 6
+        )
+
+
+class TestBruteForce:
+    def test_finds_known_optimum(self):
+        task = two_intent_task()
+        best_set, best_value = brute_force_best(task, 2, ql_diversify_objective)
+        assert set(best_set) == {"a1", "b1"}
+        manual = ql_diversify_objective(task, ["a1", "b1"])
+        assert best_value == pytest.approx(manual)
+
+    def test_value_monotone_in_k(self):
+        task = two_intent_task()
+        _s2, v2 = brute_force_best(task, 2, ql_diversify_objective)
+        _s3, v3 = brute_force_best(task, 3, ql_diversify_objective)
+        assert v3 >= v2

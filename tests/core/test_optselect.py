@@ -1,0 +1,180 @@
+"""Tests for OptSelect (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.objectives import (
+    coverage_counts,
+    max_utility_objective,
+    satisfies_proportionality,
+)
+from repro.core.optselect import OptSelect
+
+from .helpers import build_task, two_intent_task
+
+
+class TestBasicBehaviour:
+    def test_returns_k_documents(self):
+        task = two_intent_task()
+        assert len(OptSelect().diversify(task, 5)) == 5
+
+    def test_k_capped_at_n(self):
+        task = two_intent_task()
+        assert len(OptSelect().diversify(task, 100)) == task.n
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            OptSelect().diversify(two_intent_task(), 0)
+
+    def test_no_duplicates(self):
+        selected = OptSelect().diversify(two_intent_task(), 8)
+        assert len(selected) == len(set(selected))
+
+    def test_selection_from_candidates_only(self):
+        task = two_intent_task()
+        assert set(OptSelect().diversify(task, 8)) <= set(task.candidates.doc_ids)
+
+    def test_deterministic(self):
+        task = two_intent_task()
+        assert OptSelect().diversify(task, 5) == OptSelect().diversify(task, 5)
+
+
+class TestCoverage:
+    def test_both_intents_covered_early(self):
+        task = two_intent_task()
+        top4 = OptSelect().diversify(task, 4)
+        assert any(d.startswith("a") for d in top4)
+        assert any(d.startswith("b") for d in top4)
+
+    def test_first_slots_follow_probability_order(self):
+        task = two_intent_task()
+        selected = OptSelect().diversify(task, 6)
+        # Phase 1 pops the dominant specialization first.
+        assert selected[0].startswith("a")
+        assert selected[1].startswith("b")
+
+    def test_proportionality_constraint_met(self):
+        task = two_intent_task()
+        k = 6
+        selected = OptSelect().diversify(task, k)
+        assert satisfies_proportionality(task, selected, k)
+
+    def test_minority_not_over_covered(self):
+        task = two_intent_task()
+        selected = OptSelect().diversify(task, 6)
+        counts = coverage_counts(task, selected)
+        # quota for B is floor(6·0.25)+1 = 2
+        assert counts["q B"] <= 2
+
+    def test_junk_only_fills_leftover_slots(self):
+        task = two_intent_task()
+        selected = OptSelect().diversify(task, 8)
+        junk_positions = [selected.index(d) for d in ("junk1", "junk2")]
+        assert min(junk_positions) >= 6
+
+
+class TestObjectiveOptimality:
+    def test_unconstrained_matches_topk_of_overall_utility(self):
+        """With one specialization covering everything, OptSelect must
+        return exactly the top-k by Ũ(d|q) (the Eq. 8 maximiser)."""
+        scores = [(f"d{i}", 10.0 - i) for i in range(6)]
+        utilities = {"q X": {f"d{i}": 0.9 - 0.1 * i for i in range(6)}}
+        task = build_task(utilities, {"q X": 1.0}, scores, lambda_=0.5)
+        k = 3
+        selected = OptSelect().diversify(task, k)
+        by_overall = sorted(
+            task.candidates.doc_ids,
+            key=lambda d: -task.overall_utility(d),
+        )[:k]
+        assert set(selected) == set(by_overall)
+        assert max_utility_objective(task, selected) == pytest.approx(
+            max_utility_objective(task, by_overall)
+        )
+
+    def test_objective_beats_other_constraint_satisfying_sets(self):
+        """The baseline top-4 {a1..a4} violates the coverage constraint;
+        among constraint-satisfying sets OptSelect's pick must be at least
+        as good as a hand-built alternative."""
+        task = two_intent_task()
+        k = 4
+        selected = OptSelect().diversify(task, k)
+        assert satisfies_proportionality(task, selected, k)
+        alternative = ["a1", "a3", "a4", "b1"]  # also covers both intents
+        assert satisfies_proportionality(task, alternative, k)
+        assert max_utility_objective(task, selected) >= max_utility_objective(
+            task, alternative
+        ) - 1e-9
+
+
+class TestThresholdDegradation:
+    def test_all_utilities_zeroed_returns_baseline_order(self):
+        task = two_intent_task().with_threshold(0.95)
+        selected = OptSelect().diversify(task, 5)
+        assert selected == task.candidates.doc_ids[:5]
+
+
+class TestStrictPseudocode:
+    def test_strict_mode_covers_each_spec_once(self):
+        task = two_intent_task()
+        selected = OptSelect(strict_paper_pseudocode=True).diversify(task, 6)
+        assert any(d.startswith("a") for d in selected)
+        assert any(d.startswith("b") for d in selected)
+
+    def test_strict_mode_may_return_fewer_than_k(self):
+        # Every doc is useful for some spec → general heap M stays empty →
+        # strict mode can only return one doc per specialization.
+        scores = [("x1", 3.0), ("x2", 2.0), ("y1", 1.0)]
+        utilities = {"q X": {"x1": 0.9, "x2": 0.8}, "q Y": {"y1": 0.9}}
+        task = build_task(utilities, {"q X": 1.0, "q Y": 1.0}, scores)
+        selected = OptSelect(strict_paper_pseudocode=True).diversify(task, 3)
+        assert len(selected) == 2
+
+    def test_default_mode_fills_to_k(self):
+        scores = [("x1", 3.0), ("x2", 2.0), ("y1", 1.0)]
+        utilities = {"q X": {"x1": 0.9, "x2": 0.8}, "q Y": {"y1": 0.9}}
+        task = build_task(utilities, {"q X": 1.0, "q Y": 1.0}, scores)
+        assert len(OptSelect().diversify(task, 3)) == 3
+
+
+class TestInstrumentation:
+    def test_heap_pushes_bounded_by_n_times_specs(self):
+        task = two_intent_task()
+        algo = OptSelect()
+        algo.diversify(task, 4)
+        stats = algo.last_stats
+        assert 0 < stats.heap_pushes <= task.n * len(task.specializations)
+        assert stats.operations == stats.heap_pushes
+        assert stats.selected == 4
+
+    def test_ops_independent_of_k(self):
+        from repro.experiments.workloads import synthetic_task
+
+        task = synthetic_task(500, num_specs=4, seed=3)
+        algo = OptSelect()
+        algo.diversify(task, 10)
+        ops_small_k = algo.last_stats.operations
+        algo.diversify(task, 200)
+        ops_large_k = algo.last_stats.operations
+        assert ops_small_k == ops_large_k
+
+
+class TestManySpecializations:
+    def test_specs_capped_at_k(self):
+        utilities = {f"q s{i}": {f"d{i}": 0.9} for i in range(10)}
+        scores = [(f"d{i}", 10.0 - i) for i in range(10)]
+        probabilities = {f"q s{i}": 10.0 - i for i in range(10)}
+        task = build_task(utilities, probabilities, scores)
+        selected = OptSelect().diversify(task, 3)
+        assert len(selected) == 3
+
+    def test_quota_formula(self):
+        # quota = floor(k · P) + 1 — check via coverage counts.
+        task = two_intent_task()
+        k = 8
+        selected = OptSelect().diversify(task, k)
+        counts = coverage_counts(task, selected)
+        p_a = task.specializations.probability("q A")
+        assert counts["q A"] <= math.floor(k * p_a) + 1

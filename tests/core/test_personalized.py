@@ -1,0 +1,144 @@
+"""Tests for personalized diversification (future-work item i)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ambiguity import SpecializationSet
+from repro.core.personalized import PersonalizedDetector, UserProfile
+from repro.querylog.records import QueryLog, QueryRecord
+
+
+class _StaticDetector:
+    """A stand-in global Algorithm 1 with a fixed answer."""
+
+    def __init__(self, items):
+        self._items = items
+
+    def mine(self, query):
+        return SpecializationSet(query=query, items=self._items)
+
+
+GLOBAL = _StaticDetector(
+    (("apple iphone", 0.6), ("apple fruit", 0.3), ("apple tree", 0.1))
+)
+
+
+class TestUserProfile:
+    def test_from_log(self):
+        log = QueryLog(
+            [
+                QueryRecord(1.0, "u1", "apple fruit", clicks=("d1", "d2")),
+                QueryRecord(2.0, "u1", "apple fruit"),
+                QueryRecord(3.0, "u2", "apple iphone"),
+            ]
+        )
+        profile = UserProfile.from_log(log, "u1")
+        assert profile.query_counts["apple fruit"] == 2
+        assert profile.click_counts["apple fruit"] == 2
+        assert profile.total_queries == 2
+
+    def test_observe_online(self):
+        profile = UserProfile("u")
+        profile.observe("apple fruit", clicks=1)
+        profile.observe("apple fruit")
+        assert profile.affinity("apple fruit", click_weight=2.0) == 4.0
+
+    def test_affinity_unknown_query_zero(self):
+        assert UserProfile("u").affinity("nope") == 0.0
+
+
+class TestPersonalizedDetector:
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            PersonalizedDetector(GLOBAL, gamma=1.5)
+        with pytest.raises(ValueError):
+            PersonalizedDetector(GLOBAL, click_weight=-1)
+
+    def test_anonymous_user_gets_global(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.9)
+        result = detector.detect("apple", user_id=None)
+        assert result.probability("apple iphone") == pytest.approx(0.6)
+
+    def test_unknown_user_gets_global(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.9)
+        result = detector.detect("apple", user_id="stranger")
+        assert result.probability("apple iphone") == pytest.approx(0.6)
+
+    def test_gamma_zero_is_global(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.0)
+        detector.profile("u").observe("apple fruit", clicks=5)
+        result = detector.detect("apple", user_id="u")
+        assert result.probability("apple fruit") == pytest.approx(0.3)
+
+    def test_history_shifts_distribution(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.5)
+        for _ in range(10):
+            detector.profile("u").observe("apple fruit", clicks=1)
+        result = detector.detect("apple", user_id="u")
+        assert result.probability("apple fruit") > 0.3
+        assert result.probability("apple iphone") < 0.6
+        assert sum(p for _, p in result) == pytest.approx(1.0)
+
+    def test_full_personalization_dominated_by_history(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=1.0)
+        detector.profile("u").observe("apple tree", clicks=3)
+        result = detector.detect("apple", user_id="u")
+        assert result.queries[0] == "apple tree"
+
+    def test_personalization_never_changes_support(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=1.0)
+        detector.profile("u").observe("apple tree", clicks=3)
+        detector.profile("u").observe("banana bread", clicks=9)  # off-topic
+        result = detector.detect("apple", user_id="u")
+        assert set(result.queries) == {
+            "apple iphone",
+            "apple fruit",
+            "apple tree",
+        }
+
+    def test_user_without_relevant_history_gets_global(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.8)
+        detector.profile("u").observe("banana bread")
+        result = detector.detect("apple", user_id="u")
+        assert result.probability("apple iphone") == pytest.approx(0.6)
+
+    def test_load_history_bulk(self):
+        log = QueryLog(
+            [
+                QueryRecord(1.0, "u7", "apple fruit", clicks=("d",)),
+                QueryRecord(2.0, "u8", "apple iphone", clicks=("d",)),
+            ]
+        )
+        detector = PersonalizedDetector(GLOBAL, gamma=1.0)
+        detector.load_history(log)
+        fruit_fan = detector.detect("apple", user_id="u7")
+        phone_fan = detector.detect("apple", user_id="u8")
+        assert fruit_fan.queries[0] == "apple fruit"
+        assert phone_fan.queries[0] == "apple iphone"
+
+    def test_mine_protocol_for_framework(self):
+        detector = PersonalizedDetector(GLOBAL, gamma=0.9)
+        assert detector.mine("apple").probability("apple iphone") == (
+            pytest.approx(0.6)
+        )
+
+    def test_empty_global_result_passthrough(self):
+        detector = PersonalizedDetector(
+            _StaticDetector(()), gamma=0.5
+        )
+        detector.profile("u").observe("apple fruit")
+        assert not detector.detect("apple", user_id="u")
+
+    def test_works_with_real_miner(self, small_miner, small_corpus, small_log):
+        topic = max(
+            small_corpus.topics, key=lambda t: small_log.frequency(t.query)
+        )
+        global_result = small_miner.mine(topic.query)
+        if len(global_result) < 2:
+            pytest.skip("head topic not mined")
+        detector = PersonalizedDetector(small_miner, gamma=1.0)
+        tail_spec = global_result.queries[-1]
+        detector.profile("fan").observe(tail_spec, clicks=10)
+        personal = detector.detect(topic.query, user_id="fan")
+        assert personal.queries[0] == tail_spec

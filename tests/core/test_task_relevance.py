@@ -1,0 +1,130 @@
+"""Tests for DiversificationTask and the relevance estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relevance import (
+    estimate_relevance,
+    minmax_relevance,
+    reciprocal_rank_relevance,
+    softmax_relevance,
+    sum_relevance,
+)
+from repro.core.task import DiversificationTask
+from repro.retrieval.engine import ResultList
+
+from .helpers import build_task, two_intent_task
+
+
+class TestRelevanceEstimators:
+    @pytest.fixture()
+    def results(self):
+        return ResultList("q", [("a", 4.0), ("b", 2.0), ("c", 0.0)])
+
+    def test_minmax_range(self, results):
+        rel = minmax_relevance(results)
+        assert rel["a"] == 1.0
+        assert rel["c"] == 0.0
+        assert 0.0 < rel["b"] < 1.0
+
+    def test_minmax_constant_scores(self):
+        rel = minmax_relevance(ResultList("q", [("a", 2.0), ("b", 2.0)]))
+        assert rel == {"a": 1.0, "b": 1.0}
+
+    def test_minmax_empty(self):
+        assert minmax_relevance(ResultList("q", [])) == {}
+
+    def test_sum_is_distribution(self, results):
+        rel = sum_relevance(results)
+        assert sum(rel.values()) == pytest.approx(1.0)
+        assert rel["a"] > rel["b"] > rel["c"] == 0.0
+
+    def test_sum_clamps_negative_scores(self):
+        rel = sum_relevance(ResultList("q", [("a", 3.0), ("b", -1.0)]))
+        assert rel["b"] == 0.0
+        assert rel["a"] == pytest.approx(1.0)
+
+    def test_sum_all_nonpositive_uniform(self):
+        rel = sum_relevance(ResultList("q", [("a", -1.0), ("b", -2.0)]))
+        assert rel["a"] == rel["b"] == pytest.approx(0.5)
+
+    def test_softmax_is_distribution(self, results):
+        rel = softmax_relevance(results)
+        assert sum(rel.values()) == pytest.approx(1.0)
+        assert rel["a"] > rel["b"] > rel["c"]
+
+    def test_softmax_temperature_validation(self, results):
+        with pytest.raises(ValueError):
+            softmax_relevance(results, temperature=0)
+
+    def test_reciprocal_rank(self, results):
+        rel = reciprocal_rank_relevance(results)
+        assert rel == {"a": 1.0, "b": 0.5, "c": pytest.approx(1 / 3)}
+
+    def test_dispatch(self, results):
+        assert estimate_relevance(results, "minmax")["a"] == 1.0
+        with pytest.raises(ValueError, match="unknown relevance estimator"):
+            estimate_relevance(results, "nope")
+
+
+class TestDiversificationTask:
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            two_intent_task(lambda_=1.5)
+
+    def test_missing_spec_in_matrix_rejected(self):
+        from repro.core.ambiguity import SpecializationSet
+        from repro.core.utility import UtilityMatrix
+
+        candidates = ResultList("q", [("d", 1.0)])
+        with pytest.raises(ValueError, match="lacks specializations"):
+            DiversificationTask(
+                query="q",
+                candidates=candidates,
+                specializations=SpecializationSet.from_frequencies(
+                    "q", {"q x": 1.0, "q y": 1.0}
+                ),
+                utilities=UtilityMatrix({"q x": {}}, ["d"]),
+            )
+
+    def test_overall_utility_equation_9(self):
+        """Ũ(d|q) = (1−λ)|S_q|·P(d|q) + λ·Σ P(q'|q)·Ũ(d|R_q')."""
+        task = two_intent_task(lambda_=0.4)
+        doc = "a1"
+        lam = 0.4
+        expected = (1 - lam) * 2 * task.relevance_of(doc) + lam * (
+            0.75 * task.utilities.value(doc, "q A")
+            + 0.25 * task.utilities.value(doc, "q B")
+        )
+        assert task.overall_utility(doc) == pytest.approx(expected)
+
+    def test_overall_utility_zero_for_unknown_doc(self):
+        task = two_intent_task()
+        assert task.overall_utility("missing") == 0.0
+
+    def test_with_threshold_preserves_other_fields(self):
+        task = two_intent_task()
+        changed = task.with_threshold(0.5)
+        assert changed.lambda_ == task.lambda_
+        assert changed.relevance == task.relevance
+        assert changed.utilities.threshold == 0.5
+
+    def test_with_lambda(self):
+        task = two_intent_task()
+        assert task.with_lambda(0.9).lambda_ == 0.9
+        # original untouched
+        assert task.lambda_ == 0.5
+
+    def test_n_property(self):
+        assert two_intent_task().n == 8
+
+    def test_create_estimates_relevance(self):
+        task = build_task(
+            {"q A": {"d1": 0.5}},
+            {"q A": 1.0},
+            [("d1", 2.0), ("d2", 1.0)],
+            relevance_method="minmax",
+        )
+        assert task.relevance_of("d1") == 1.0
+        assert task.relevance_of("d2") == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the utility measure (Definition 2) and the utility matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import (
+    UtilityMatrix,
+    harmonic_number,
+    normalized_utility,
+    utility,
+)
+from repro.retrieval.engine import ResultList
+from repro.retrieval.similarity import TermVector
+
+
+class TestHarmonicNumber:
+    def test_known_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1.0 / 3.0)
+
+    def test_monotone(self):
+        assert harmonic_number(10) < harmonic_number(11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+
+def _vectors():
+    return {
+        "s1": TermVector({"a": 1.0}),
+        "s2": TermVector({"b": 1.0}),
+        "cand-a": TermVector({"a": 1.0}),
+        "cand-ab": TermVector({"a": 1.0, "b": 1.0}),
+        "cand-c": TermVector({"c": 1.0}),
+    }
+
+
+class TestUtilityFunction:
+    """Equation (1): U(d|R_q') = Σ (1 − δ(d,d')) / rank(d')."""
+
+    def test_identical_to_top_result(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        # cand-a is identical to rank-1 s1 (cosine 1), orthogonal to s2.
+        assert utility(vectors["cand-a"], spec, vectors) == pytest.approx(1.0)
+
+    def test_rank_discounting(self):
+        vectors = _vectors()
+        spec_a_first = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        spec_a_second = ResultList("q'", [("s2", 2.0), ("s1", 1.0)])
+        u_first = utility(vectors["cand-a"], spec_a_first, vectors)
+        u_second = utility(vectors["cand-a"], spec_a_second, vectors)
+        assert u_first == pytest.approx(1.0)
+        assert u_second == pytest.approx(0.5)
+
+    def test_orthogonal_candidate_zero(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        assert utility(vectors["cand-c"], spec, vectors) == 0.0
+
+    def test_missing_vectors_contribute_zero(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0), ("unknown", 1.0)])
+        assert utility(vectors["cand-a"], spec, vectors) == pytest.approx(1.0)
+
+    def test_empty_spec_list(self):
+        assert utility(_vectors()["cand-a"], ResultList("q'", []), {}) == 0.0
+
+
+class TestNormalizedUtility:
+    def test_perfect_match_is_one(self):
+        vectors = {
+            "s1": TermVector({"a": 1.0}),
+            "s2": TermVector({"a": 1.0}),
+        }
+        cand = TermVector({"a": 1.0})
+        spec = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        assert normalized_utility(cand, spec, vectors) == pytest.approx(1.0)
+
+    def test_range(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        value = normalized_utility(vectors["cand-ab"], spec, vectors)
+        assert 0.0 < value < 1.0
+
+    def test_threshold_zeroes_small_values(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0), ("s2", 1.0)])
+        raw = normalized_utility(vectors["cand-ab"], spec, vectors)
+        assert raw > 0
+        assert normalized_utility(
+            vectors["cand-ab"], spec, vectors, threshold=raw + 0.01
+        ) == 0.0
+
+    def test_threshold_keeps_equal_values(self):
+        vectors = _vectors()
+        spec = ResultList("q'", [("s1", 2.0)])
+        raw = normalized_utility(vectors["cand-a"], spec, vectors)
+        assert normalized_utility(
+            vectors["cand-a"], spec, vectors, threshold=raw
+        ) == pytest.approx(raw)
+
+    def test_empty_spec_list_zero(self):
+        assert normalized_utility(
+            TermVector({"a": 1.0}), ResultList("q'", []), {}
+        ) == 0.0
+
+
+class TestUtilityMatrix:
+    @pytest.fixture()
+    def matrix(self):
+        candidates = ResultList(
+            "q", [("cand-a", 3.0), ("cand-ab", 2.0), ("cand-c", 1.0)]
+        )
+        spec_results = {
+            "q a": ResultList("q a", [("s1", 2.0), ("s2", 1.0)]),
+            "q b": ResultList("q b", [("s2", 2.0)]),
+        }
+        return UtilityMatrix.build(candidates, spec_results, _vectors())
+
+    def test_values_computed(self, matrix):
+        assert matrix.value("cand-a", "q a") == pytest.approx(1.0 / 1.5)
+        assert matrix.value("cand-c", "q a") == 0.0
+
+    def test_useful_docs(self, matrix):
+        useful = matrix.useful_docs("q a")
+        assert "cand-a" in useful and "cand-ab" in useful
+        assert "cand-c" not in useful
+
+    def test_is_useful(self, matrix):
+        assert matrix.is_useful("cand-ab", "q b")
+        assert not matrix.is_useful("cand-a", "q b")
+
+    def test_row(self, matrix):
+        row = matrix.row("cand-ab")
+        assert set(row) == {"q a", "q b"}
+
+    def test_specializations_listed(self, matrix):
+        assert set(matrix.specializations) == {"q a", "q b"}
+
+    def test_rethresholding(self, matrix):
+        high = matrix.with_threshold(0.99)
+        assert high.value("cand-a", "q a") == 0.0
+        # original untouched
+        assert matrix.value("cand-a", "q a") > 0.0
+
+    def test_threshold_validation(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.with_threshold(1.5)
+
+    def test_density(self, matrix):
+        assert 0.0 < matrix.density() <= 1.0
+        assert matrix.with_threshold(0.999).density() < matrix.density()
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            UtilityMatrix({"s": {"d": 1.5}}, ["d"])
+
+    def test_missing_spec_returns_zero(self, matrix):
+        assert matrix.value("cand-a", "unknown spec") == 0.0
+
+    def test_empty_spec_results_handled(self):
+        candidates = ResultList("q", [("d", 1.0)])
+        matrix = UtilityMatrix.build(
+            candidates, {"q x": ResultList("q x", [])}, {}
+        )
+        assert matrix.useful_docs("q x") == {}

@@ -1,0 +1,110 @@
+"""Tests for the xQuAD greedy algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import xquad_step_score
+from repro.core.xquad import XQuAD
+
+from .helpers import build_task, two_intent_task
+
+
+class TestBasicBehaviour:
+    def test_returns_k_documents(self):
+        assert len(XQuAD().diversify(two_intent_task(), 5)) == 5
+
+    def test_k_capped_at_n(self):
+        task = two_intent_task()
+        assert len(XQuAD().diversify(task, 100)) == task.n
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            XQuAD().diversify(two_intent_task(), 0)
+
+    def test_no_duplicates(self):
+        selected = XQuAD().diversify(two_intent_task(), 8)
+        assert len(selected) == len(set(selected))
+
+    def test_deterministic(self):
+        task = two_intent_task()
+        assert XQuAD().diversify(task, 6) == XQuAD().diversify(task, 6)
+
+
+class TestGreedySemantics:
+    def test_each_pick_maximises_equation_5(self):
+        """Replay the greedy and verify every pick against the reference
+        implementation of Eq. (5) in the objectives module."""
+        task = two_intent_task()
+        selected = XQuAD().diversify(task, 5)
+        chosen: list[str] = []
+        for pick in selected:
+            best = max(
+                (d for d in task.candidates.doc_ids if d not in chosen),
+                key=lambda d: (
+                    xquad_step_score(task, chosen, d),
+                    -task.candidates.rank_of(d),
+                ),
+            )
+            assert pick == best
+            chosen.append(pick)
+
+    def test_relevance_anchors_ranking(self):
+        # With lambda = 0 xQuAD is pure relevance: baseline order.
+        task = two_intent_task().with_lambda(0.0)
+        assert XQuAD().diversify(task, 5) == task.candidates.doc_ids[:5]
+
+    def test_pure_diversity_mode(self):
+        # With lambda = 1 the relevance term vanishes; the first two picks
+        # must cover both intents (coverage decays after each pick).
+        task = two_intent_task().with_lambda(1.0)
+        selected = XQuAD().diversify(task, 2)
+        assert {selected[0][0], selected[1][0]} == {"a", "b"}
+
+    def test_diversity_promotes_minority_intent(self):
+        task = two_intent_task(lambda_=0.5)
+        selected = XQuAD().diversify(task, 4)
+        assert any(d.startswith("b") for d in selected)
+
+    def test_zero_utilities_degrade_to_baseline(self):
+        task = two_intent_task().with_threshold(0.95)
+        assert XQuAD().diversify(task, 5) == task.candidates.doc_ids[:5]
+
+    def test_junk_never_precedes_covered_relevant_docs(self):
+        task = two_intent_task(lambda_=0.5)
+        selected = XQuAD().diversify(task, 8)
+        assert selected.index("junk1") > selected.index("a1")
+        assert selected.index("junk1") > selected.index("b1")
+
+
+class TestCoverageSaturation:
+    def test_coverage_decay_demotes_covered_intent(self):
+        utilities = {
+            "q A": {"a1": 0.95, "a2": 0.95},
+            "q B": {"b1": 0.4},
+        }
+        scores = [("a1", 3.0), ("a2", 2.9), ("b1", 1.0)]
+        task = build_task(utilities, {"q A": 2.0, "q B": 1.0}, scores, lambda_=1.0)
+        selected = XQuAD().diversify(task, 2)
+        # After a1, intent A is ~saturated (1−0.95 residual); b1's fresh
+        # 0.33·0.4 beats a2's 0.67·0.95·0.05.
+        assert selected == ["a1", "b1"]
+
+
+class TestInstrumentation:
+    def test_operations_scale_with_k(self):
+        task = two_intent_task()
+        algo = XQuAD()
+        algo.diversify(task, 2)
+        ops_small = algo.last_stats.operations
+        algo.diversify(task, 6)
+        assert algo.last_stats.operations > ops_small
+
+    def test_operation_count_formula(self):
+        task = two_intent_task()
+        algo = XQuAD()
+        k = 4
+        algo.diversify(task, k)
+        n, m = task.n, len(task.specializations)
+        expected = sum(m * (n - i) for i in range(k))
+        assert algo.last_stats.operations == expected

@@ -1,0 +1,175 @@
+"""Tests for the synthetic ambiguous-topic corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import Aspect, AmbiguousTopic, CorpusConfig, generate_corpus
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        num_topics=3, docs_per_aspect=4, background_docs=20, seed=11
+    )
+    defaults.update(overrides)
+    return CorpusConfig(**defaults)
+
+
+class TestDataTypes:
+    def test_aspect_popularity_validated(self):
+        with pytest.raises(ValueError):
+            Aspect(name="a", query="q", terms=("t",), popularity=1.5)
+
+    def test_topic_popularities_must_sum_to_one(self):
+        aspects = (
+            Aspect("a0", "q a0", ("x",), 0.5),
+            Aspect("a1", "q a1", ("y",), 0.2),
+        )
+        with pytest.raises(ValueError):
+            AmbiguousTopic(topic_id=1, query="q", terms=("q",), aspects=aspects)
+
+    def test_topic_accessors(self):
+        aspects = (
+            Aspect("a0", "q x", ("x",), 0.75),
+            Aspect("a1", "q y", ("y",), 0.25),
+        )
+        topic = AmbiguousTopic(1, "q", ("q",), aspects)
+        assert topic.aspect_queries == ["q x", "q y"]
+        assert topic.popularity_of("q y") == 0.25
+        assert topic.popularity_of("missing") == 0.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(num_topics=0),
+            dict(min_aspects=1),
+            dict(min_aspects=9, max_aspects=8),
+            dict(docs_per_aspect=0),
+            dict(doc_length=(0, 10)),
+            dict(doc_length=(10, 5)),
+            dict(mixture=(-0.1, 0.5, 0.6)),
+            dict(popularity_skew_floor=2.0),
+            dict(background_pollution=-0.5),
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            _tiny_config(**overrides).validate()
+
+
+class TestGeneratedCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(_tiny_config())
+
+    def test_topic_count(self, corpus):
+        assert len(corpus.topics) == 3
+
+    def test_aspect_count_in_range(self, corpus):
+        for topic in corpus.topics:
+            assert 3 <= len(topic.aspects) <= 8
+
+    def test_aspect_popularities_sum_to_one(self, corpus):
+        for topic in corpus.topics:
+            assert sum(a.popularity for a in topic.aspects) == pytest.approx(1.0)
+
+    def test_aspect_queries_extend_root(self, corpus):
+        for topic in corpus.topics:
+            for aspect in topic.aspects:
+                assert aspect.query.startswith(topic.query + " ")
+
+    def test_document_counts(self, corpus):
+        aspect_docs = sum(len(t.aspects) for t in corpus.topics) * 4
+        assert len(corpus.collection) == aspect_docs + 20
+
+    def test_labels_cover_aspect_docs(self, corpus):
+        aspect_docs = sum(len(t.aspects) for t in corpus.topics) * 4
+        assert len(corpus.labels) == aspect_docs
+
+    def test_labels_match_metadata(self, corpus):
+        for doc_id, (topic_id, aspect) in corpus.labels.items():
+            doc = corpus.collection[doc_id]
+            assert doc.metadata["topic_id"] == topic_id
+            assert doc.metadata["aspect"] == aspect
+
+    def test_documents_of_aspect(self, corpus):
+        topic = corpus.topics[0]
+        docs = corpus.documents_of_aspect(topic.topic_id, 0)
+        assert len(docs) == 4
+
+    def test_aspect_documents_contain_aspect_terms(self, corpus):
+        topic = corpus.topics[0]
+        docs = corpus.documents_of_aspect(topic.topic_id, 0)
+        aspect_terms = set(topic.aspects[0].terms)
+        for doc_id in docs:
+            tokens = set(corpus.collection[doc_id].text.split())
+            assert tokens & aspect_terms
+
+    def test_topic_by_query(self, corpus):
+        topic = corpus.topics[1]
+        assert corpus.topic_by_query(topic.query) is topic
+        assert corpus.topic_by_query("nope") is None
+
+    def test_deterministic(self):
+        a = generate_corpus(_tiny_config())
+        b = generate_corpus(_tiny_config())
+        assert a.collection.doc_ids == b.collection.doc_ids
+        assert a.collection[a.collection.doc_ids[0]].text == (
+            b.collection[b.collection.doc_ids[0]].text
+        )
+
+    def test_seed_changes_corpus(self):
+        a = generate_corpus(_tiny_config(seed=1))
+        b = generate_corpus(_tiny_config(seed=2))
+        assert a.topics[0].query != b.topics[0].query
+
+
+class TestPopularitySkew:
+    def test_head_aspect_mentions_root_terms_more(self):
+        corpus = generate_corpus(
+            _tiny_config(docs_per_aspect=12, popularity_skew_floor=0.1)
+        )
+        topic = corpus.topics[0]
+        root = topic.terms[0]
+
+        def root_rate(aspect_index: int) -> float:
+            docs = corpus.documents_of_aspect(topic.topic_id, aspect_index)
+            counts = [
+                corpus.collection[d].text.split().count(root) for d in docs
+            ]
+            return sum(counts) / len(counts)
+
+        # Aspect 0 is the most popular by construction (Zipf order).
+        assert root_rate(0) > root_rate(len(topic.aspects) - 1)
+
+
+class TestPollution:
+    def test_polluted_background_mentions_topic_terms(self):
+        corpus = generate_corpus(
+            _tiny_config(background_docs=100, seed=3)
+        )
+        all_topic_terms = {
+            t for topic in corpus.topics for t in topic.terms
+        }
+        polluted = 0
+        for doc in corpus.collection:
+            if doc.metadata.get("topic_id") is None:
+                if set(doc.text.split()) & all_topic_terms:
+                    polluted += 1
+        # background_pollution defaults to 0.35: expect some but not all.
+        assert 10 <= polluted <= 70
+
+    def test_pollution_zero_keeps_background_clean(self):
+        corpus = generate_corpus(_tiny_config(background_pollution=0.0))
+        all_topic_terms = {
+            t for topic in corpus.topics for t in topic.terms
+        }
+        for doc in corpus.collection:
+            if doc.metadata.get("topic_id") is None:
+                assert not set(doc.text.split()) & all_topic_terms
+
+    def test_vocabulary_too_small_raises(self):
+        with pytest.raises(ValueError, match="vocabulary too small"):
+            generate_corpus(_tiny_config(num_topics=60, vocabulary_size=300))

@@ -1,0 +1,129 @@
+"""Tests for the synthetic vocabulary and language models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.vocabulary import LanguageModel, Vocabulary, ZipfSampler
+
+
+class TestVocabulary:
+    def test_size(self):
+        assert len(Vocabulary(200, seed=1)) == 200
+
+    def test_deterministic(self):
+        assert Vocabulary(100, seed=5).words == Vocabulary(100, seed=5).words
+
+    def test_seed_changes_words(self):
+        assert Vocabulary(100, seed=1).words != Vocabulary(100, seed=2).words
+
+    def test_unique_words(self):
+        words = Vocabulary(2000, seed=3).words
+        assert len(set(words)) == len(words)
+
+    def test_prefix_diversity(self):
+        # Consecutive slices (reserved for topics/aspects) must not share
+        # a dominating prefix — the regression that made topic terms
+        # near-identical.
+        words = Vocabulary(50, seed=0).words
+        prefixes = {w[:3] for w in words}
+        assert len(prefixes) > 10
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Vocabulary(0)
+
+    def test_indexing_and_iteration(self):
+        vocab = Vocabulary(10, seed=0)
+        assert vocab[0] == list(vocab)[0]
+        assert vocab[0] in vocab
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(10, s=1.0)
+        total = sum(sampler.probability(i) for i in range(10))
+        assert total == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        sampler = ZipfSampler(20, s=1.0)
+        probs = [sampler.probability(i) for i in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_s_zero_is_uniform(self):
+        sampler = ZipfSampler(4, s=0.0)
+        for i in range(4):
+            assert sampler.probability(i) == pytest.approx(0.25)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5)
+        rng = random.Random(0)
+        assert all(0 <= sampler.sample(rng) < 5 for _ in range(200))
+
+    def test_empirical_head_bias(self):
+        sampler = ZipfSampler(10, s=1.2)
+        rng = random.Random(1)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-1)
+        with pytest.raises(IndexError):
+            ZipfSampler(5).probability(5)
+
+
+class TestLanguageModel:
+    def test_requires_positive_weight(self):
+        with pytest.raises(ValueError):
+            LanguageModel({})
+        with pytest.raises(ValueError):
+            LanguageModel({"a": 0.0})
+
+    def test_probability_normalised(self):
+        lm = LanguageModel({"a": 3.0, "b": 1.0})
+        assert lm.probability("a") == pytest.approx(0.75)
+        assert lm.probability("zzz") == 0.0
+
+    def test_uniform_constructor(self):
+        lm = LanguageModel.uniform(["x", "y"])
+        assert lm.probability("x") == pytest.approx(0.5)
+
+    def test_zipfian_constructor_ordered(self):
+        lm = LanguageModel.zipfian(["first", "second", "third"])
+        assert lm.probability("first") > lm.probability("third")
+
+    def test_sampling_stays_in_support(self):
+        lm = LanguageModel({"a": 1.0, "b": 2.0})
+        rng = random.Random(3)
+        assert set(lm.sample(rng, 100)) <= {"a", "b"}
+
+    def test_mixture_combines_supports(self):
+        mix = LanguageModel.mixture(
+            [
+                (LanguageModel.uniform(["a"]), 0.5),
+                (LanguageModel.uniform(["b"]), 0.5),
+            ]
+        )
+        assert mix.probability("a") == pytest.approx(0.5)
+        assert mix.probability("b") == pytest.approx(0.5)
+
+    def test_mixture_weighting(self):
+        mix = LanguageModel.mixture(
+            [
+                (LanguageModel.uniform(["a"]), 0.9),
+                (LanguageModel.uniform(["b"]), 0.1),
+            ]
+        )
+        assert mix.probability("a") > mix.probability("b")
+
+    def test_mixture_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            LanguageModel.mixture([(LanguageModel.uniform(["a"]), -1.0)])
+
+    def test_len(self):
+        assert len(LanguageModel({"a": 1.0, "b": 1.0})) == 2

@@ -1,0 +1,83 @@
+"""Tests for the trec_eval-style CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.trec import format_diversity_qrels, format_run, DiversityQrels
+from repro.evaluation.cli import evaluate_files, main
+
+
+@pytest.fixture()
+def files(tmp_path):
+    qrels = DiversityQrels()
+    qrels.add(1, 1, "d1")
+    qrels.add(1, 2, "d2")
+    qrels.add(2, 1, "e1")
+    qrels_path = tmp_path / "qrels.txt"
+    qrels_path.write_text(format_diversity_qrels(qrels))
+
+    run_path = tmp_path / "run.txt"
+    run_path.write_text(
+        format_run({1: [("d1", 2.0), ("d2", 1.0)], 2: [("e1", 1.0)]})
+    )
+    return str(run_path), str(qrels_path)
+
+
+class TestEvaluateFiles:
+    def test_perfect_run(self, files):
+        run_path, qrels_path = files
+        results = evaluate_files(run_path, qrels_path, cutoffs=(2,))
+        assert results["alpha-ndcg"][2][1] == pytest.approx(1.0)
+        assert results["alpha-ndcg"][2][2] == pytest.approx(1.0)
+
+    def test_all_registered_metrics_runnable(self, files):
+        run_path, qrels_path = files
+        from repro.evaluation.metrics import METRICS
+
+        results = evaluate_files(
+            run_path, qrels_path, metrics=tuple(METRICS), cutoffs=(5,)
+        )
+        for metric in METRICS:
+            assert results[metric][5]
+
+    def test_unknown_metric_rejected(self, files):
+        run_path, qrels_path = files
+        with pytest.raises(ValueError, match="unknown metrics"):
+            evaluate_files(run_path, qrels_path, metrics=("bogus",))
+
+    def test_missing_topic_scores_zero(self, tmp_path, files):
+        _run_path, qrels_path = files
+        empty_run = tmp_path / "empty.txt"
+        empty_run.write_text("")
+        results = evaluate_files(str(empty_run), qrels_path, cutoffs=(5,))
+        assert results["alpha-ndcg"][5][1] == 0.0
+
+
+class TestMain:
+    def test_prints_means(self, files, capsys):
+        run_path, qrels_path = files
+        assert main([run_path, qrels_path, "--cutoffs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-ndcg@2\tall\t1.0000" in out
+        assert "ia-p@2\tall\t" in out
+
+    def test_per_topic_flag(self, files, capsys):
+        run_path, qrels_path = files
+        main([run_path, qrels_path, "--cutoffs", "2", "--per-topic"])
+        out = capsys.readouterr().out
+        assert "alpha-ndcg@2\t1\t" in out
+        assert "alpha-ndcg@2\t2\t" in out
+
+    def test_alpha_flag(self, files, capsys):
+        run_path, qrels_path = files
+        main([run_path, qrels_path, "--cutoffs", "2", "--alpha", "0.0"])
+        out = capsys.readouterr().out
+        assert "alpha-ndcg@2\tall\t" in out
+
+    def test_metric_selection(self, files, capsys):
+        run_path, qrels_path = files
+        main([run_path, qrels_path, "--metric", "s-recall", "--cutoffs", "2"])
+        out = capsys.readouterr().out
+        assert "s-recall@2\tall\t1.0000" in out
+        assert "alpha-ndcg" not in out

@@ -1,0 +1,180 @@
+"""Tests for the diversity evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.trec import DiversityQrels
+from repro.evaluation.metrics import (
+    alpha_ndcg,
+    average_precision,
+    err_ia,
+    ia_map,
+    ia_mrr,
+    ia_ndcg,
+    intent_aware_precision,
+    ndcg,
+    precision_at,
+    reciprocal_rank,
+    subtopic_recall,
+)
+
+
+@pytest.fixture()
+def qrels():
+    """Topic 1 with two subtopics: s1 = {d1, d2, d3}, s2 = {d4, d5}."""
+    q = DiversityQrels()
+    for doc in ("d1", "d2", "d3"):
+        q.add(1, 1, doc)
+    for doc in ("d4", "d5"):
+        q.add(1, 2, doc)
+    return q
+
+
+class TestAlphaNDCG:
+    def test_perfect_diversified_ranking_scores_one(self, qrels):
+        # Greedy-ideal order: alternate subtopics.
+        ranking = ["d1", "d4", "d2", "d5", "d3"]
+        assert alpha_ndcg(ranking, 1, qrels, cutoff=5) == pytest.approx(1.0)
+
+    def test_redundant_ranking_scores_below_diverse(self, qrels):
+        diverse = ["d1", "d4", "d2"]
+        redundant = ["d1", "d2", "d3"]
+        assert alpha_ndcg(diverse, 1, qrels, cutoff=3) > alpha_ndcg(
+            redundant, 1, qrels, cutoff=3
+        )
+
+    def test_irrelevant_ranking_zero(self, qrels):
+        assert alpha_ndcg(["x", "y"], 1, qrels, cutoff=2) == 0.0
+
+    def test_empty_ranking_zero(self, qrels):
+        assert alpha_ndcg([], 1, qrels, cutoff=10) == 0.0
+
+    def test_unjudged_topic_zero(self, qrels):
+        assert alpha_ndcg(["d1"], 99, qrels, cutoff=5) == 0.0
+
+    def test_alpha_zero_equals_binary_ndcg(self, qrels):
+        ranking = ["d1", "d2", "x", "d4"]
+        assert alpha_ndcg(ranking, 1, qrels, alpha=0.0, cutoff=4) == (
+            pytest.approx(ndcg(ranking, 1, qrels, cutoff=4))
+        )
+
+    def test_novelty_discount_applied(self, qrels):
+        # Second doc of the same subtopic contributes (1-α) = 0.5 gain.
+        only_s1 = alpha_ndcg(["d1", "d2"], 1, qrels, cutoff=2)
+        mixed = alpha_ndcg(["d1", "d4"], 1, qrels, cutoff=2)
+        assert mixed > only_s1
+
+    def test_cutoff_validation(self, qrels):
+        with pytest.raises(ValueError):
+            alpha_ndcg(["d1"], 1, qrels, cutoff=0)
+
+    def test_alpha_validation(self, qrels):
+        with pytest.raises(ValueError):
+            alpha_ndcg(["d1"], 1, qrels, alpha=-0.1)
+
+    def test_bounded_by_one(self, qrels):
+        for ranking in (["d1", "d2", "d4"], ["d4", "d5", "d1"], ["d3"]):
+            assert 0.0 <= alpha_ndcg(ranking, 1, qrels, cutoff=3) <= 1.0 + 1e-9
+
+    def test_multi_subtopic_document(self):
+        q = DiversityQrels()
+        q.add(1, 1, "multi")
+        q.add(1, 2, "multi")
+        q.add(1, 1, "single")
+        # 'multi' covers both subtopics at once → ideal first pick.
+        assert alpha_ndcg(["multi"], 1, q, cutoff=1) == pytest.approx(1.0)
+        assert alpha_ndcg(["single"], 1, q, cutoff=1) < 1.0
+
+
+class TestIntentAwarePrecision:
+    def test_uniform_weights(self, qrels):
+        # top-2 = d1 (s1), d4 (s2): each subtopic has 1 hit in 2 slots.
+        value = intent_aware_precision(["d1", "d4"], 1, qrels, cutoff=2)
+        assert value == pytest.approx(0.5 * 0.5 + 0.5 * 0.5)
+
+    def test_probability_weighting(self, qrels):
+        value = intent_aware_precision(
+            ["d1", "d2"], 1, qrels, cutoff=2, probabilities={1: 0.9, 2: 0.1}
+        )
+        assert value == pytest.approx(0.9 * 1.0 + 0.1 * 0.0)
+
+    def test_unjudged_topic_zero(self, qrels):
+        assert intent_aware_precision(["d1"], 77, qrels) == 0.0
+
+    def test_deep_cutoff_dilutes(self, qrels):
+        shallow = intent_aware_precision(["d1", "d4"], 1, qrels, cutoff=2)
+        deep = intent_aware_precision(["d1", "d4"], 1, qrels, cutoff=10)
+        assert deep < shallow
+
+    def test_cutoff_validation(self, qrels):
+        with pytest.raises(ValueError):
+            intent_aware_precision(["d1"], 1, qrels, cutoff=0)
+
+
+class TestClassicMetrics:
+    def test_precision_at(self, qrels):
+        assert precision_at(["d1", "x", "d4", "y"], 1, qrels, cutoff=4) == 0.5
+
+    def test_average_precision_perfect(self, qrels):
+        ranking = ["d1", "d2", "d3", "d4", "d5"]
+        assert average_precision(ranking, 1, qrels) == pytest.approx(1.0)
+
+    def test_average_precision_zero(self, qrels):
+        assert average_precision(["x", "y"], 1, qrels) == 0.0
+
+    def test_reciprocal_rank(self, qrels):
+        assert reciprocal_rank(["x", "d4"], 1, qrels) == 0.5
+        assert reciprocal_rank(["x", "y"], 1, qrels) == 0.0
+
+    def test_ndcg_perfect_prefix(self, qrels):
+        assert ndcg(["d1", "d2"], 1, qrels, cutoff=2) == pytest.approx(1.0)
+
+
+class TestIntentAwareFamily:
+    def test_ia_ndcg_prefers_covering_popular_intent(self, qrels):
+        probs = {1: 0.9, 2: 0.1}
+        s1_ranking = ["d1", "d2"]
+        s2_ranking = ["d4", "d5"]
+        assert ia_ndcg(s1_ranking, 1, qrels, cutoff=2, probabilities=probs) > (
+            ia_ndcg(s2_ranking, 1, qrels, cutoff=2, probabilities=probs)
+        )
+
+    def test_ia_map_bounded(self, qrels):
+        value = ia_map(["d1", "d4", "d2", "d5", "d3"], 1, qrels)
+        assert 0.0 < value <= 1.0
+
+    def test_ia_mrr_perfect_when_all_intents_hit_first(self):
+        q = DiversityQrels()
+        q.add(1, 1, "both")
+        q.add(1, 2, "both")
+        assert ia_mrr(["both"], 1, q) == pytest.approx(1.0)
+
+    def test_ia_mrr_weighted_by_first_hits(self, qrels):
+        value = ia_mrr(["d1", "d4"], 1, qrels)
+        assert value == pytest.approx(0.5 * 1.0 + 0.5 * 0.5)
+
+
+class TestErrIA:
+    def test_early_hit_beats_late_hit(self, qrels):
+        assert err_ia(["d1", "x"], 1, qrels) > err_ia(["x", "d1"], 1, qrels)
+
+    def test_cascade_discount(self, qrels):
+        one_hit = err_ia(["d1"], 1, qrels)
+        two_hits = err_ia(["d1", "d2"], 1, qrels)
+        # second same-intent hit adds less than the first.
+        assert two_hits - one_hit < one_hit
+
+    def test_zero_for_irrelevant(self, qrels):
+        assert err_ia(["x", "y"], 1, qrels) == 0.0
+
+
+class TestSubtopicRecall:
+    def test_full_coverage(self, qrels):
+        assert subtopic_recall(["d1", "d4"], 1, qrels, cutoff=2) == 1.0
+
+    def test_partial_coverage(self, qrels):
+        assert subtopic_recall(["d1", "d2"], 1, qrels, cutoff=2) == 0.5
+
+    def test_unjudged_topic(self, qrels):
+        assert subtopic_recall(["d1"], 42, qrels) == 0.0

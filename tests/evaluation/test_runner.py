@@ -1,0 +1,89 @@
+"""Tests for the TREC-style evaluation runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.trec import (
+    DiversityQrels,
+    DiversityTestbed,
+    DiversityTopic,
+    Subtopic,
+)
+from repro.evaluation.runner import (
+    PAPER_CUTOFFS,
+    compare_reports,
+    evaluate_run,
+)
+
+
+@pytest.fixture()
+def testbed():
+    qrels = DiversityQrels()
+    qrels.add(1, 1, "d1")
+    qrels.add(1, 2, "d2")
+    qrels.add(2, 1, "e1")
+    topics = [
+        DiversityTopic(1, "one", (Subtopic(1), Subtopic(2))),
+        DiversityTopic(2, "two", (Subtopic(1),)),
+    ]
+    return DiversityTestbed(topics=topics, qrels=qrels)
+
+
+class TestEvaluateRun:
+    def test_paper_cutoffs_constant(self):
+        assert PAPER_CUTOFFS == (5, 10, 20, 100, 1000)
+
+    def test_reports_both_paper_metrics(self, testbed):
+        run = {1: ["d1", "d2"], 2: ["e1"]}
+        report = evaluate_run(run, testbed, cutoffs=(5,))
+        assert set(report.per_topic) == {"alpha-ndcg", "ia-p"}
+        assert report.mean("alpha-ndcg", 5) > 0.0
+
+    def test_perfect_run_alpha_ndcg_one(self, testbed):
+        run = {1: ["d1", "d2"], 2: ["e1"]}
+        report = evaluate_run(run, testbed, cutoffs=(2,))
+        assert report.mean("alpha-ndcg", 2) == pytest.approx(1.0)
+
+    def test_missing_topic_counts_as_zero(self, testbed):
+        run = {1: ["d1", "d2"]}  # topic 2 missing
+        report = evaluate_run(run, testbed, cutoffs=(2,))
+        full = evaluate_run({1: ["d1", "d2"], 2: ["e1"]}, testbed, cutoffs=(2,))
+        assert report.mean("alpha-ndcg", 2) < full.mean("alpha-ndcg", 2)
+
+    def test_vector_in_topic_order(self, testbed):
+        run = {1: ["d1"], 2: ["e1"]}
+        report = evaluate_run(run, testbed, cutoffs=(1,))
+        vector = report.vector("alpha-ndcg", 1)
+        assert len(vector) == 2
+
+    def test_row_spans_cutoffs(self, testbed):
+        run = {1: ["d1", "d2"], 2: ["e1"]}
+        report = evaluate_run(run, testbed, cutoffs=(1, 2))
+        row = report.row("ia-p", cutoffs=(1, 2))
+        assert len(row) == 2
+
+    def test_testbed_probabilities_used_when_requested(self, testbed):
+        testbed.subtopic_probabilities = {1: {1: 0.9, 2: 0.1}}
+        run = {1: ["d1"], 2: []}
+        uniform = evaluate_run(run, testbed, cutoffs=(1,))
+        weighted = evaluate_run(
+            run, testbed, cutoffs=(1,), use_testbed_probabilities=True
+        )
+        assert weighted.mean("ia-p", 1) > uniform.mean("ia-p", 1)
+
+
+class TestCompareReports:
+    def test_identical_runs_not_significant(self, testbed):
+        run = {1: ["d1"], 2: ["e1"]}
+        a = evaluate_run(run, testbed, cutoffs=(5,), name="a")
+        b = evaluate_run(run, testbed, cutoffs=(5,), name="b")
+        result = compare_reports(a, b, metric="alpha-ndcg", cutoff=5)
+        assert not result.significant()
+
+    def test_topic_mismatch_rejected(self, testbed):
+        a = evaluate_run({}, testbed, cutoffs=(5,))
+        b = evaluate_run({}, testbed, cutoffs=(5,))
+        b.topics = [1]
+        with pytest.raises(ValueError):
+            compare_reports(a, b)

@@ -1,0 +1,101 @@
+"""Tests for the Wilcoxon signed-rank test, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+import scipy.stats
+
+from repro.evaluation.significance import (
+    paired_differences,
+    wilcoxon_signed_rank,
+)
+
+
+class TestPairedDifferences:
+    def test_elementwise(self):
+        assert paired_differences([3, 2], [1, 2]) == [2, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_differences([1], [1, 2])
+
+
+class TestWilcoxon:
+    def test_identical_samples_not_significant(self):
+        result = wilcoxon_signed_rank([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == 1.0
+        assert result.n == 0
+        assert not result.significant()
+
+    def test_clear_difference_significant(self):
+        a = [float(i) for i in range(1, 21)]
+        b = [x - 5.0 for x in a]
+        result = wilcoxon_signed_rank(a, b)
+        assert result.significant(0.05)
+        assert result.w_minus == 0.0
+
+    def test_statistic_is_min_of_sums(self):
+        a = [5.0, 1.0, 4.0, 6.0]
+        b = [1.0, 2.0, 1.0, 1.0]
+        result = wilcoxon_signed_rank(a, b)
+        assert result.statistic == min(result.w_plus, result.w_minus)
+        assert result.w_plus + result.w_minus == pytest.approx(
+            result.n * (result.n + 1) / 2
+        )
+
+    def test_alternative_validation(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [0.0], alternative="sideways")
+
+    def test_one_sided_directions(self):
+        rng = random.Random(4)
+        a = [rng.random() + 0.4 for _ in range(30)]
+        b = [rng.random() for _ in range(30)]
+        greater = wilcoxon_signed_rank(a, b, alternative="greater")
+        less = wilcoxon_signed_rank(a, b, alternative="less")
+        assert greater.p_value < 0.05
+        assert less.p_value > 0.5
+
+    def test_symmetry_of_two_sided(self):
+        rng = random.Random(9)
+        a = [rng.random() for _ in range(25)]
+        b = [rng.random() for _ in range(25)]
+        assert wilcoxon_signed_rank(a, b).p_value == pytest.approx(
+            wilcoxon_signed_rank(b, a).p_value
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_scipy_normal_approximation(self, seed):
+        rng = random.Random(seed)
+        n = 40
+        a = [rng.gauss(0.0, 1.0) for _ in range(n)]
+        b = [x + rng.gauss(0.15, 0.5) for x in a]
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = scipy.stats.wilcoxon(
+            a, b, zero_method="wilcox", correction=True,
+            alternative="two-sided", mode="approx",
+        )
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_matches_scipy_with_ties(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        b = [0.0, 1.0, 2.0, 5.0, 4.0, 5.0, 8.0, 7.0]  # ties in |diff|
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = scipy.stats.wilcoxon(
+            a, b, zero_method="wilcox", correction=True,
+            alternative="two-sided", mode="approx",
+        )
+        assert ours.statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_paper_usage_pattern(self):
+        """Per-topic metric vectors that barely differ → not significant
+        (the paper's conclusion for OptSelect vs xQuAD)."""
+        rng = random.Random(7)
+        base = [rng.random() * 0.4 for _ in range(50)]
+        jitter = [x + rng.gauss(0.0, 0.01) for x in base]
+        result = wilcoxon_signed_rank(base, jitter)
+        assert not result.significant(0.05)

@@ -1,0 +1,116 @@
+"""Tests for the AOL TSV log format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.querylog.aol import format_aol, parse_aol
+from repro.querylog.records import QueryLog, QueryRecord
+
+SAMPLE = [
+    "AnonID\tQuery\tQueryTime\tItemRank\tClickURL",
+    "142\tleopard\t2006-03-01 10:00:00\t\t",
+    "142\tleopard tank\t2006-03-01 10:01:00\t1\thttp://tanks.example/a",
+    "142\tleopard tank\t2006-03-01 10:01:00\t3\thttp://tanks.example/b",
+    "217\tapple pie recipe\t2006-03-02 08:30:00\t2\thttp://food.example",
+]
+
+
+class TestParseAol:
+    def test_rows_merged_per_submission(self):
+        log = parse_aol(SAMPLE)
+        assert len(log) == 3  # two rows of the same click merge
+
+    def test_clicks_collected_in_rank_order(self):
+        log = parse_aol(SAMPLE)
+        record = next(r for r in log if r.query == "leopard tank")
+        assert record.clicks == (
+            "http://tanks.example/a",
+            "http://tanks.example/b",
+        )
+
+    def test_unclicked_submission(self):
+        log = parse_aol(SAMPLE)
+        record = next(r for r in log if r.query == "leopard")
+        assert not record.clicked
+
+    def test_user_ids_preserved(self):
+        log = parse_aol(SAMPLE)
+        assert set(r.user_id for r in log) == {"142", "217"}
+
+    def test_timestamps_chronological(self):
+        log = parse_aol(SAMPLE)
+        times = [r.timestamp for r in log]
+        assert times == sorted(times)
+
+    def test_header_and_blank_lines_skipped(self):
+        log = parse_aol(["", SAMPLE[0], "", SAMPLE[1]])
+        assert len(log) == 1
+
+    def test_three_column_rows_accepted(self):
+        log = parse_aol(["99\tfoo bar\t2006-05-01 00:00:00"])
+        assert len(log) == 1
+        assert not log[0].clicked
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError, match="expected 5"):
+            parse_aol(["only\ttwo"])
+
+    def test_empty_query_rows_dropped(self):
+        log = parse_aol(["5\t \t2006-05-01 00:00:00\t\t"])
+        assert len(log) == 0
+
+    def test_named_log(self):
+        assert parse_aol(SAMPLE, name="aol-part-1").name == "aol-part-1"
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        log = parse_aol(SAMPLE)
+        lines = list(format_aol(log))
+        reparsed = parse_aol(lines)
+        assert len(reparsed) == len(log)
+        for a, b in zip(log, reparsed):
+            assert (a.user_id, a.query, a.clicks) == (b.user_id, b.query, b.clicks)
+            assert a.timestamp == pytest.approx(b.timestamp)
+
+    def test_format_emits_header_first(self):
+        lines = list(format_aol(QueryLog()))
+        assert lines[0].startswith("AnonID\t")
+
+    def test_click_ranks_taken_from_results(self):
+        log = QueryLog(
+            [
+                QueryRecord(
+                    1141207200.0,
+                    "u1",
+                    "leopard",
+                    results=("u-a", "u-b"),
+                    clicks=("u-b",),
+                )
+            ]
+        )
+        lines = list(format_aol(log))
+        assert lines[1].split("\t")[3] == "2"
+
+    def test_pipeline_compatibility(self):
+        """A parsed AOL log must flow through sessionization and mining."""
+        from repro.querylog.sessions import split_by_time_gap
+        from repro.querylog.specializations import SpecializationMiner
+
+        rows = [SAMPLE[0]]
+        for i in range(6):
+            rows.append(f"{i}\tleopard\t2006-03-01 10:0{i}:00\t\t")
+            rows.append(
+                f"{i}\tleopard tank\t2006-03-01 10:0{i}:30\t1\thttp://x"
+            )
+        for i in range(6, 9):
+            rows.append(f"{i}\tleopard\t2006-03-01 11:0{i - 6}:00\t\t")
+            rows.append(
+                f"{i}\tleopard print\t2006-03-01 11:0{i - 6}:30\t1\thttp://y"
+            )
+        log = parse_aol(rows)
+        assert split_by_time_gap(log)
+        miner = SpecializationMiner(log).build()
+        mined = miner.mine("leopard")
+        assert set(mined.queries) == {"leopard tank", "leopard print"}

@@ -1,0 +1,127 @@
+"""Tests for the click models and click-boosted probabilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ambiguity import SpecializationSet
+from repro.querylog.clickmodels import (
+    CascadeModel,
+    PositionBiasedModel,
+    click_boosted_probabilities,
+)
+from repro.querylog.records import QueryRecord
+from repro.querylog.sessions import Session
+
+
+class TestPositionBiasedModel:
+    def test_probability_decays_with_rank(self):
+        model = PositionBiasedModel()
+        probs = [model.click_probability(r, 0.65) for r in (1, 2, 5, 10)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probability_capped_at_one(self):
+        assert PositionBiasedModel().click_probability(1, 5.0) == 1.0
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            PositionBiasedModel().click_probability(0, 0.5)
+
+    def test_simulation_prefers_top_ranks(self):
+        model = PositionBiasedModel()
+        rng = random.Random(0)
+        results = [f"d{i}" for i in range(10)]
+        top_clicks = 0
+        bottom_clicks = 0
+        for _ in range(500):
+            clicks = model.simulate(results, rng)
+            top_clicks += "d0" in clicks
+            bottom_clicks += "d9" in clicks
+        assert top_clicks > 3 * bottom_clicks
+
+    def test_multiple_clicks_possible(self):
+        model = PositionBiasedModel()
+        rng = random.Random(1)
+        lengths = {
+            len(model.simulate([f"d{i}" for i in range(10)], rng, 0.9))
+            for _ in range(200)
+        }
+        assert any(n >= 2 for n in lengths)
+
+
+class TestCascadeModel:
+    def test_stops_after_first_click(self):
+        model = CascadeModel()
+        rng = random.Random(2)
+        for _ in range(100):
+            clicks = model.simulate([f"d{i}" for i in range(10)], rng, 0.9)
+            assert len(clicks) <= 1
+
+    def test_continuation_validation(self):
+        with pytest.raises(ValueError):
+            CascadeModel(continuation=1.5)
+
+    def test_deep_ranks_exponentially_unlikely(self):
+        model = CascadeModel(continuation=0.5)
+        p1 = model.click_probability(1, 0.8)
+        p4 = model.click_probability(4, 0.8)
+        assert p4 == pytest.approx(p1 * 0.5**3)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            CascadeModel().click_probability(0, 0.5)
+
+
+def _session(final_query: str, clicked: bool) -> Session:
+    clicks = ("d",) if clicked else ()
+    return Session(
+        (
+            QueryRecord(0.0, "u", "root"),
+            QueryRecord(5.0, "u", final_query, clicks=clicks),
+        )
+    )
+
+
+class TestClickBoostedProbabilities:
+    @pytest.fixture()
+    def specializations(self):
+        return SpecializationSet(
+            "root", (("root a", 0.5), ("root b", 0.5))
+        )
+
+    def test_satisfied_specialization_boosted(self, specializations):
+        sessions = [
+            _session("root a", clicked=True),
+            _session("root a", clicked=True),
+            _session("root b", clicked=False),
+            _session("root b", clicked=False),
+        ]
+        boosted = click_boosted_probabilities(specializations, sessions, boost=1.0)
+        assert boosted.probability("root a") > 0.5
+        assert boosted.probability("root b") < 0.5
+        assert sum(p for _, p in boosted) == pytest.approx(1.0)
+
+    def test_zero_boost_is_identity(self, specializations):
+        out = click_boosted_probabilities(
+            specializations, [_session("root a", True)], boost=0.0
+        )
+        assert out is specializations
+
+    def test_unobserved_specializations_keep_prior_ratio(self, specializations):
+        out = click_boosted_probabilities(specializations, [], boost=1.0)
+        assert out.probability("root a") == pytest.approx(0.5)
+
+    def test_negative_boost_rejected(self, specializations):
+        with pytest.raises(ValueError):
+            click_boosted_probabilities(specializations, [], boost=-0.5)
+
+    def test_empty_specializations_passthrough(self):
+        empty = SpecializationSet("q", ())
+        assert click_boosted_probabilities(empty, [], boost=1.0) is empty
+
+    def test_sessions_with_other_finals_ignored(self, specializations):
+        sessions = [_session("unrelated query", clicked=True)]
+        out = click_boosted_probabilities(specializations, sessions, boost=2.0)
+        assert out.probability("root a") == pytest.approx(0.5)

@@ -1,0 +1,173 @@
+"""Tests for the Query-Flow Graph."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.querylog.flowgraph import QueryFlowGraph, is_specialization
+from repro.querylog.records import QueryRecord
+from repro.querylog.sessions import Session
+
+
+def _session(user, *queries, t0=0.0, gap=10.0):
+    records = tuple(
+        QueryRecord(t0 + i * gap, user, q) for i, q in enumerate(queries)
+    )
+    return Session(records)
+
+
+@pytest.fixture()
+def graph():
+    sessions = [
+        _session("u1", "leopard", "leopard tank"),
+        _session("u2", "leopard", "leopard tank"),
+        _session("u3", "leopard", "leopard mac os x"),
+        _session("u4", "leopard tank", "panzer museum"),
+    ]
+    return QueryFlowGraph.build(sessions)
+
+
+class TestIsSpecialization:
+    def test_term_superset(self):
+        assert is_specialization("leopard", "leopard tank")
+        assert is_specialization("leopard", "big leopard cat")
+
+    def test_not_reflexive(self):
+        assert not is_specialization("leopard", "leopard")
+
+    def test_generalisation_rejected(self):
+        assert not is_specialization("leopard tank", "leopard")
+
+    def test_unrelated_rejected(self):
+        assert not is_specialization("leopard", "apple pie")
+
+    def test_string_prefix_extension(self):
+        assert is_specialization("new york", "new york pizza")
+
+    def test_empty_inputs(self):
+        assert not is_specialization("", "x")
+        assert not is_specialization("x", "")
+
+
+class TestGraphConstruction:
+    def test_counts_transitions(self, graph):
+        edge = graph.edge("leopard", "leopard tank")
+        assert edge is not None
+        assert edge.count == 2
+
+    def test_transition_probability(self, graph):
+        assert graph.transition_probability("leopard", "leopard tank") == (
+            pytest.approx(2 / 3)
+        )
+        assert graph.transition_probability("leopard", "leopard mac os x") == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_unknown_edges(self, graph):
+        assert graph.edge("leopard", "panzer museum") is None
+        assert graph.transition_probability("x", "y") == 0.0
+
+    def test_self_loops_ignored(self):
+        graph = QueryFlowGraph.build([_session("u", "a", "a", "b")])
+        assert graph.edge("a", "a") is None
+        assert graph.edge("a", "b") is not None
+
+    def test_node_and_edge_counts(self, graph):
+        assert graph.num_edges == 3
+        assert graph.num_nodes == 4
+
+    def test_query_count(self, graph):
+        assert graph.query_count("leopard") == 3
+        assert graph.query_count("unseen") == 0
+
+    def test_successors_sorted(self, graph):
+        assert graph.successors("leopard") == [
+            "leopard mac os x",
+            "leopard tank",
+        ]
+
+    def test_specialization_successors_by_count(self, graph):
+        assert graph.specialization_successors("leopard") == [
+            "leopard tank",
+            "leopard mac os x",
+        ]
+
+    def test_edge_features(self, graph):
+        edge = graph.edge("leopard", "leopard tank")
+        assert edge.specialization
+        assert edge.mean_gap == pytest.approx(10.0)
+        assert 0.0 < edge.jaccard < 1.0
+
+
+class TestChainProbability:
+    def test_specialization_floor(self, graph):
+        assert graph.chain_probability("leopard", "leopard tank") >= 0.9
+
+    def test_unrelated_transition_low(self, graph):
+        p = graph.chain_probability("leopard tank", "panzer museum")
+        assert 0.0 < p < 0.9
+
+    def test_unknown_pair_zero(self, graph):
+        assert graph.chain_probability("a", "b") == 0.0
+
+    def test_bounded(self, graph):
+        for q in ("leopard", "leopard tank"):
+            for q2 in graph.successors(q):
+                assert 0.0 <= graph.chain_probability(q, q2) <= 1.0
+
+
+class TestLogicalSessions:
+    def test_low_threshold_keeps_sessions_whole(self, graph):
+        raw = [_session("u9", "leopard", "leopard tank", "panzer museum")]
+        logical = graph.logical_sessions(raw, threshold=0.0)
+        assert len(logical) == 1
+
+    def test_high_threshold_cuts_weak_links(self, graph):
+        raw = [_session("u9", "leopard", "leopard tank", "panzer museum")]
+        logical = graph.logical_sessions(raw, threshold=0.95)
+        # leopard→leopard tank survives (specialization ≥ 0.9 < 0.95? no)
+        # with threshold 0.95 even the specialization edge is cut.
+        assert len(logical) >= 2
+
+    def test_mid_threshold_splits_topic_drift(self, graph):
+        raw = [_session("u9", "leopard", "leopard tank", "panzer museum")]
+        logical = graph.logical_sessions(raw, threshold=0.85)
+        assert [s.queries for s in logical] == [
+            ("leopard", "leopard tank"),
+            ("panzer museum",),
+        ]
+
+    def test_threshold_validation(self, graph):
+        with pytest.raises(ValueError):
+            graph.logical_sessions([], threshold=1.5)
+
+    def test_records_preserved(self, graph):
+        raw = [_session("u9", "a b", "c d")]
+        logical = graph.logical_sessions(raw, threshold=0.99)
+        total = sum(len(s) for s in logical)
+        assert total == 2
+
+
+class TestRandomWalk:
+    def test_walk_follows_edges(self, graph):
+        rng = random.Random(0)
+        path = graph.random_walk("leopard", rng, max_steps=2)
+        assert path[0] == "leopard"
+        assert path[1] in ("leopard tank", "leopard mac os x")
+
+    def test_walk_stops_at_absorbing_node(self, graph):
+        rng = random.Random(0)
+        path = graph.random_walk("panzer museum", rng, max_steps=5)
+        assert path == ["panzer museum"]
+
+    def test_walk_respects_max_steps(self, graph):
+        rng = random.Random(1)
+        path = graph.random_walk("leopard", rng, max_steps=1)
+        assert len(path) <= 2
+
+    def test_min_probability_prunes(self, graph):
+        rng = random.Random(2)
+        path = graph.random_walk("leopard", rng, max_steps=3, min_probability=0.99)
+        assert path == ["leopard"]

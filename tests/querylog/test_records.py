@@ -1,0 +1,103 @@
+"""Tests for the query-log data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.querylog.records import QueryLog, QueryRecord
+
+
+class TestQueryRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryRecord(0.0, "u", "")
+        with pytest.raises(ValueError):
+            QueryRecord(0.0, "", "q")
+
+    def test_clicked_property(self):
+        assert QueryRecord(0.0, "u", "q", clicks=("d",)).clicked
+        assert not QueryRecord(0.0, "u", "q").clicked
+
+    def test_chronological_ordering(self):
+        early = QueryRecord(1.0, "u", "q")
+        late = QueryRecord(2.0, "u", "q")
+        assert early < late
+
+    def test_results_and_clicks_not_compared(self):
+        a = QueryRecord(1.0, "u", "q", results=("d1",))
+        b = QueryRecord(1.0, "u", "q", results=("d2",))
+        assert a == b
+
+
+class TestQueryLog:
+    @pytest.fixture()
+    def log(self):
+        return QueryLog(
+            [
+                QueryRecord(30.0, "u2", "banana"),
+                QueryRecord(10.0, "u1", "apple"),
+                QueryRecord(20.0, "u1", "apple iphone", clicks=("d",)),
+                QueryRecord(40.0, "u1", "apple"),
+            ],
+            name="test",
+        )
+
+    def test_sorted_on_construction(self, log):
+        times = [r.timestamp for r in log]
+        assert times == sorted(times)
+
+    def test_frequency(self, log):
+        assert log.frequency("apple") == 2
+        assert log.frequency("apple iphone") == 1
+        assert log.frequency("unknown") == 0
+
+    def test_distinct_queries_and_users(self, log):
+        assert log.distinct_queries == 3
+        assert log.num_users == 2
+
+    def test_user_stream_chronological(self, log):
+        stream = log.user_stream("u1")
+        assert [r.query for r in stream] == ["apple", "apple iphone", "apple"]
+
+    def test_user_stream_unknown_user(self, log):
+        assert log.user_stream("nobody") == []
+
+    def test_time_span(self, log):
+        assert log.time_span == (10.0, 40.0)
+
+    def test_empty_log(self):
+        log = QueryLog()
+        assert len(log) == 0
+        assert log.time_span == (0.0, 0.0)
+        assert log.num_users == 0
+
+    def test_split_chronological(self, log):
+        train, test = log.split(0.5)
+        assert len(train) == 2
+        assert len(test) == 2
+        assert train[-1].timestamp <= test[0].timestamp
+        assert train.name == "test-train"
+
+    def test_split_validation(self, log):
+        with pytest.raises(ValueError):
+            log.split(0.0)
+        with pytest.raises(ValueError):
+            log.split(1.0)
+
+    def test_contains_query(self, log):
+        assert log.contains_query("banana")
+        assert not log.contains_query("cherry")
+
+    def test_frequencies_returns_copy(self, log):
+        freqs = log.frequencies()
+        freqs["apple"] = 999
+        assert log.frequency("apple") == 2
+
+    def test_merged_with(self, log):
+        other = QueryLog([QueryRecord(5.0, "u3", "cherry")])
+        merged = log.merged_with(other)
+        assert len(merged) == len(log) + 1
+        assert merged[0].query == "cherry"
+
+    def test_indexing(self, log):
+        assert log[0].timestamp == 10.0

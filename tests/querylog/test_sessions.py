@@ -1,0 +1,101 @@
+"""Tests for time-gap sessionization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.querylog.records import QueryLog, QueryRecord
+from repro.querylog.sessions import (
+    DEFAULT_SESSION_TIMEOUT,
+    Session,
+    split_by_time_gap,
+)
+
+
+def _r(t, user, query, clicked=False):
+    return QueryRecord(t, user, query, clicks=("d",) if clicked else ())
+
+
+class TestSession:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            Session(())
+
+    def test_single_user_enforced(self):
+        with pytest.raises(ValueError):
+            Session((_r(0, "a", "x"), _r(1, "b", "y")))
+
+    def test_chronology_enforced(self):
+        with pytest.raises(ValueError):
+            Session((_r(5, "a", "x"), _r(1, "a", "y")))
+
+    def test_properties(self):
+        s = Session((_r(10, "u", "a"), _r(30, "u", "b", clicked=True)))
+        assert s.user_id == "u"
+        assert s.queries == ("a", "b")
+        assert s.start == 10 and s.end == 30 and s.duration == 20
+        assert s.final_query == "b"
+        assert s.is_satisfactory
+        assert len(s) == 2
+
+    def test_unsatisfactory_when_final_unclicked(self):
+        s = Session((_r(0, "u", "a", clicked=True), _r(1, "u", "b")))
+        assert not s.is_satisfactory
+
+    def test_pairs(self):
+        s = Session((_r(0, "u", "a"), _r(1, "u", "b"), _r(2, "u", "c")))
+        pairs = [(x.query, y.query) for x, y in s.pairs()]
+        assert pairs == [("a", "b"), ("b", "c")]
+
+
+class TestSplitByTimeGap:
+    def test_gap_splits(self):
+        log = QueryLog([_r(0, "u", "a"), _r(DEFAULT_SESSION_TIMEOUT + 1, "u", "b")])
+        sessions = split_by_time_gap(log)
+        assert [s.queries for s in sessions] == [("a",), ("b",)]
+
+    def test_within_timeout_stays_together(self):
+        log = QueryLog([_r(0, "u", "a"), _r(60, "u", "b")])
+        assert [s.queries for s in split_by_time_gap(log)] == [("a", "b")]
+
+    def test_users_never_mixed(self):
+        log = QueryLog([_r(0, "u1", "a"), _r(1, "u2", "b")])
+        sessions = split_by_time_gap(log)
+        assert len(sessions) == 2
+        assert {s.user_id for s in sessions} == {"u1", "u2"}
+
+    def test_consecutive_duplicates_collapsed(self):
+        log = QueryLog([_r(0, "u", "a"), _r(5, "u", "a"), _r(9, "u", "b")])
+        [session] = split_by_time_gap(log)
+        assert session.queries == ("a", "b")
+
+    def test_duplicate_collapse_keeps_click_evidence(self):
+        log = QueryLog(
+            [_r(0, "u", "a"), QueryRecord(5, "u", "a", clicks=("doc",))]
+        )
+        [session] = split_by_time_gap(log)
+        assert session.records[0].clicked
+
+    def test_custom_timeout(self):
+        log = QueryLog([_r(0, "u", "a"), _r(100, "u", "b")])
+        assert len(split_by_time_gap(log, timeout=50)) == 2
+        assert len(split_by_time_gap(log, timeout=200)) == 1
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            split_by_time_gap(QueryLog(), timeout=0)
+
+    def test_accepts_plain_record_iterable(self):
+        records = [_r(0, "u", "a"), _r(10, "u", "b")]
+        assert len(split_by_time_gap(records)) == 1
+
+    def test_empty_log(self):
+        assert split_by_time_gap(QueryLog()) == []
+
+    def test_fixture_log_sessions_reasonable(self, small_log):
+        sessions = split_by_time_gap(small_log)
+        assert sessions
+        # every record lands in exactly one session
+        assert sum(len(s) for s in sessions) <= len(small_log)
+        for session in sessions:
+            assert session.duration <= 10 * DEFAULT_SESSION_TIMEOUT

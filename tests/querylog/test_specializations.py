@@ -1,0 +1,136 @@
+"""Tests for the end-to-end specialization miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.querylog.records import QueryLog, QueryRecord
+from repro.querylog.specializations import MinerConfig, SpecializationMiner
+
+
+def _mini_log():
+    """A hand-built log where 'apple' is clearly ambiguous."""
+    records = []
+    t = 0.0
+    # 6 users refine apple → apple iphone; 3 → apple fruit; 1 → apple tree
+    refinements = (
+        ["apple iphone"] * 6 + ["apple fruit"] * 3 + ["apple tree"]
+    )
+    for i, refinement in enumerate(refinements):
+        user = f"u{i}"
+        records.append(QueryRecord(t, user, "apple"))
+        records.append(
+            QueryRecord(t + 30.0, user, refinement, clicks=("d",))
+        )
+        t += 10_000.0
+    # an unambiguous query
+    records.append(QueryRecord(t, "u99", "python tutorial", clicks=("d",)))
+    return QueryLog(records, name="mini")
+
+
+class TestMinerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(s=0),
+            dict(chain_threshold=2.0),
+            dict(candidates=1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MinerConfig(**kwargs)
+
+
+class TestMiner:
+    @pytest.fixture()
+    def miner(self):
+        return SpecializationMiner(_mini_log()).build()
+
+    def test_detects_ambiguous_query(self, miner):
+        result = miner.mine("apple")
+        assert result
+        assert "apple iphone" in result.queries
+        assert "apple fruit" in result.queries
+
+    def test_probabilities_follow_frequencies(self, miner):
+        result = miner.mine("apple")
+        p_iphone = result.probability("apple iphone")
+        p_fruit = result.probability("apple fruit")
+        assert p_iphone > p_fruit > 0
+        assert p_iphone == pytest.approx(
+            6 / (6 + 3 + 1), abs=0.15
+        )  # tree may or may not survive the popularity filter
+
+    def test_unambiguous_query_empty(self, miner):
+        assert not miner.mine("python tutorial")
+
+    def test_unknown_query_empty(self, miner):
+        assert not miner.mine("never seen before")
+
+    def test_is_ambiguous(self, miner):
+        assert miner.is_ambiguous("apple")
+        assert not miner.is_ambiguous("python tutorial")
+
+    def test_specialization_relation_enforced(self, miner):
+        result = miner.mine("apple")
+        for q in result.queries:
+            assert q.startswith("apple")
+
+    def test_relation_filter_can_be_disabled(self):
+        config = MinerConfig(require_specialization_relation=False)
+        miner = SpecializationMiner(_mini_log(), config).build()
+        assert miner.mine("apple")
+
+    def test_max_specializations_cap(self):
+        config = MinerConfig(max_specializations=2)
+        miner = SpecializationMiner(_mini_log(), config).build()
+        result = miner.mine("apple")
+        assert len(result) <= 2
+        assert sum(p for _, p in result) == pytest.approx(1.0)
+
+    def test_strict_popularity_ratio_prunes(self):
+        # f(apple)=10; with s=1.2 the threshold is ~8.3 so only queries
+        # nearly as popular as the root survive — none do here.
+        config = MinerConfig(s=1.2)
+        miner = SpecializationMiner(_mini_log(), config).build()
+        assert not miner.mine("apple")
+
+    def test_mine_all_returns_only_ambiguous(self, miner):
+        mined = miner.mine_all()
+        assert "apple" in mined
+        assert "python tutorial" not in mined
+
+    def test_mine_all_min_frequency(self, miner):
+        mined = miner.mine_all(min_frequency=11)
+        assert mined == {}
+
+    def test_lazy_build_on_property_access(self):
+        miner = SpecializationMiner(_mini_log())
+        assert miner.recommender.is_trained
+        assert miner.flow_graph.num_nodes > 0
+        assert miner.logical_sessions
+
+
+class TestMinerOnSyntheticLog:
+    def test_detects_topic_roots(self, small_miner, small_corpus, small_log):
+        detectable = [
+            t for t in small_corpus.topics if small_log.frequency(t.query) >= 5
+        ]
+        hits = sum(1 for t in detectable if small_miner.is_ambiguous(t.query))
+        assert hits >= max(1, len(detectable) // 2)
+
+    def test_mined_probabilities_track_ground_truth(
+        self, small_miner, small_corpus, small_log
+    ):
+        topic = max(
+            small_corpus.topics, key=lambda t: small_log.frequency(t.query)
+        )
+        result = small_miner.mine(topic.query)
+        if not result:
+            pytest.skip("head topic not detected in fixture log")
+        truth_head = topic.aspects[0].query
+        mined_head = result.queries[0]
+        # The most popular mined specialization is the ground-truth head
+        # aspect (or at worst the second).
+        assert mined_head in {truth_head, topic.aspects[1].query}

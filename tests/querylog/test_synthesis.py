@@ -1,0 +1,139 @@
+"""Tests for synthetic query-log generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.querylog.flowgraph import is_specialization
+from repro.querylog.sessions import split_by_time_gap
+from repro.querylog.synthesis import (
+    AOL_PROFILE,
+    MSN_PROFILE,
+    LogProfile,
+    generate_query_log,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        CorpusConfig(num_topics=4, docs_per_aspect=6, background_docs=40, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def log(corpus):
+    return generate_query_log(corpus, AOL_PROFILE.scaled(0.05))
+
+
+class TestProfiles:
+    def test_builtin_profiles_shape(self):
+        assert AOL_PROFILE.duration_days > MSN_PROFILE.duration_days
+        assert AOL_PROFILE.num_sessions > MSN_PROFILE.num_sessions
+
+    def test_scaled_preserves_shape(self):
+        scaled = AOL_PROFILE.scaled(0.5)
+        assert scaled.num_sessions == AOL_PROFILE.num_sessions // 2
+        assert scaled.duration_days == AOL_PROFILE.duration_days
+        assert scaled.name == AOL_PROFILE.name
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            AOL_PROFILE.scaled(0)
+
+    def test_profile_is_frozen(self):
+        with pytest.raises(AttributeError):
+            AOL_PROFILE.num_sessions = 1
+
+
+class TestGeneratedLog:
+    def test_log_named_after_profile(self, log):
+        assert log.name == "AOL"
+
+    def test_deterministic(self, corpus):
+        a = generate_query_log(corpus, MSN_PROFILE.scaled(0.02))
+        b = generate_query_log(corpus, MSN_PROFILE.scaled(0.02))
+        assert len(a) == len(b)
+        assert [r.query for r in a][:50] == [r.query for r in b][:50]
+
+    def test_seed_override_changes_log(self, corpus):
+        a = generate_query_log(corpus, MSN_PROFILE.scaled(0.02), seed=1)
+        b = generate_query_log(corpus, MSN_PROFILE.scaled(0.02), seed=2)
+        assert [r.query for r in a] != [r.query for r in b]
+
+    def test_timestamps_within_duration(self, log):
+        start, end = log.time_span
+        slack = 600.0  # in-session gaps can exceed the nominal duration
+        assert start >= 0.0
+        assert end <= AOL_PROFILE.duration_days * 86_400.0 + slack
+
+    def test_contains_topic_root_queries(self, log, corpus):
+        roots = [t.query for t in corpus.topics]
+        assert any(log.frequency(root) > 0 for root in roots)
+
+    def test_contains_aspect_specializations(self, log, corpus):
+        head_topic = corpus.topics[0]
+        spec_frequencies = [
+            log.frequency(a.query) for a in head_topic.aspects
+        ]
+        assert sum(1 for f in spec_frequencies if f > 0) >= 2
+
+    def test_head_aspect_more_popular_in_log(self, log, corpus):
+        # Zipf aspect popularity must be visible in refinement counts for
+        # the most queried topic.
+        best_topic = max(corpus.topics, key=lambda t: log.frequency(t.query))
+        head = log.frequency(best_topic.aspects[0].query)
+        tail = log.frequency(best_topic.aspects[-1].query)
+        assert head >= tail
+
+    def test_roots_cooccur_with_specs_in_sessions(self, log, corpus):
+        roots = {t.query for t in corpus.topics}
+        found = False
+        for session in split_by_time_gap(log):
+            queries = session.queries
+            for first, second in zip(queries, queries[1:]):
+                if first in roots and is_specialization(first, second):
+                    found = True
+                    break
+        assert found
+
+    def test_some_clicks_present(self, log):
+        assert any(r.clicked for r in log)
+
+    def test_results_attached_to_topical_queries(self, log, corpus):
+        root = max(
+            (t.query for t in corpus.topics), key=log.frequency
+        )
+        for record in log:
+            if record.query == root and record.results:
+                assert all(isinstance(d, str) and d for d in record.results)
+                break
+        else:
+            pytest.fail("no root query with results found")
+
+    def test_noise_refinements_exist(self, corpus):
+        profile = LogProfile(
+            name="noisy",
+            num_sessions=300,
+            num_users=50,
+            topical_fraction=0.0,
+            noise_refinement_probability=1.0,
+        )
+        log = generate_query_log(corpus, profile)
+        sessions = split_by_time_gap(log)
+        refinements = sum(
+            1
+            for s in sessions
+            for a, b in s.pairs()
+            if is_specialization(a.query, b.query)
+        )
+        assert refinements > 50
+
+    def test_zero_topical_fraction_emits_no_topic_queries(self, corpus):
+        profile = LogProfile(
+            name="pure-noise", num_sessions=200, num_users=20, topical_fraction=0.0
+        )
+        log = generate_query_log(corpus, profile)
+        roots = {t.query for t in corpus.topics}
+        assert all(r.query not in roots for r in log)

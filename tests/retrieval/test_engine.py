@@ -1,0 +1,103 @@
+"""Tests for ResultList and the SearchEngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval.engine import ResultList, SearchEngine
+from repro.retrieval.models import BM25
+
+
+class TestResultList:
+    def test_ranks_are_one_based(self):
+        rl = ResultList("q", [("a", 2.0), ("b", 1.0)])
+        assert rl[0].rank == 1
+        assert rl.rank_of("b") == 2
+
+    def test_duplicate_doc_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ResultList("q", [("a", 1.0), ("a", 0.5)])
+
+    def test_contains_and_score_of(self):
+        rl = ResultList("q", [("a", 2.0)])
+        assert "a" in rl and "b" not in rl
+        assert rl.score_of("a") == 2.0
+        assert rl.score_of("b", default=-1.0) == -1.0
+
+    def test_truncate(self):
+        rl = ResultList("q", [("a", 3.0), ("b", 2.0), ("c", 1.0)])
+        top = rl.truncate(2)
+        assert top.doc_ids == ["a", "b"]
+        assert top.rank_of("b") == 2
+
+    def test_iteration_and_len(self):
+        rl = ResultList("q", [("a", 1.0), ("b", 0.5)])
+        assert len(rl) == 2
+        assert [r.doc_id for r in rl] == ["a", "b"]
+
+    def test_unknown_rank_raises(self):
+        with pytest.raises(KeyError):
+            ResultList("q", []).rank_of("a")
+
+
+class TestSearchEngine:
+    @pytest.fixture()
+    def engine(self, tiny_collection):
+        return SearchEngine(tiny_collection)
+
+    def test_topical_ranking(self, engine):
+        results = engine.search("apple orchard")
+        assert results.doc_ids[0] == "apple-fruit"
+
+    def test_multi_term_beats_single_term(self, engine):
+        results = engine.search("apple computer")
+        assert results.doc_ids[0] in ("apple-pc", "apple-both")
+
+    def test_k_limits_results(self, engine):
+        assert len(engine.search("apple", k=2)) == 2
+
+    def test_unmatched_query_empty(self, engine):
+        assert len(engine.search("xylophone")) == 0
+
+    def test_stopword_only_query_empty(self, engine):
+        assert len(engine.search("the of and")) == 0
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("apple", k=0)
+
+    def test_scores_descending(self, engine):
+        scores = engine.search("apple fruit").scores
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_tie_break(self, engine):
+        a = engine.search("apple").doc_ids
+        b = engine.search("apple").doc_ids
+        assert a == b
+
+    def test_model_swap_changes_scores(self, tiny_collection):
+        dph = SearchEngine(tiny_collection)
+        bm25 = SearchEngine(tiny_collection, model=BM25())
+        q = "apple fruit"
+        assert dph.search(q).scores != bm25.search(q).scores
+
+    def test_snippet_for_result(self, engine):
+        snippet = engine.snippet("apple orchard", "apple-fruit")
+        assert snippet.doc_id == "apple-fruit"
+        assert snippet.text
+
+    def test_snippet_vectors_cover_all_results(self, engine):
+        results = engine.search("apple")
+        vectors = engine.snippet_vectors("apple", results)
+        assert set(vectors) == set(results.doc_ids)
+
+    def test_search_on_fixture_corpus(self, small_engine, small_corpus):
+        topic = small_corpus.topics[0]
+        results = small_engine.search(topic.query, k=30)
+        assert len(results) > 0
+        # Top results for a topic query are documents of that topic.
+        top_labels = [
+            small_corpus.labels.get(d, (None, None))[0]
+            for d in results.doc_ids[:5]
+        ]
+        assert top_labels.count(topic.topic_id) >= 3

@@ -1,0 +1,112 @@
+"""Tests for the inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.index import InvertedIndex, PostingList
+
+
+class TestPostingList:
+    def test_append_accumulates_statistics(self):
+        postings = PostingList()
+        postings.append(0, 3)
+        postings.append(2, 1)
+        assert postings.document_frequency == 2
+        assert postings.collection_frequency == 4
+        assert len(postings) == 2
+
+    def test_out_of_order_append_rejected(self):
+        postings = PostingList()
+        postings.append(5, 1)
+        with pytest.raises(ValueError):
+            postings.append(3, 1)
+
+    def test_iteration_yields_postings(self):
+        postings = PostingList()
+        postings.append(1, 2)
+        [(p)] = list(postings)
+        assert (p.ordinal, p.tf) == (1, 2)
+
+
+class TestInvertedIndex:
+    @pytest.fixture()
+    def index(self, tiny_collection):
+        return InvertedIndex.from_collection(tiny_collection)
+
+    def test_document_count(self, index, tiny_collection):
+        assert index.num_documents == len(tiny_collection)
+
+    def test_terms_are_stemmed(self, index):
+        # "computer" stems to "comput"
+        assert "comput" in index
+        assert "computer" not in index
+
+    def test_stopwords_not_indexed(self, index):
+        assert "the" not in index
+        assert "and" not in index
+
+    def test_document_frequency(self, index):
+        # "appl" occurs in apple-pc, apple-fruit, apple-both
+        assert index.document_frequency("appl") == 3
+
+    def test_collection_frequency_counts_repeats(self, index):
+        # Bodies contribute 4 occurrences (apple-both has two) and the
+        # titles of apple-pc / apple-fruit add one each.
+        assert index.collection_frequency("appl") == 6
+
+    def test_unknown_term(self, index):
+        assert index.document_frequency("zzz") == 0
+        assert index.collection_frequency("zzz") == 0
+        assert index.postings("zzz") is None
+
+    def test_doc_id_round_trip(self, index):
+        ordinal = index.ordinal("banana")
+        assert index.doc_id(ordinal) == "banana"
+
+    def test_document_length_excludes_stopwords(self):
+        index = InvertedIndex()
+        index.index_document(Document("d", "the apple and the tree"))
+        assert index.document_length(0) == 2
+
+    def test_average_document_length(self):
+        index = InvertedIndex()
+        index.index_document(Document("a", "one two three"))
+        index.index_document(Document("b", "one"))
+        assert index.average_document_length == 2.0
+
+    def test_empty_index_statistics(self):
+        index = InvertedIndex()
+        assert index.num_documents == 0
+        assert index.average_document_length == 0.0
+        assert index.num_terms == 0
+
+    def test_duplicate_doc_id_rejected(self):
+        index = InvertedIndex()
+        index.index_document(Document("d", "x y"))
+        with pytest.raises(ValueError):
+            index.index_document(Document("d", "z"))
+
+    def test_title_is_indexed(self):
+        index = InvertedIndex()
+        index.index_document(Document("d", "body", title="leopard"))
+        assert index.document_frequency("leopard") == 1
+
+    def test_vocabulary_enumerates_terms(self, index):
+        vocab = set(index.vocabulary())
+        assert "appl" in vocab and "banana" in vocab
+
+    def test_custom_analyzer_respected(self):
+        index = InvertedIndex(Analyzer(stopwords=(), use_stemming=False))
+        index.index_document(Document("d", "the running"))
+        assert "running" in index and "the" in index
+
+    def test_incremental_indexing(self):
+        index = InvertedIndex()
+        index.index_document(Document("a", "apple"))
+        before = index.document_frequency("appl")
+        index.index_document(Document("b", "apple apple"))
+        assert index.document_frequency("appl") == before + 1
+        assert index.total_tokens == 3

@@ -1,0 +1,103 @@
+"""Tests for term vectors, cosine and the δ distance of Eq. (2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.similarity import TermVector, cosine, delta
+
+
+class TestTermVector:
+    def test_l2_normalised(self):
+        v = TermVector({"a": 3.0, "b": 4.0})
+        assert sum(w * w for w in v.weights.values()) == pytest.approx(1.0)
+
+    def test_empty_vector(self):
+        v = TermVector({})
+        assert not v
+        assert v.norm == 0.0
+
+    def test_zero_weights_dropped(self):
+        v = TermVector({"a": 1.0, "b": 0.0})
+        assert "b" not in v.weights
+
+    def test_from_terms_counts(self):
+        v = TermVector.from_terms(["a", "a", "b"])
+        assert v.weights["a"] > v.weights["b"]
+
+    def test_from_text_uses_analyzer(self):
+        v = TermVector.from_text("the running leopards")
+        assert set(v.weights) == {"run", "leopard"}
+
+    def test_from_text_idf_weighting(self):
+        idf = {"appl": 5.0, "fruit": 0.1}
+        v = TermVector.from_text_idf("apple fruit", idf)
+        assert v.weights["appl"] > v.weights["fruit"]
+
+    def test_from_text_idf_default(self):
+        v = TermVector.from_text_idf("apple fruit", {}, default_idf=1.0)
+        assert set(v.weights) == {"appl", "fruit"}
+
+    def test_dot_iterates_smaller_side(self):
+        small = TermVector({"a": 1.0})
+        big = TermVector({ch: 1.0 for ch in "abcdefgh"})
+        assert small.dot(big) == pytest.approx(big.dot(small))
+
+    def test_len(self):
+        assert len(TermVector({"a": 1.0, "b": 2.0})) == 2
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = TermVector({"a": 2.0, "b": 1.0})
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine(TermVector({"a": 1.0}), TermVector({"b": 1.0})) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        sim = cosine(TermVector({"a": 1.0, "b": 1.0}), TermVector({"a": 1.0}))
+        assert 0.0 < sim < 1.0
+
+    def test_symmetry(self):
+        v1 = TermVector({"a": 1.0, "b": 3.0})
+        v2 = TermVector({"b": 2.0, "c": 1.0})
+        assert cosine(v1, v2) == pytest.approx(cosine(v2, v1))
+
+    def test_empty_vector_similarity_zero(self):
+        v = TermVector({"a": 1.0})
+        empty = TermVector({})
+        assert cosine(v, empty) == 0.0
+        assert cosine(empty, empty) == 0.0
+
+    def test_clamped_to_unit(self):
+        v = TermVector({"a": 1e-8, "b": 1e8})
+        assert cosine(v, v) <= 1.0
+
+
+class TestDelta:
+    """δ must satisfy the paper's stated properties (Section 3.1)."""
+
+    def test_identity_of_indiscernibles(self):
+        v = TermVector({"a": 1.0, "b": 2.0})
+        assert delta(v, v) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        v1 = TermVector({"a": 1.0})
+        v2 = TermVector({"a": 1.0, "b": 1.0})
+        assert delta(v1, v2) == pytest.approx(delta(v2, v1))
+
+    def test_non_negative_and_bounded(self):
+        v1 = TermVector({"a": 1.0})
+        v2 = TermVector({"b": 1.0})
+        assert 0.0 <= delta(v1, v2) <= 1.0
+
+    def test_disjoint_vectors_distance_one(self):
+        assert delta(TermVector({"a": 1.0}), TermVector({"b": 1.0})) == 1.0
+
+    def test_analyzer_consistency(self):
+        analyzer = Analyzer()
+        v1 = TermVector.from_text("apple computers", analyzer)
+        v2 = TermVector.from_text("apple computer", analyzer)
+        assert delta(v1, v2) == pytest.approx(0.0)

@@ -1,0 +1,72 @@
+"""Tests for query-biased snippet extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval.snippets import SnippetExtractor
+
+
+@pytest.fixture()
+def extractor():
+    return SnippetExtractor(max_chars=120)
+
+
+class TestSnippetExtractor:
+    def test_respects_budget(self, extractor):
+        text = "word " * 500
+        snippet = extractor.extract("word", "d1", text)
+        assert len(snippet.text) <= 120
+
+    def test_snippet_carries_doc_id(self, extractor):
+        assert extractor.extract("q", "d42", "some text").doc_id == "d42"
+
+    def test_title_included_first(self, extractor):
+        snippet = extractor.extract("query", "d1", "body only here", title="The Title")
+        assert snippet.text.startswith("The Title")
+
+    def test_query_biased_window_selection(self):
+        extractor = SnippetExtractor(max_chars=60)
+        text = (
+            "nothing relevant here at all in this opening sentence. "
+            "the leopard tank is a german vehicle. "
+            "more filler content afterwards follows here."
+        )
+        snippet = extractor.extract("leopard tank", "d1", text)
+        assert "leopard" in snippet.text
+
+    def test_sentences_preferred_as_windows(self, extractor):
+        text = "first sentence here. second sentence about apples. third one."
+        snippet = extractor.extract("apples", "d1", text)
+        assert "apples" in snippet.text
+
+    def test_fixed_windows_without_punctuation(self):
+        extractor = SnippetExtractor(max_chars=80, window_terms=5)
+        tokens = ["filler"] * 30 + ["needle"] + ["filler"] * 30
+        snippet = extractor.extract("needle", "d1", " ".join(tokens))
+        assert "needle" in snippet.text
+
+    def test_empty_document(self, extractor):
+        assert extractor.extract("q", "d1", "").text == ""
+
+    def test_empty_query_falls_back_to_leading_text(self, extractor):
+        snippet = extractor.extract("", "d1", "alpha beta gamma. delta.")
+        assert snippet.text  # still produces a surrogate
+
+    def test_selected_windows_in_document_order(self):
+        extractor = SnippetExtractor(max_chars=200)
+        text = "apple one. filler. apple two. filler. apple three."
+        snippet = extractor.extract("apple", "d1", text)
+        first = snippet.text.find("one")
+        second = snippet.text.find("two")
+        assert -1 < first < second or second == -1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SnippetExtractor(max_chars=0)
+        with pytest.raises(ValueError):
+            SnippetExtractor(window_terms=0)
+
+    def test_len_protocol(self, extractor):
+        snippet = extractor.extract("q", "d", "abc def")
+        assert len(snippet) == len(snippet.text)

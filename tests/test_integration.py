@@ -1,0 +1,108 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the full paper pipeline — corpus → engine → log → QFG →
+recommender → Algorithm 1 → utilities → diversifiers → metrics — on the
+shared session fixtures, asserting the cross-module contracts hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import DiversificationFramework, FrameworkConfig, get_diversifier
+from repro.evaluation.metrics import alpha_ndcg, subtopic_recall
+from repro.evaluation.runner import evaluate_run
+
+
+class TestFullPipeline:
+    def test_specialization_probabilities_track_ground_truth(
+        self, small_corpus, small_miner, small_log
+    ):
+        """Mined P(q'|q) must correlate with the generator's aspect
+        popularity for well-observed topics (Definition 1 end-to-end)."""
+        topic = max(
+            small_corpus.topics, key=lambda t: small_log.frequency(t.query)
+        )
+        mined = small_miner.mine(topic.query)
+        if len(mined) < 3:
+            pytest.skip("head topic not mined richly enough")
+        truth = {a.query: a.popularity for a in topic.aspects}
+        shared = [q for q in mined.queries if q in truth]
+        assert len(shared) >= 2
+        mined_order = sorted(shared, key=mined.probability, reverse=True)
+        truth_order = sorted(shared, key=truth.__getitem__, reverse=True)
+        # The top mined specialization is the true head (or its runner-up).
+        assert mined_order[0] in truth_order[:2]
+
+    def test_diversified_run_beats_baseline_on_alpha_ndcg(
+        self, small_corpus, small_testbed, small_engine, small_miner
+    ):
+        """The paper's core effectiveness claim at fixture scale."""
+        config = FrameworkConfig(k=10, candidates=80, spec_results=10)
+        framework = DiversificationFramework(
+            small_engine, small_miner, get_diversifier("optselect"), config
+        )
+        baseline_run, diversified_run = {}, {}
+        for topic in small_testbed.topics:
+            baseline_run[topic.topic_id] = small_engine.search(
+                topic.query, 10
+            ).doc_ids
+            result = framework.diversify_query(topic.query)
+            diversified_run[topic.topic_id] = (
+                result.ranking if result.diversified else baseline_run[topic.topic_id]
+            )
+        base = evaluate_run(baseline_run, small_testbed, cutoffs=(10,))
+        div = evaluate_run(diversified_run, small_testbed, cutoffs=(10,))
+        assert div.mean("alpha-ndcg", 10) >= base.mean("alpha-ndcg", 10)
+
+    def test_diversification_improves_subtopic_recall(
+        self, small_testbed, small_framework, ambiguous_topic
+    ):
+        result = small_framework.diversify_query(ambiguous_topic.query)
+        assert result.diversified
+        k = len(result.ranking)
+        recall_div = subtopic_recall(
+            result.ranking, ambiguous_topic.topic_id, small_testbed.qrels, cutoff=k
+        )
+        recall_base = subtopic_recall(
+            result.baseline.doc_ids[:k],
+            ambiguous_topic.topic_id,
+            small_testbed.qrels,
+            cutoff=k,
+        )
+        assert recall_div >= recall_base
+
+    def test_all_algorithms_run_on_every_detected_topic(
+        self, small_corpus, small_engine, small_miner
+    ):
+        config = FrameworkConfig(k=8, candidates=60, spec_results=8)
+        for name in ("optselect", "xquad", "iaselect", "mmr"):
+            framework = DiversificationFramework(
+                small_engine, small_miner, get_diversifier(name), config
+            )
+            produced = 0
+            for topic in small_corpus.topics:
+                result = framework.diversify_query(topic.query)
+                if result.diversified:
+                    produced += 1
+                    assert len(result.ranking) <= config.k
+            assert produced >= 1, name
+
+    def test_rankings_are_evaluable(
+        self, small_testbed, small_framework, ambiguous_topic
+    ):
+        result = small_framework.diversify_query(ambiguous_topic.query)
+        value = alpha_ndcg(
+            result.ranking, ambiguous_topic.topic_id, small_testbed.qrels, cutoff=10
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_unseen_vocabulary_query_flows_through(self, small_framework):
+        result = small_framework.diversify_query("completely unseen words")
+        assert not result.diversified
+        assert result.ranking == []
+
+    def test_determinism_end_to_end(self, small_framework, ambiguous_topic):
+        first = small_framework.diversify_query(ambiguous_topic.query)
+        second = small_framework.diversify_query(ambiguous_topic.query)
+        assert first.ranking == second.ranking

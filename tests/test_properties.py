@@ -1,0 +1,310 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ambiguity import SpecializationSet
+from repro.core.heaps import BoundedMaxHeap
+from repro.core.iaselect import IASelect
+from repro.core.objectives import (
+    max_utility_objective,
+    ql_diversify_objective,
+)
+from repro.core.optselect import OptSelect
+from repro.core.task import DiversificationTask
+from repro.core.utility import UtilityMatrix, harmonic_number
+from repro.core.xquad import XQuAD
+from repro.evaluation.metrics import alpha_ndcg, intent_aware_precision
+from repro.corpus.trec import DiversityQrels
+from repro.evaluation.significance import wilcoxon_signed_rank
+from repro.retrieval.analysis import PorterStemmer, tokenize
+from repro.retrieval.engine import ResultList
+from repro.retrieval.similarity import TermVector, cosine, delta
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+weights = st.dictionaries(
+    words, st.floats(min_value=0.01, max_value=10.0), min_size=0, max_size=10
+)
+
+
+@st.composite
+def tasks(draw):
+    """Random but well-formed diversification tasks."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    m = draw(st.integers(min_value=1, max_value=4))
+    doc_ids = [f"d{i}" for i in range(n)]
+    scores = [(d, float(n - i)) for i, d in enumerate(doc_ids)]
+    spec_names = [f"s{j}" for j in range(m)]
+    freqs = {
+        s: draw(st.integers(min_value=1, max_value=50)) for s in spec_names
+    }
+    values = {}
+    for s in spec_names:
+        row = {}
+        for d in doc_ids:
+            if draw(st.booleans()):
+                row[d] = draw(st.floats(min_value=0.0, max_value=1.0))
+        values[s] = row
+    lam = draw(st.floats(min_value=0.0, max_value=1.0))
+    return DiversificationTask.create(
+        query="q",
+        candidates=ResultList("q", scores),
+        specializations=SpecializationSet.from_frequencies("q", freqs),
+        utilities=UtilityMatrix(values, doc_ids),
+        lambda_=lam,
+        relevance_method="sum",
+    )
+
+
+# ---------------------------------------------------------------------------
+# text analysis
+# ---------------------------------------------------------------------------
+
+class TestAnalysisProperties:
+    @given(st.text(max_size=200))
+    def test_tokenize_output_is_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token.isalnum()
+
+    @given(words)
+    def test_stemmer_reaches_fixed_point(self, word):
+        # Porter is not idempotent in general (a stem ending in 's' can be
+        # stripped again), but iterating must shrink monotonically and
+        # terminate at a fixed point within a few rounds.
+        stem = PorterStemmer()
+        current = word
+        for _ in range(6):
+            nxt = stem(current)
+            assert len(nxt) <= len(current)
+            if nxt == current:
+                break
+            current = nxt
+        else:
+            assert stem(current) == current
+
+    @given(words)
+    def test_stemmer_never_longer(self, word):
+        assert len(PorterStemmer()(word)) <= len(word)
+
+    @given(words)
+    def test_stemmer_nonempty(self, word):
+        assert PorterStemmer()(word)
+
+
+# ---------------------------------------------------------------------------
+# similarity
+# ---------------------------------------------------------------------------
+
+class TestSimilarityProperties:
+    @given(weights, weights)
+    def test_cosine_bounds_and_symmetry(self, w1, w2):
+        v1, v2 = TermVector(w1), TermVector(w2)
+        sim = cosine(v1, v2)
+        assert 0.0 <= sim <= 1.0
+        assert sim == cosine(v2, v1)
+
+    @given(weights)
+    def test_delta_self_zero_for_nonempty(self, w):
+        v = TermVector(w)
+        if v:
+            assert delta(v, v) < 1e-9
+
+    @given(weights, weights)
+    def test_delta_properties(self, w1, w2):
+        v1, v2 = TermVector(w1), TermVector(w2)
+        d = delta(v1, v2)
+        assert 0.0 <= d <= 1.0
+        assert d == delta(v2, v1)
+
+
+# ---------------------------------------------------------------------------
+# heaps
+# ---------------------------------------------------------------------------
+
+class TestHeapProperties:
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=60),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_heap_matches_sorted_reference(self, scores, capacity):
+        heap = BoundedMaxHeap(capacity)
+        for i, score in enumerate(scores):
+            heap.push(i, score)
+        drained = [s for _, s in heap.drain()]
+        assert drained == sorted(scores, reverse=True)[:capacity]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=30))
+    def test_pop_max_monotone(self, scores):
+        heap = BoundedMaxHeap(len(scores))
+        for i, score in enumerate(scores):
+            heap.push(i, score)
+        popped = []
+        while heap:
+            popped.append(heap.pop_max()[1])
+        assert popped == sorted(popped, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# harmonic number
+# ---------------------------------------------------------------------------
+
+class TestHarmonicProperties:
+    @given(st.integers(min_value=1, max_value=500))
+    def test_bounds(self, n):
+        h = harmonic_number(n)
+        assert math.log(n + 1) <= h <= math.log(n) + 1
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_recurrence(self, n):
+        assert harmonic_number(n) == harmonic_number(n - 1) + 1.0 / n
+
+
+# ---------------------------------------------------------------------------
+# diversification invariants
+# ---------------------------------------------------------------------------
+
+class TestDiversifierProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks(), st.integers(min_value=1, max_value=25))
+    def test_common_invariants(self, task, k):
+        for algorithm in (OptSelect(), XQuAD(), IASelect()):
+            selected = algorithm.diversify(task, k)
+            assert len(selected) == min(k, task.n)
+            assert len(set(selected)) == len(selected)
+            assert set(selected) <= set(task.candidates.doc_ids)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks(), st.integers(min_value=1, max_value=10))
+    def test_greedy_objectives_monotone_in_prefix(self, task, k):
+        """Every greedy prefix extends the coverage objective
+        monotonically (it is a monotone submodular function)."""
+        selected = IASelect().diversify(task, k)
+        previous = 0.0
+        for i in range(1, len(selected) + 1):
+            value = ql_diversify_objective(task, selected[:i])
+            assert value >= previous - 1e-9
+            previous = value
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_optselect_additivity(self, task):
+        selected = OptSelect().diversify(task, min(5, task.n))
+        total = max_utility_objective(task, selected)
+        assert total == sum(task.overall_utility(d) for d in selected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks(), st.floats(min_value=0.0, max_value=1.0))
+    def test_threshold_never_raises_utility(self, task, c):
+        thresholded = task.with_threshold(c)
+        for d in task.candidates.doc_ids:
+            for spec, _ in task.specializations:
+                assert thresholded.utilities.value(d, spec) <= (
+                    task.utilities.value(d, spec) + 1e-12
+                )
+
+
+# ---------------------------------------------------------------------------
+# specialization sets
+# ---------------------------------------------------------------------------
+
+class TestSpecializationProperties:
+    @given(
+        st.dictionaries(
+            words, st.integers(min_value=1, max_value=1000), min_size=1, max_size=10
+        )
+    )
+    def test_from_frequencies_is_distribution(self, freqs):
+        s = SpecializationSet.from_frequencies("q", freqs)
+        assert sum(p for _, p in s) == 1.0 or abs(
+            sum(p for _, p in s) - 1.0
+        ) < 1e-9
+        probs = [p for _, p in s]
+        assert probs == sorted(probs, reverse=True)
+
+    @given(
+        st.dictionaries(
+            words, st.integers(min_value=1, max_value=1000), min_size=2, max_size=10
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_top_k_is_distribution(self, freqs, k):
+        s = SpecializationSet.from_frequencies("q", freqs).top(k)
+        assert len(s) <= k
+        assert abs(sum(p for _, p in s) - 1.0) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+@st.composite
+def judged_rankings(draw):
+    docs = [f"d{i}" for i in range(10)]
+    qrels = DiversityQrels()
+    n_subtopics = draw(st.integers(min_value=1, max_value=4))
+    any_judged = False
+    for s in range(1, n_subtopics + 1):
+        for d in docs:
+            if draw(st.booleans()):
+                qrels.add(1, s, d)
+                any_judged = True
+    if not any_judged:
+        qrels.add(1, 1, docs[0])
+    ranking = draw(st.permutations(docs))
+    return ranking, qrels
+
+
+class TestMetricProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(judged_rankings(), st.integers(min_value=1, max_value=10))
+    def test_alpha_ndcg_bounds(self, data, cutoff):
+        ranking, qrels = data
+        value = alpha_ndcg(ranking, 1, qrels, cutoff=cutoff)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(judged_rankings(), st.integers(min_value=1, max_value=10))
+    def test_ia_precision_bounds(self, data, cutoff):
+        ranking, qrels = data
+        value = intent_aware_precision(ranking, 1, qrels, cutoff=cutoff)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(judged_rankings())
+    def test_greedy_ideal_is_upper_bound(self, data):
+        """No permutation of the judged docs can beat α-NDCG = 1 + ε."""
+        ranking, qrels = data
+        assert alpha_ndcg(ranking, 1, qrels, cutoff=10) <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# significance
+# ---------------------------------------------------------------------------
+
+class TestWilcoxonProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-10, max_value=10),
+                st.floats(min_value=-10, max_value=10),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_p_value_in_unit_interval(self, pairs):
+        a = [x for x, _ in pairs]
+        b = [y for _, y in pairs]
+        result = wilcoxon_signed_rank(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.w_plus >= 0 and result.w_minus >= 0
