@@ -31,6 +31,24 @@ def test_optselect_time_vs_k(benchmark, task_10k, k):
     benchmark(OptSelect().diversify, task_10k, k)
 
 
+@pytest.mark.parametrize("k", (10, 100, 1000))
+def test_fast_optselect_time_vs_k(benchmark, task_10k, k):
+    from repro.core.fast import FastOptSelect
+
+    benchmark.group = "table2-optselect-n10k"
+    benchmark(FastOptSelect().diversify, task_10k, k)
+
+
+@pytest.mark.parametrize("k", (10, 50, 100))
+def test_fast_xquad_time_vs_k(benchmark, task_10k, k):
+    """The kernel variant runs the n=10k cells the pure-Python xQuAD
+    cannot afford in this suite."""
+    from repro.core.fast import FastXQuAD
+
+    benchmark.group = "table2-xquad-fast-n10k"
+    benchmark(FastXQuAD().diversify, task_10k, k)
+
+
 @pytest.mark.parametrize("k", (10, 50, 100))
 def test_xquad_time_vs_k(benchmark, task_1k, k):
     benchmark.group = "table2-xquad-n1k"

@@ -1,9 +1,12 @@
-"""Quickstart: diversify an ambiguous query end to end.
+"""Quickstart: diversify an ambiguous query end to end, the served way.
 
 Builds the whole stack at toy scale — synthetic web corpus, DPH search
-engine, synthetic query log, specialization miner — then runs the paper's
-pipeline on an ambiguous query and prints the baseline SERP next to the
-OptSelect-diversified SERP with ground-truth aspect labels.
+engine, synthetic query log, specialization miner — then serves the
+paper's pipeline through :class:`~repro.serving.DiversificationService`:
+``warm()`` precomputes the specialization artifacts offline (Section 4.1)
+and ``diversify()`` answers from the warmed caches, printing the baseline
+SERP next to the OptSelect-diversified SERP with ground-truth aspect
+labels plus the service's latency/cache statistics.
 
 Run::
 
@@ -16,6 +19,7 @@ from repro import (
     AOL_PROFILE,
     CorpusConfig,
     DiversificationFramework,
+    DiversificationService,
     FrameworkConfig,
     OptSelect,
     SearchEngine,
@@ -48,13 +52,22 @@ def main() -> None:
         OptSelect(),
         FrameworkConfig(k=10, candidates=150, spec_results=15, threshold=0.2),
     )
+    service = DiversificationService(framework)
+
+    print("5. warming the service (offline specialization artifacts) ...")
+    report = service.warm(topic.query for topic in corpus.topics)
+    print(
+        f"   {report.ambiguous}/{report.queries} queries ambiguous, "
+        f"{report.fetched} specialization lists precomputed "
+        f"in {report.seconds:.2f}s"
+    )
 
     # Pick the most-queried topic — it is certain to be mined.
     topic = max(corpus.topics, key=lambda t: log.frequency(t.query))
     query = topic.query
-    print(f"\n5. diversifying the ambiguous query {query!r}")
+    print(f"\n6. serving the ambiguous query {query!r}")
 
-    result = framework.diversify_query(query)
+    result = service.diversify(query)
     if not result.diversified:
         print("   Algorithm 1 did not flag the query; try a larger log scale")
         return
@@ -82,6 +95,15 @@ def main() -> None:
     print(
         f"\n   aspects covered: baseline={len(covered_base)}, "
         f"diversified={len(covered_div)}"
+    )
+
+    # Serve the same query again: the bounded result LRU answers it.
+    service.diversify(query)
+    print(f"\n   service: {service.stats.summary()}")
+    print(
+        f"   caches: specialization hit rate "
+        f"{service.spec_cache_info().hit_rate:.0%}, "
+        f"result hit rate {service.result_cache_info().hit_rate:.0%}"
     )
 
 

@@ -98,6 +98,14 @@ from repro.retrieval import (
     cosine,
     delta,
 )
+from repro.serving import (
+    CacheStats,
+    DiversificationService,
+    LRUCache,
+    PreparedQuery,
+    ServiceStats,
+    WarmReport,
+)
 
 __version__ = "1.0.0"
 
@@ -150,6 +158,13 @@ __all__ = [
     "SpecializationMiner",
     "generate_query_log",
     "split_by_time_gap",
+    # serving
+    "CacheStats",
+    "DiversificationService",
+    "LRUCache",
+    "PreparedQuery",
+    "ServiceStats",
+    "WarmReport",
     # retrieval
     "Analyzer",
     "BM25",

@@ -9,6 +9,12 @@
   framework exactly as Sections 3.1.1–3.1.2 describe.
 * MMR (:mod:`repro.core.mmr`) — the classic related-work baseline.
 * :mod:`repro.core.framework` — the end-to-end pipeline.
+* :mod:`repro.core.arrays` / :mod:`repro.core.kernels` /
+  :mod:`repro.core.fast` — the dense task representation and the
+  kernel-backed (numpy) variants of all four diversifiers; imported
+  lazily so numpy stays optional.
+* :mod:`repro.core.cache` — the bounded LRU shared by the framework,
+  the search engine and the serving layer.
 """
 
 from repro.core.ambiguity import (
@@ -17,6 +23,7 @@ from repro.core.ambiguity import (
     ambiguous_query_detect,
 )
 from repro.core.base import Diversifier, DiversifierStats
+from repro.core.cache import CacheStats, LRUCache
 from repro.core.framework import (
     DiversificationFramework,
     DiversifiedResult,
@@ -56,6 +63,8 @@ __all__ = [
     "AmbiguityDetector",
     "SpecializationSet",
     "ambiguous_query_detect",
+    "CacheStats",
+    "LRUCache",
     "Diversifier",
     "DiversifierStats",
     "DiversificationFramework",

@@ -1,0 +1,119 @@
+"""Bounded LRU cache with hit/miss accounting.
+
+The paper's feasibility argument (Section 4.1) is that the per-
+specialization artifacts — result lists R_q' and their snippet vectors —
+are tiny and computed offline, so the online system only ever *reads*
+them.  A production serving path still cannot hold every mined
+specialization in memory, so both the
+:class:`~repro.core.framework.DiversificationFramework` and the
+:mod:`repro.serving` layer keep those artifacts in this bounded LRU
+instead of the seed's unbounded dicts.
+
+The counters (hits / misses / evictions) feed the framework's
+``cache_info()`` and the serving layer's throughput reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one cache's counters."""
+
+    maxsize: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class LRUCache(Generic[K, V]):
+    """A dict bounded to *maxsize* entries, evicting least-recently-used.
+
+    ``get`` counts a hit or a miss and refreshes recency; ``put`` inserts
+    or updates and evicts the stalest entry when over capacity.
+    ``__contains__`` is a pure probe — it does not touch the counters or
+    the recency order — so instrumentation can inspect the cache without
+    distorting its own statistics.
+
+    >>> cache = LRUCache(2)
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> "a" in cache, cache.stats().evictions
+    (False, 1)
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (refreshing recency) or *default*."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/update *key*, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._data.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            maxsize=self.maxsize,
+            size=len(self._data),
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        """Keys, least-recently-used first."""
+        return iter(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache(maxsize={self.maxsize}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

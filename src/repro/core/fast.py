@@ -1,16 +1,21 @@
-"""Vectorised (numpy) variants of the greedy diversifiers.
+"""Kernel-backed (numpy) variants of all four diversifiers.
 
-The reference implementations in :mod:`repro.core.xquad` and
-:mod:`repro.core.iaselect` are pure Python and instrumented — they are
-what the complexity experiments measure.  Their O(n·k·|S_q|) inner loops
-make the paper's largest Table 2 cells (|R_q| = 100k, k = 1000) take tens
-of minutes in the interpreter, so this module provides drop-in variants
-whose per-iteration marginal computation is a dense numpy product.  The
-asymptotics are unchanged (the paper's point survives vectorisation —
+The reference implementations in :mod:`repro.core.optselect`,
+:mod:`repro.core.xquad`, :mod:`repro.core.iaselect` and
+:mod:`repro.core.mmr` are pure Python and instrumented — they are what
+the complexity experiments measure.  Their per-iteration dict loops make
+the paper's largest Table 2 cells (|R_q| = 100k, k = 1000) take tens of
+minutes in the interpreter, so this module provides drop-in variants
+built on the shared dense layer:
+
+* :class:`~repro.core.arrays.TaskArrays` — the ``(doc_ids, U[n×m],
+  p[m], rel[n])`` view built once per task (``task.arrays()``);
+* :mod:`repro.core.kernels` — the common numpy selection kernels.
+
+The asymptotics are unchanged (the paper's point survives vectorisation —
 OptSelect still wins by ~k/log k); only the constant shrinks by ~50×.
-
-Equivalence with the reference implementations is asserted in the test
-suite on randomised tasks.
+Selection equivalence with the references, including tie breaks, is
+asserted in the test suite on randomised tasks.
 
 numpy is an optional dependency: importing this module without numpy
 installed raises ``ImportError`` with a clear message, and the rest of
@@ -19,40 +24,43 @@ the library is unaffected.
 
 from __future__ import annotations
 
-try:
-    import numpy as _np
-except ImportError as _exc:  # pragma: no cover - environment dependent
-    raise ImportError(
-        "repro.core.fast requires numpy; install it or use the pure-Python "
-        "algorithms in repro.core"
-    ) from _exc
+import math
 
+from repro.core import kernels
+from repro.core.arrays import TaskArrays
 from repro.core.base import Diversifier, DiversifierStats
+from repro.core.mmr import MMR
+from repro.core.optselect import OptSelect
 from repro.core.task import DiversificationTask
 
-__all__ = ["FastXQuAD", "FastIASelect"]
+import numpy as _np
+
+__all__ = [
+    "FastOptSelect",
+    "FastXQuAD",
+    "FastIASelect",
+    "FastMMR",
+    "get_fast_diversifier",
+]
 
 
 def _dense_inputs(task: DiversificationTask):
-    """(doc_ids, U[n×m], p[m], rel[n]) dense views of the task."""
-    specializations = task.specializations
-    doc_ids = task.candidates.doc_ids
-    n, m = len(doc_ids), len(specializations)
-    utilities = _np.zeros((n, m), dtype=_np.float64)
-    probabilities = _np.empty(m, dtype=_np.float64)
-    for j, (spec, p) in enumerate(specializations):
-        probabilities[j] = p
-        useful = task.utilities.useful_docs(spec)
-        if useful:
-            index_of = {d: i for i, d in enumerate(doc_ids)}
-            for doc_id, value in useful.items():
-                i = index_of.get(doc_id)
-                if i is not None:
-                    utilities[i, j] = value
-    relevance = _np.array(
-        [task.relevance.get(d, 0.0) for d in doc_ids], dtype=_np.float64
-    )
-    return doc_ids, utilities, probabilities, relevance
+    """(doc_ids, U[n×m], p[m], rel[n]) dense views of the task.
+
+    Retained for backwards compatibility; the dense view now lives in
+    :class:`~repro.core.arrays.TaskArrays` and is memoized on the task.
+    """
+    arrays = task.arrays()
+    return arrays.doc_ids, arrays.utilities, arrays.probabilities, arrays.relevance
+
+
+def _truncated_arrays(task: DiversificationTask, k: int) -> TaskArrays:
+    """The task's dense view, truncated to its k most probable
+    specializations exactly like ``SpecializationSet.top(k)``."""
+    arrays = task.arrays()
+    if arrays.m > k:
+        arrays = arrays.head(k)
+    return arrays
 
 
 class FastXQuAD(Diversifier):
@@ -68,38 +76,13 @@ class FastXQuAD(Diversifier):
     def diversify(self, task: DiversificationTask, k: int) -> list[str]:
         k = self._check_k(task, k)
         stats = DiversifierStats()
-        specializations = task.specializations
-        if len(specializations) > k:
-            specializations = specializations.top(k)
-            task = DiversificationTask(
-                query=task.query,
-                candidates=task.candidates,
-                specializations=specializations,
-                utilities=task.utilities,
-                relevance=task.relevance,
-                lambda_=task.lambda_,
-                vectors=task.vectors,
-            )
-        doc_ids, utilities, probabilities, relevance = _dense_inputs(task)
-        lam = task.lambda_
-        coverage = _np.ones(len(probabilities))
-        taken = _np.zeros(len(doc_ids), dtype=bool)
-        selected: list[str] = []
-        for _ in range(k):
-            novelty = utilities @ (probabilities * coverage)
-            scores = (1.0 - lam) * relevance + lam * novelty
-            scores[taken] = -_np.inf
-            best = int(_np.argmax(scores))
-            stats.marginal_updates += utilities.size
-            if scores[best] == -_np.inf:
-                break
-            taken[best] = True
-            selected.append(doc_ids[best])
-            coverage *= 1.0 - utilities[best]
+        arrays = _truncated_arrays(task, k)
+        picks = kernels.xquad_select(arrays, task.lambda_, k)
+        stats.marginal_updates = arrays.utilities.size * len(picks)
         stats.operations = stats.marginal_updates
-        stats.selected = len(selected)
+        stats.selected = len(picks)
         self.last_stats = stats
-        return selected
+        return [arrays.doc_ids[i] for i in picks]
 
 
 class FastIASelect(Diversifier):
@@ -114,33 +97,118 @@ class FastIASelect(Diversifier):
     def diversify(self, task: DiversificationTask, k: int) -> list[str]:
         k = self._check_k(task, k)
         stats = DiversifierStats()
-        specializations = task.specializations
-        if len(specializations) > k:
-            specializations = specializations.top(k)
-            task = DiversificationTask(
-                query=task.query,
-                candidates=task.candidates,
-                specializations=specializations,
-                utilities=task.utilities,
-                relevance=task.relevance,
-                lambda_=task.lambda_,
-                vectors=task.vectors,
-            )
-        doc_ids, utilities, probabilities, _relevance = _dense_inputs(task)
-        residual = probabilities.copy()
-        taken = _np.zeros(len(doc_ids), dtype=bool)
-        selected: list[str] = []
-        for _ in range(k):
-            gains = utilities @ residual
-            gains[taken] = -_np.inf
-            best = int(_np.argmax(gains))
-            stats.marginal_updates += utilities.size
-            if gains[best] == -_np.inf:
-                break
-            taken[best] = True
-            selected.append(doc_ids[best])
-            residual *= 1.0 - utilities[best]
+        arrays = _truncated_arrays(task, k)
+        picks = kernels.iaselect_select(arrays, k)
+        stats.marginal_updates = arrays.utilities.size * len(picks)
         stats.operations = stats.marginal_updates
-        stats.selected = len(selected)
+        stats.selected = len(picks)
         self.last_stats = stats
-        return selected
+        return [arrays.doc_ids[i] for i in picks]
+
+
+class FastMMR(MMR):
+    """Vectorised MMR; selection-identical to :class:`~repro.core.mmr.MMR`.
+
+    The candidate-candidate cosine matrix is materialised once from the
+    task's surrogate vectors (cached on the dense view); each greedy pick
+    then costs one vectorised max-update instead of |S| sparse cosines
+    per remaining candidate.
+    """
+
+    name = "MMR-fast"
+
+    def diversify(self, task: DiversificationTask, k: int) -> list[str]:
+        k = self._check_k(task, k)
+        if not task.vectors:
+            raise ValueError(
+                "MMR needs candidate surrogate vectors in task.vectors"
+            )
+        stats = DiversifierStats()
+        arrays = task.arrays()
+        similarity = arrays.similarity_matrix(task.vectors)
+        picks = kernels.mmr_select(
+            similarity, arrays.relevance, self.lambda_, k
+        )
+        stats.marginal_updates = arrays.n * len(picks)
+        stats.operations = stats.marginal_updates
+        stats.selected = len(picks)
+        self.last_stats = stats
+        return [arrays.doc_ids[i] for i in picks]
+
+
+class FastOptSelect(OptSelect):
+    """Kernel-backed OptSelect; selection-identical to the reference.
+
+    Overrides the two O(n·|S_q|) stages of Algorithm 2 — the Eq. 9 pass
+    and the heap routing — with dense kernels, and inherits the
+    selection phase unchanged.  :func:`kernels.bounded_retention`
+    replicates :class:`~repro.core.heaps.BoundedMaxHeap`'s
+    earlier-insertion-wins tie rule, so the retained pools (and hence
+    the final ranking) match the reference exactly.
+    """
+
+    name = "OptSelect-fast"
+
+    def _overall_utilities(self, task, specializations, stats):
+        # Eq. 9 uses the task's *full* specialization set (the reference
+        # truncates only the heap phase), so the kernel runs on the
+        # untruncated arrays.
+        arrays = task.arrays()
+        overall = kernels.overall_utilities(arrays, task.lambda_)
+        stats.marginal_updates += arrays.n * max(1, len(specializations))
+        return dict(zip(arrays.doc_ids, overall.tolist()))
+
+    def _build_pools(self, task, specializations, overall, k, stats):
+        arrays = _truncated_arrays(task, k)
+        utilities = arrays.utilities
+        doc_ids = arrays.doc_ids
+        rank_of = task.candidates.rank_of
+
+        useful_mask = _np.zeros(arrays.n, dtype=bool)
+        spec_pools: dict[str, list[str]] = {}
+        pushes = 0
+        for j, (spec, p) in enumerate(specializations):
+            column = utilities[:, j]
+            positive = column > 0.0
+            offered = _np.nonzero(positive)[0]
+            useful_mask |= positive
+            pushes += len(offered)
+            capacity = math.floor(k * p) + 1
+            retained = kernels.bounded_retention(column, capacity, offered)
+            docs = [doc_ids[i] for i in retained]
+            docs.sort(key=lambda d: (-overall[d], rank_of(d)))
+            spec_pools[spec] = docs
+
+        not_useful = _np.nonzero(~useful_mask)[0]
+        pushes += len(not_useful)
+        overall_values = _np.array([overall[doc_ids[i]] for i in not_useful])
+        retained = kernels.bounded_retention(overall_values, k)
+        general_pool = [doc_ids[not_useful[i]] for i in retained]
+        general_pool.sort(key=lambda d: (-overall[d], rank_of(d)))
+
+        stats.heap_pushes = pushes
+        stats.operations = stats.heap_pushes
+        return spec_pools, general_pool
+
+
+def get_fast_diversifier(name: str, **kwargs) -> Diversifier:
+    """Instantiate a kernel-backed algorithm by its paper name.
+
+    Accepts the same names as
+    :func:`repro.core.framework.get_diversifier` (case-insensitive,
+    with or without a ``-fast`` suffix).
+    """
+    registry = {
+        "optselect": FastOptSelect,
+        "iaselect": FastIASelect,
+        "xquad": FastXQuAD,
+        "mmr": FastMMR,
+    }
+    key = name.lower().removesuffix("-fast")
+    try:
+        factory = registry[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown diversifier {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return factory(**kwargs)

@@ -14,6 +14,12 @@ library's search engine and specialization miner, and is what the
 examples and the Table 3 / Figure 1 experiments drive.  A per-framework
 cache of specialization result lists mirrors the paper's feasibility
 argument (Section 4.1): those lists are tiny and computed once, offline.
+The cache is a bounded LRU (:class:`~repro.core.cache.LRUCache`) with
+hit/miss counters exposed via :meth:`DiversificationFramework.cache_info`,
+and :meth:`DiversificationFramework.prefetch_specializations` lets the
+serving layer (:mod:`repro.serving`) realise the offline phase explicitly
+— warm the artifacts for an expected workload in one batched engine pass,
+then serve queries that only read them.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ambiguity import SpecializationSet
 from repro.core.base import Diversifier
+from repro.core.cache import CacheStats, LRUCache
 from repro.core.iaselect import IASelect
 from repro.core.mmr import MMR
 from repro.core.optselect import OptSelect
@@ -117,6 +124,12 @@ class DiversificationFramework:
         Algorithm instance; OptSelect by default.
     config:
         Pipeline parameters.
+    spec_cache_size:
+        Bound on the specialization artifact cache (result list +
+        snippet vectors per mined specialization).  The seed kept these
+        in unbounded dicts; a bounded LRU keeps the online memory
+        footprint constant under heavy traffic while still realising the
+        paper's compute-once argument for the hot specializations.
     """
 
     def __init__(
@@ -125,15 +138,19 @@ class DiversificationFramework:
         detector,
         diversifier: Diversifier | None = None,
         config: FrameworkConfig | None = None,
+        spec_cache_size: int = 4096,
     ) -> None:
         self.engine = engine
         self.detector = detector
         self.diversifier = diversifier or OptSelect()
         self.config = config or FrameworkConfig()
         # Offline side structures (Section 4.1): specialization result
-        # lists and their surrogate vectors, built once per specialization.
-        self._spec_cache: dict[str, ResultList] = {}
-        self._spec_vector_cache: dict[str, dict] = {}
+        # lists and their surrogate vectors, built once per specialization
+        # and served from a bounded LRU (spec_query → (ResultList,
+        # {doc_id → TermVector})).
+        self._spec_cache: LRUCache[str, tuple[ResultList, dict]] = LRUCache(
+            spec_cache_size
+        )
 
     # -- pipeline pieces ---------------------------------------------------------
 
@@ -147,12 +164,34 @@ class DiversificationFramework:
         """Step (b): the cached small list R_q' and its snippet vectors."""
         cached = self._spec_cache.get(spec_query)
         if cached is None:
-            cached = self.engine.search(spec_query, self.config.spec_results)
-            self._spec_cache[spec_query] = cached
-            self._spec_vector_cache[spec_query] = self.engine.snippet_vectors(
-                spec_query, cached
-            )
-        return cached, self._spec_vector_cache[spec_query]
+            results = self.engine.search(spec_query, self.config.spec_results)
+            vectors = self.engine.snippet_vectors(spec_query, results)
+            cached = (results, vectors)
+            self._spec_cache.put(spec_query, cached)
+        return cached
+
+    def prefetch_specializations(self, spec_queries) -> int:
+        """Warm the specialization cache for *spec_queries* in one pass.
+
+        The serving layer's offline ``warm()`` phase and the batch path
+        both funnel through here: engine lookups for specializations
+        missing from the cache are batched (deduplicated) so a batch of
+        queries sharing intents pays for each artifact once.  Returns the
+        number of specializations actually fetched.
+        """
+        missing = [q for q in dict.fromkeys(spec_queries) if q not in self._spec_cache]
+        if not missing:
+            return 0
+        fetched = self.engine.search_batch(missing, self.config.spec_results)
+        for spec_query in missing:
+            results = fetched[spec_query]
+            vectors = self.engine.snippet_vectors(spec_query, results)
+            self._spec_cache.put(spec_query, (results, vectors))
+        return len(missing)
+
+    def cache_info(self) -> CacheStats:
+        """Hit/miss/eviction counters of the specialization cache."""
+        return self._spec_cache.stats()
 
     def build_task(
         self, query: str, specializations: SpecializationSet
@@ -193,7 +232,17 @@ class DiversificationFramework:
         Unambiguous queries (Algorithm 1 returns ∅) get the plain baseline
         top-k — the paper only diversifies when detection triggers.
         """
-        specializations = self.detect(query)
+        return self.diversify_detected(query, self.detect(query))
+
+    def diversify_detected(
+        self, query: str, specializations: SpecializationSet
+    ) -> DiversifiedResult:
+        """Steps (b)+(c) for a query whose detection already ran.
+
+        The serving layer batches step (a) across many queries and then
+        ranks each one through here, so detection is never run twice for
+        the same query in a batch.
+        """
         if not specializations:
             baseline = self.engine.search(query, self.config.k)
             return DiversifiedResult(

@@ -71,49 +71,11 @@ class OptSelect(Diversifier):
         if len(specializations) > k:
             specializations = specializations.top(k)
 
-        # Eq. 9 per candidate: one pass, n·|S_q| utility lookups.
-        overall: dict[str, float] = {}
-        for result in task.candidates:
-            overall[result.doc_id] = task.overall_utility(result.doc_id)
-            stats.marginal_updates += max(1, len(specializations))
-
-        # Algorithm 2 lines 02-06: route each candidate into the heaps.
-        # Specialization heaps retain by per-specialization utility
-        # Ũ(d|R_q') — "the most useful documents for that specialization";
-        # the general heap retains by overall utility (its documents have
-        # no per-specialization signal at all).
-        general = BoundedMaxHeap(k)
-        spec_heaps: dict[str, BoundedMaxHeap[str]] = {
-            spec: BoundedMaxHeap(math.floor(k * p) + 1)
-            for spec, p in specializations
-        }
-        utilities = task.utilities
-        for result in task.candidates:
-            doc_id = result.doc_id
-            useful = False
-            for spec, _ in specializations:
-                value = utilities.value(doc_id, spec)
-                if value > 0.0:
-                    spec_heaps[spec].push(doc_id, value)
-                    useful = True
-            if not useful:
-                general.push(doc_id, overall[doc_id])
-        stats.heap_pushes = general.pushes + sum(
-            heap.pushes for heap in spec_heaps.values()
+        overall = self._overall_utilities(task, specializations, stats)
+        spec_pools, general_pool = self._build_pools(
+            task, specializations, overall, k, stats
         )
-        stats.operations = stats.heap_pushes
-
-        # Drain every heap once.  Retained entries are re-ordered by the
-        # overall utility Ũ(d|q), because lines 08 and 11 pop "d with the
-        # max Ũ(d|q)".  At most Σ(⌊kP⌋+1) + k = O(k) entries total.
         rank_of = task.candidates.rank_of
-        spec_pools: dict[str, list[str]] = {}
-        for spec, _p in specializations:
-            docs = [doc_id for doc_id, _v in spec_heaps[spec].drain()]
-            docs.sort(key=lambda d: (-overall[d], rank_of(d)))
-            spec_pools[spec] = docs
-        general_pool = [doc_id for doc_id, _v in general.drain()]
-        general_pool.sort(key=lambda d: (-overall[d], rank_of(d)))
 
         # Lines 07-09: guarantee every non-empty specialization one slot,
         # most probable specialization first.
@@ -164,6 +126,72 @@ class OptSelect(Diversifier):
         stats.selected = len(selected)
         self.last_stats = stats
         return selected
+
+    # -- overridable O(n·|S_q|) stages --------------------------------------------
+    #
+    # The two passes below dominate the runtime; the kernel-backed
+    # FastOptSelect (repro.core.fast) overrides them with dense numpy
+    # equivalents while reusing the selection phase above unchanged, which
+    # is what keeps the two implementations ranking-identical.
+
+    def _overall_utilities(
+        self, task: DiversificationTask, specializations, stats: DiversifierStats
+    ) -> dict[str, float]:
+        """Eq. 9 per candidate: one pass, n·|S_q| utility lookups."""
+        overall: dict[str, float] = {}
+        for result in task.candidates:
+            overall[result.doc_id] = task.overall_utility(result.doc_id)
+            stats.marginal_updates += max(1, len(specializations))
+        return overall
+
+    def _build_pools(
+        self,
+        task: DiversificationTask,
+        specializations,
+        overall: dict[str, float],
+        k: int,
+        stats: DiversifierStats,
+    ) -> tuple[dict[str, list[str]], list[str]]:
+        """Algorithm 2 lines 02-06: route candidates into bounded heaps.
+
+        Specialization heaps retain by per-specialization utility
+        Ũ(d|R_q') — "the most useful documents for that specialization";
+        the general heap retains by overall utility (its documents have
+        no per-specialization signal at all).  Every heap is then drained
+        once and re-ordered by the overall utility Ũ(d|q), because lines
+        08 and 11 pop "d with the max Ũ(d|q)".  At most Σ(⌊kP⌋+1) + k =
+        O(k) entries total.
+        """
+        general = BoundedMaxHeap(k)
+        spec_heaps: dict[str, BoundedMaxHeap[str]] = {
+            spec: BoundedMaxHeap(math.floor(k * p) + 1)
+            for spec, p in specializations
+        }
+        utilities = task.utilities
+        for result in task.candidates:
+            doc_id = result.doc_id
+            useful = False
+            for spec, _ in specializations:
+                value = utilities.value(doc_id, spec)
+                if value > 0.0:
+                    spec_heaps[spec].push(doc_id, value)
+                    useful = True
+            if not useful:
+                general.push(doc_id, overall[doc_id])
+        stats.heap_pushes = general.pushes + sum(
+            heap.pushes for heap in spec_heaps.values()
+        )
+        stats.operations = stats.heap_pushes
+
+        rank_of = task.candidates.rank_of
+        spec_pools: dict[str, list[str]] = {}
+        for spec, _p in specializations:
+            docs = [doc_id for doc_id, _v in spec_heaps[spec].drain()]
+            docs.sort(key=lambda d: (-overall[d], rank_of(d)))
+            spec_pools[spec] = docs
+        general_pool = [doc_id for doc_id, _v in general.drain()]
+        general_pool.sort(key=lambda d: (-overall[d], rank_of(d)))
+        return spec_pools, general_pool
 
     # -- proportional fill --------------------------------------------------------
 

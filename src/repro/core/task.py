@@ -45,6 +45,9 @@ class DiversificationTask:
     #: Only algorithms needing candidate-candidate similarity (MMR) use
     #: them; the paper's three algorithms work from the utility matrix.
     vectors: dict = field(default_factory=dict)
+    #: Lazily-built dense view (:class:`~repro.core.arrays.TaskArrays`);
+    #: never passed in — see :meth:`arrays`.
+    _arrays: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.lambda_ <= 1.0:
@@ -80,6 +83,21 @@ class DiversificationTask:
         )
 
     # -- convenience accessors ---------------------------------------------------
+
+    def arrays(self):
+        """The dense numpy view of this task, built once and memoized.
+
+        Every kernel-backed diversifier (:mod:`repro.core.fast`) and the
+        serving layer's batch ranking path consume the same
+        :class:`~repro.core.arrays.TaskArrays`, so densification happens
+        a single time per task regardless of how many algorithms run on
+        it.  Requires numpy; raises ``ImportError`` otherwise.
+        """
+        if self._arrays is None:
+            from repro.core.arrays import TaskArrays
+
+            self._arrays = TaskArrays.from_task(self)
+        return self._arrays
 
     @property
     def n(self) -> int:
@@ -118,7 +136,7 @@ class DiversificationTask:
 
     def with_lambda(self, lambda_: float) -> "DiversificationTask":
         """The same task with a different mixing parameter (λ ablation)."""
-        return DiversificationTask(
+        task = DiversificationTask(
             query=self.query,
             candidates=self.candidates,
             specializations=self.specializations,
@@ -127,3 +145,7 @@ class DiversificationTask:
             lambda_=lambda_,
             vectors=self.vectors,
         )
+        # λ is not baked into the dense view, so the ablation sweep can
+        # reuse an already-built one.
+        task._arrays = self._arrays
+        return task

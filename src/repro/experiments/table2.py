@@ -16,9 +16,13 @@ takes tens of minutes in pure Python (the greedy algorithms really are
 O(n·k·|S_q|)); the default grid is scaled down and ``--full`` opts into
 the paper's sizes.
 
+``--fast`` times the kernel-backed variants (:mod:`repro.core.fast`)
+instead: selection-identical rankings, same asymptotic shapes, ~50×
+smaller constants — which is what the serving layer runs in production.
+
 Run as a script::
 
-    python -m repro.experiments.table2 [--full]
+    python -m repro.experiments.table2 [--full] [--fast]
 """
 
 from __future__ import annotations
@@ -35,6 +39,18 @@ from repro.experiments.reporting import render_table
 from repro.experiments.workloads import synthetic_task
 
 __all__ = ["TimingCell", "run_table2", "main", "DEFAULT_GRID", "PAPER_GRID"]
+
+#: The timed competitors; (reference factory, kernel-backed factory name).
+ALGORITHM_NAMES = ("OptSelect", "xQuAD", "IASelect")
+
+
+def _algorithms(use_fast: bool) -> list[Diversifier]:
+    """The three timed competitors, pure-Python or kernel-backed."""
+    if not use_fast:
+        return [OptSelect(), XQuAD(), IASelect()]
+    from repro.core.fast import FastIASelect, FastOptSelect, FastXQuAD
+
+    return [FastOptSelect(), FastXQuAD(), FastIASelect()]
 
 #: (list of |R_q| sizes, list of k sizes)
 DEFAULT_GRID = ((1000, 10000), (10, 50, 100))
@@ -68,10 +84,11 @@ def run_table2(
     num_specs: int = NUM_SPECS,
     seed: int = 7,
     repeats: int = 3,
+    use_fast: bool = False,
 ) -> list[TimingCell]:
     """Measure the timing grid; returns one cell per (algorithm, n, k)."""
     ns, ks = grid
-    algorithms = [OptSelect(), XQuAD(), IASelect()]
+    algorithms = _algorithms(use_fast)
     cells: list[TimingCell] = []
     for n in ns:
         task = synthetic_task(n, num_specs=num_specs, seed=seed)
@@ -96,7 +113,14 @@ def summarize(cells: list[TimingCell]) -> str:
     ks = sorted({c.k for c in cells})
     ns = sorted({c.n for c in cells})
     blocks = []
-    for algorithm in ("OptSelect", "xQuAD", "IASelect"):
+    measured = list(dict.fromkeys(c.algorithm for c in cells))
+    ordered = [
+        name
+        for base in ALGORITHM_NAMES
+        for name in measured
+        if name.removesuffix("-fast") == base
+    ]
+    for algorithm in ordered:
         algo_cells = {
             (c.n, c.k): c.milliseconds for c in cells if c.algorithm == algorithm
         }
@@ -121,11 +145,20 @@ def speedup_at_largest(cells: list[TimingCell]) -> dict[str, float]:
     times = {
         c.algorithm: c.milliseconds for c in cells if c.n == n and c.k == k
     }
-    base = times.get("OptSelect")
+    base = next(
+        (
+            ms
+            for name, ms in times.items()
+            if name.removesuffix("-fast") == "OptSelect"
+        ),
+        None,
+    )
     if not base:
         return {}
     return {
-        name: ms / base for name, ms in times.items() if name != "OptSelect"
+        name: ms / base
+        for name, ms in times.items()
+        if name.removesuffix("-fast") != "OptSelect"
     }
 
 
@@ -137,9 +170,14 @@ def main(argv: list[str] | None = None) -> None:
         help="run the paper's full grid (n up to 100k, k up to 1000; slow)",
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="time the kernel-backed (numpy) variants instead",
+    )
     args = parser.parse_args(argv)
     grid = PAPER_GRID if args.full else DEFAULT_GRID
-    cells = run_table2(grid, repeats=args.repeats)
+    cells = run_table2(grid, repeats=args.repeats, use_fast=args.fast)
     print("Table 2 — execution time (msec)")
     print()
     print(summarize(cells))

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.core.framework import DiversificationFramework, FrameworkConfig, get_diversifier
 from repro.core.task import DiversificationTask
 from repro.evaluation.runner import EvaluationReport, compare_reports, evaluate_run
+from repro.serving import DiversificationService
 from repro.experiments.reporting import render_table
 from repro.experiments.workloads import (
     PAPER_SCALE,
@@ -68,7 +69,11 @@ def build_topic_tasks(
 
     Topics whose query Algorithm 1 does not flag as ambiguous get no task
     — the framework leaves them at the baseline ranking, exactly like the
-    deployed system would.
+    deployed system would.  Tasks are built through the serving layer's
+    batched offline path (:meth:`DiversificationService.prepare_batch`),
+    so the effectiveness sweep exercises the same code the online system
+    serves from: one deduplicated specialization prefetch for the whole
+    topic set.
     """
     scale = workload.scale
     framework = DiversificationFramework(
@@ -82,15 +87,15 @@ def build_topic_tasks(
             threshold=0.0,
         ),
     )
+    service = DiversificationService(framework)
+    topic_queries = [topic.query for topic in workload.testbed.topics]
+    baselines = workload.engine.search_batch(topic_queries, scale.k)
+    prepared = service.prepare_batch(topic_queries)
     tasks: dict[int, DiversificationTask] = {}
     baseline_run: dict[int, list[str]] = {}
     for topic in workload.testbed.topics:
-        baseline = workload.engine.search(topic.query, scale.k)
-        baseline_run[topic.topic_id] = baseline.doc_ids
-        specializations = framework.detect(topic.query)
-        if not specializations:
-            continue
-        task = framework.build_task(topic.query, specializations)
+        baseline_run[topic.topic_id] = baselines[topic.query].doc_ids
+        task = prepared[topic.query].task
         if task is not None:
             tasks[topic.topic_id] = task
     workload.tasks[log_name] = tasks

@@ -1,0 +1,211 @@
+"""Serving throughput — batched service vs the per-query loop.
+
+The paper's claim is qualitative — OptSelect is cheap enough to
+diversify *online* — and Tables 2/3 time the selection step in
+isolation.  This harness measures what a deployment actually pays:
+end-to-end wall-clock of serving a realistic (Zipf-repeating) query
+workload, comparing
+
+* the seed's architecture: one ``diversify_query`` pipeline per request;
+* the serving layer: ``warm()`` offline, then ``diversify_batch``.
+
+The service wins on three amortisations — distinct queries run the
+pipeline once per batch, specialization artifacts are prefetched in one
+deduplicated engine pass, and repeated traffic is served from the
+bounded result LRU — and the report includes per-query latency
+percentiles plus cache hit rates so each effect is visible.
+
+Run as a script::
+
+    python -m repro.experiments.throughput [--queries N] [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TrecWorkload,
+    build_trec_workload,
+)
+from repro.serving import DiversificationService, ServiceStats
+
+__all__ = [
+    "ThroughputResult",
+    "zipf_workload",
+    "make_framework",
+    "run_throughput",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Timings of the two serving strategies over the same workload."""
+
+    queries: int
+    distinct: int
+    loop_seconds: float
+    batch_seconds: float
+    warm_seconds: float
+    service_stats: ServiceStats
+    spec_cache_hit_rate: float
+    result_cache_hit_rate: float
+
+    @property
+    def loop_qps(self) -> float:
+        return self.queries / self.loop_seconds if self.loop_seconds else 0.0
+
+    @property
+    def batch_qps(self) -> float:
+        return self.queries / self.batch_seconds if self.batch_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.loop_seconds / self.batch_seconds if self.batch_seconds else 0.0
+        )
+
+
+def zipf_workload(
+    workload: TrecWorkload, num_queries: int, seed: int = 13
+) -> list[str]:
+    """A Zipf-repeating query stream over the testbed's topic queries.
+
+    Web traffic repeats: the head query dominates, the tail is long.
+    Weighting topic i by 1/(i+1) reproduces that shape, which is exactly
+    the regime batching and result caching are built for.
+    """
+    rng = random.Random(seed)
+    queries = [topic.query for topic in workload.testbed.topics]
+    weights = [1.0 / (i + 1) for i in range(len(queries))]
+    return rng.choices(queries, weights=weights, k=num_queries)
+
+
+def make_framework(
+    workload: TrecWorkload, log_name: str = "AOL"
+) -> DiversificationFramework:
+    """A fresh framework at the workload's scale (cold caches)."""
+    scale = workload.scale
+    return DiversificationFramework(
+        workload.engine,
+        workload.miner(log_name),
+        config=FrameworkConfig(
+            k=scale.k,
+            candidates=scale.candidates,
+            spec_results=scale.spec_results,
+        ),
+    )
+
+
+def run_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    seed: int = 13,
+    log_name: str = "AOL",
+) -> ThroughputResult:
+    """Time the per-query loop vs the warmed batched service."""
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed)
+
+    # Seed architecture: a pipeline per request (its own spec cache,
+    # as the seed framework had).
+    loop_framework = make_framework(workload, log_name)
+    start = time.perf_counter()
+    loop_results = [loop_framework.diversify_query(q) for q in queries]
+    loop_seconds = time.perf_counter() - start
+
+    # Serving layer: offline warm, then one batch.
+    service = DiversificationService(make_framework(workload, log_name))
+    start = time.perf_counter()
+    service.warm(queries)
+    warm_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batch_results = service.diversify_batch(queries)
+    batch_seconds = time.perf_counter() - start
+
+    # Same system, same answers: the serving layer must not change what
+    # gets served, only how fast.
+    for loop_result, batch_result in zip(loop_results, batch_results):
+        if loop_result.ranking != batch_result.ranking:
+            raise AssertionError(
+                f"serving layer changed the ranking of {loop_result.query!r}"
+            )
+
+    return ThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        loop_seconds=loop_seconds,
+        batch_seconds=batch_seconds,
+        warm_seconds=warm_seconds,
+        service_stats=service.stats,
+        spec_cache_hit_rate=service.spec_cache_info().hit_rate,
+        result_cache_hit_rate=service.result_cache_info().hit_rate,
+    )
+
+
+def summarize(result: ThroughputResult) -> str:
+    stats = result.service_stats
+    headers = ["strategy", "seconds", "qps", "p50 ms", "p95 ms"]
+    rows = [
+        [
+            "per-query loop",
+            round(result.loop_seconds, 3),
+            round(result.loop_qps, 1),
+            "-",
+            "-",
+        ],
+        [
+            "service batch",
+            round(result.batch_seconds, 3),
+            round(result.batch_qps, 1),
+            round(stats.percentile_ms(0.50), 2),
+            round(stats.percentile_ms(0.95), 2),
+        ],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Serving throughput — {result.queries} queries "
+            f"({result.distinct} distinct)"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="50 topics / larger corpus (slower)",
+    )
+    parser.add_argument("--log", default="AOL", choices=("AOL", "MSN"))
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+    workload = build_trec_workload(scale, logs=(args.log,))
+    result = run_throughput(workload, args.queries, log_name=args.log)
+    print(summarize(result))
+    print()
+    print(
+        f"speedup: {result.speedup:.1f}x  "
+        f"(warm phase: {result.warm_seconds:.3f}s, "
+        f"ranked {result.service_stats.ranked} pipelines for "
+        f"{result.queries} requests)"
+    )
+    print(
+        f"cache hit rates: specialization={result.spec_cache_hit_rate:.0%}, "
+        f"result={result.result_cache_hit_rate:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,7 @@ def synthetic_task(
     density: float = 0.25,
     seed: int = 7,
     lambda_: float = 0.15,
+    with_vectors: bool = False,
 ) -> DiversificationTask:
     """A diversification task over *n* synthetic candidates.
 
@@ -58,6 +59,9 @@ def synthetic_task(
     * each candidate is useful (Ũ > 0) for a given specialization with
       probability *density*; positive utilities are uniform in (0, 1]
     * relevance decays with rank, like a real retrieval score curve
+    * ``with_vectors`` additionally attaches random sparse surrogate
+      vectors (over a 40-term vocabulary) so vector-based algorithms
+      (MMR) can run on the synthetic workload too
 
     Deterministic given *seed*.
     """
@@ -85,7 +89,7 @@ def synthetic_task(
             if rng.random() < density:
                 values[spec][doc_id] = rng.random()
     matrix = UtilityMatrix(values, doc_ids)
-    return DiversificationTask.create(
+    task = DiversificationTask.create(
         query="synthetic",
         candidates=candidates,
         specializations=specializations,
@@ -93,6 +97,20 @@ def synthetic_task(
         lambda_=lambda_,
         relevance_method="sum",
     )
+    if with_vectors:
+        from repro.retrieval.similarity import TermVector
+
+        vocabulary = [f"term{t}" for t in range(40)]
+        task.vectors = {
+            doc_id: TermVector(
+                {
+                    term: rng.random()
+                    for term in rng.sample(vocabulary, rng.randint(0, 8))
+                }
+            )
+            for doc_id in doc_ids
+        }
+    return task
 
 
 # ---------------------------------------------------------------------------

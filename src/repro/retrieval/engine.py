@@ -14,9 +14,10 @@ paper's ``rank(d', R_q')`` of Equation (1).
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
+from repro.core.cache import LRUCache
 from repro.retrieval.analysis import Analyzer
 from repro.retrieval.documents import Document, DocumentCollection
 from repro.retrieval.index import InvertedIndex
@@ -107,6 +108,13 @@ class SearchEngine:
         Weighting model; DPH (the paper's choice) by default.
     analyzer:
         Shared analysis pipeline (stemming + stopwords by default).
+    vector_cache_size:
+        When positive, snippet surrogate vectors are memoized per
+        ``(query, doc_id)`` in a bounded LRU, so repeated vectorisation
+        of the same results — the common case once the serving layer
+        batches queries sharing specializations — is served from memory.
+        0 (the default) disables the cache and preserves the seed's
+        compute-every-time behaviour.
 
     >>> coll = DocumentCollection([
     ...     Document("d1", "apple iphone store prices"),
@@ -123,12 +131,16 @@ class SearchEngine:
         model: WeightingModel | None = None,
         analyzer: Analyzer | None = None,
         snippet_extractor: SnippetExtractor | None = None,
+        vector_cache_size: int = 0,
     ) -> None:
         self.collection = collection
         self.analyzer = analyzer or Analyzer()
         self.model = model or DPH()
         self.index = InvertedIndex.from_collection(collection, self.analyzer)
         self.snippets = snippet_extractor or SnippetExtractor(analyzer=self.analyzer)
+        self._vector_cache: LRUCache[tuple[str, str], TermVector] | None = (
+            LRUCache(vector_cache_size) if vector_cache_size > 0 else None
+        )
 
     # -- retrieval -------------------------------------------------------------
 
@@ -181,12 +193,33 @@ class SearchEngine:
             query, [(index.doc_id(ordinal), score) for ordinal, score in top]
         )
 
+    def search_batch(
+        self, queries: Iterable[str], k: int = 1000
+    ) -> dict[str, ResultList]:
+        """Ranked retrieval for many queries, deduplicated.
+
+        A serving batch routinely repeats queries (popular intents) and
+        shares specializations across queries; scoring each distinct
+        query once is the first amortisation the serving layer relies
+        on.  Returns ``{query: ResultList}`` over the distinct queries.
+        """
+        out: dict[str, ResultList] = {}
+        for query in queries:
+            if query not in out:
+                out[query] = self.search(query, k)
+        return out
+
     # -- surrogates -------------------------------------------------------------
 
     def snippet(self, query: str, doc_id: str) -> Snippet:
         """Query-biased surrogate for one retrieved document."""
         document = self.collection[doc_id]
         return self.snippets.extract(query, doc_id, document.text, document.title)
+
+    def _snippet_vector(self, query: str, doc_id: str) -> TermVector:
+        return TermVector.from_terms(
+            self.analyzer.analyze(self.snippet(query, doc_id).text)
+        )
 
     def snippet_vectors(
         self, query: str, results: ResultList
@@ -195,12 +228,37 @@ class SearchEngine:
 
         These vectors feed the cosine of Equation (2); the paper computes
         the utility on snippets rather than whole documents (Section 5).
+        With ``vector_cache_size > 0`` each ``(query, doc_id)`` vector is
+        computed at most once across calls.
+        """
+        cache = self._vector_cache
+        if cache is None:
+            return {
+                r.doc_id: self._snippet_vector(query, r.doc_id) for r in results
+            }
+        out: dict[str, TermVector] = {}
+        for r in results:
+            key = (query, r.doc_id)
+            vector = cache.get(key)
+            if vector is None:
+                vector = self._snippet_vector(query, r.doc_id)
+                cache.put(key, vector)
+            out[r.doc_id] = vector
+        return out
+
+    def snippet_vectors_batch(
+        self, batch: Mapping[str, ResultList]
+    ) -> dict[str, dict[str, TermVector]]:
+        """Surrogate vectors for many ``{query: ResultList}`` pairs.
+
+        The batched counterpart of :meth:`snippet_vectors` — the serving
+        layer vectorises every specialization list of a query batch in
+        one call so the per-``(query, doc_id)`` cache (when enabled) is
+        shared across the whole batch.
         """
         return {
-            r.doc_id: TermVector.from_terms(
-                self.analyzer.analyze(self.snippet(query, r.doc_id).text)
-            )
-            for r in results
+            query: self.snippet_vectors(query, results)
+            for query, results in batch.items()
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

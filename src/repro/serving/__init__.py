@@ -1,0 +1,32 @@
+"""Serving subsystem: the online face of the reproduction.
+
+The core library diversifies one query at a time; this package turns it
+into a servable system with an explicit offline/online lifecycle:
+
+* :class:`~repro.serving.service.DiversificationService` — ``warm()``
+  precomputes specialization artifacts (the paper's Section 4.1 offline
+  phase), ``diversify_batch()`` serves traffic with deduplication,
+  bounded LRU caching and per-query latency/throughput accounting;
+* :class:`~repro.core.cache.LRUCache` (re-exported) — the bounded cache
+  shared with the framework and the search engine.
+
+See ``examples/quickstart.py`` for the end-to-end flow and
+``repro.experiments.throughput`` for the batch-vs-loop measurement.
+"""
+
+from repro.core.cache import CacheStats, LRUCache
+from repro.serving.service import (
+    DiversificationService,
+    PreparedQuery,
+    ServiceStats,
+    WarmReport,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "DiversificationService",
+    "PreparedQuery",
+    "ServiceStats",
+    "WarmReport",
+]

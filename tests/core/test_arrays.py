@@ -1,0 +1,113 @@
+"""Unit tests for the dense task representation (TaskArrays)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import TaskArrays
+from repro.experiments.workloads import synthetic_task
+
+from .helpers import two_intent_task
+
+
+class TestFromTask:
+    def test_shapes_and_index(self):
+        task = synthetic_task(40, num_specs=5, seed=3)
+        arrays = task.arrays()
+        assert arrays.n == 40 and arrays.m == 5
+        assert arrays.utilities.shape == (40, 5)
+        assert arrays.doc_ids == task.candidates.doc_ids
+        assert all(
+            arrays.index_of[d] == i for i, d in enumerate(arrays.doc_ids)
+        )
+
+    def test_values_match_sparse_matrix(self):
+        task = synthetic_task(30, num_specs=4, seed=8)
+        arrays = task.arrays()
+        for i, doc_id in enumerate(arrays.doc_ids):
+            for j, spec in enumerate(arrays.spec_queries):
+                assert arrays.utilities[i, j] == task.utilities.value(
+                    doc_id, spec
+                )
+
+    def test_probabilities_and_relevance(self):
+        task = two_intent_task()
+        arrays = task.arrays()
+        assert arrays.spec_queries == [spec for spec, _ in task.specializations]
+        assert arrays.probabilities.tolist() == [
+            p for _, p in task.specializations
+        ]
+        assert arrays.relevance.tolist() == [
+            task.relevance.get(d, 0.0) for d in arrays.doc_ids
+        ]
+
+    def test_memoized_on_task(self):
+        task = synthetic_task(20, num_specs=3, seed=1)
+        assert task.arrays() is task.arrays()
+
+    def test_with_lambda_shares_arrays(self):
+        task = synthetic_task(20, num_specs=3, seed=1)
+        arrays = task.arrays()
+        assert task.with_lambda(0.9).arrays() is arrays
+
+    def test_with_threshold_rebuilds_arrays(self):
+        task = synthetic_task(20, num_specs=3, seed=1)
+        dense = task.arrays().utilities
+        rethresholded = task.with_threshold(0.8).arrays().utilities
+        assert (rethresholded > 0).sum() < (dense > 0).sum()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TaskArrays(
+                doc_ids=["d1", "d2"],
+                spec_queries=["s"],
+                probabilities=[1.0],
+                utilities=np.zeros((3, 1)),
+                relevance=np.zeros(2),
+            )
+
+
+class TestHead:
+    def test_truncates_and_renormalises_like_top(self):
+        task = synthetic_task(25, num_specs=6, seed=5)
+        arrays = task.arrays()
+        head = arrays.head(3)
+        top = task.specializations.top(3)
+        assert head.m == 3
+        assert head.spec_queries == [spec for spec, _ in top]
+        # Bit-identical to SpecializationSet.top's pure-Python division.
+        assert head.probabilities.tolist() == [p for _, p in top]
+        assert head.utilities.shape == (25, 3)
+
+    def test_noop_when_small_enough(self):
+        arrays = synthetic_task(10, num_specs=3, seed=2).arrays()
+        assert arrays.head(5) is arrays
+
+
+class TestSimilarityMatrix:
+    def test_matches_pairwise_cosine(self):
+        from repro.retrieval.similarity import cosine
+
+        task = synthetic_task(15, num_specs=3, seed=4, with_vectors=True)
+        arrays = task.arrays()
+        similarity = arrays.similarity_matrix(task.vectors)
+        assert similarity.shape == (15, 15)
+        for i, a in enumerate(arrays.doc_ids):
+            for j, b in enumerate(arrays.doc_ids):
+                expected = cosine(task.vectors[a], task.vectors[b])
+                assert similarity[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_missing_vectors_are_zero_rows(self):
+        task = synthetic_task(8, num_specs=2, seed=6, with_vectors=True)
+        missing = task.candidates.doc_ids[0]
+        del task.vectors[missing]
+        similarity = task.arrays().similarity_matrix(task.vectors)
+        assert not similarity[0].any()
+
+    def test_built_once(self):
+        task = synthetic_task(8, num_specs=2, seed=6, with_vectors=True)
+        arrays = task.arrays()
+        assert arrays.similarity_matrix(task.vectors) is arrays.similarity_matrix(
+            task.vectors
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the bounded LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=42) == 42
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now stalest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update refreshes "a"
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+            assert len(cache) <= 3
+        assert cache.stats().evictions == 7
+
+    def test_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (2, 1, 1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_contains_is_a_pure_probe(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_hit_rate_before_any_lookup(self):
+        assert LRUCache(1).stats().hit_rate == 0.0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert "a" not in cache
+        assert cache.stats().hits == 1
+
+    def test_iteration_orders_lru_first(self):
+        cache = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")
+        assert list(cache) == ["b", "c", "a"]
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)

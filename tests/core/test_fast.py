@@ -1,11 +1,19 @@
-"""Equivalence tests: vectorised variants vs reference implementations."""
+"""Equivalence tests: kernel-backed variants vs reference implementations."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.fast import FastIASelect, FastXQuAD
+from repro.core.fast import (
+    FastIASelect,
+    FastMMR,
+    FastOptSelect,
+    FastXQuAD,
+    get_fast_diversifier,
+)
 from repro.core.iaselect import IASelect
+from repro.core.mmr import MMR
+from repro.core.optselect import OptSelect
 from repro.core.xquad import XQuAD
 from repro.experiments.workloads import synthetic_task
 
@@ -25,6 +33,39 @@ class TestEquivalence:
         task = synthetic_task(80, num_specs=5, seed=seed)
         assert FastIASelect().diversify(task, k) == IASelect().diversify(
             task, k
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_fast_optselect_matches_reference(self, seed, k):
+        task = synthetic_task(80, num_specs=5, seed=seed)
+        assert FastOptSelect().diversify(task, k) == OptSelect().diversify(
+            task, k
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_fast_mmr_matches_reference(self, seed, k):
+        task = synthetic_task(60, num_specs=5, seed=seed, with_vectors=True)
+        assert FastMMR().diversify(task, k) == MMR().diversify(task, k)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fast_optselect_strict_pseudocode_mode(self, seed):
+        task = synthetic_task(50, num_specs=4, seed=seed)
+        reference = OptSelect(strict_paper_pseudocode=True)
+        fast = FastOptSelect(strict_paper_pseudocode=True)
+        assert fast.diversify(task, 10) == reference.diversify(task, 10)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_more_specializations_than_k(self, seed):
+        """|S_q| > k exercises the top-k truncation path in every kernel."""
+        task = synthetic_task(40, num_specs=12, seed=seed)
+        assert FastOptSelect().diversify(task, 5) == OptSelect().diversify(
+            task, 5
+        )
+        assert FastXQuAD().diversify(task, 5) == XQuAD().diversify(task, 5)
+        assert FastIASelect().diversify(task, 5) == IASelect().diversify(
+            task, 5
         )
 
     def test_hand_built_task(self):
@@ -82,3 +123,36 @@ class TestFastBehaviour:
         FastXQuAD().diversify(task, 50)
         fast = time.perf_counter() - start
         assert fast < slow
+
+    def test_mmr_without_vectors_raises(self):
+        task = synthetic_task(10, num_specs=2, seed=1)
+        with pytest.raises(ValueError):
+            FastMMR().diversify(task, 5)
+
+    def test_dense_view_is_shared_across_algorithms(self):
+        task = synthetic_task(30, num_specs=4, seed=5)
+        FastXQuAD().diversify(task, 5)
+        arrays = task._arrays
+        assert arrays is not None
+        FastIASelect().diversify(task, 5)
+        FastOptSelect().diversify(task, 5)
+        assert task._arrays is arrays
+
+
+class TestGetFastDiversifier:
+    @pytest.mark.parametrize(
+        ("name", "cls"),
+        [
+            ("optselect", FastOptSelect),
+            ("OptSelect-fast", FastOptSelect),
+            ("xquad", FastXQuAD),
+            ("iaselect", FastIASelect),
+            ("MMR", FastMMR),
+        ],
+    )
+    def test_registry(self, name, cls):
+        assert isinstance(get_fast_diversifier(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_fast_diversifier("nope")

@@ -86,10 +86,59 @@ class TestPipeline:
             config=FrameworkConfig(k=5, candidates=50, spec_results=5),
         )
         framework.diversify_query(ambiguous_topic.query)
-        cached = dict(framework._spec_cache)
+        specializations = framework.detect(ambiguous_topic.query)
+        first = {
+            spec: framework._spec_results(spec)[0]
+            for spec, _ in specializations
+        }
         framework.diversify_query(ambiguous_topic.query)
-        for key, value in cached.items():
-            assert framework._spec_cache[key] is value
+        for spec, results in first.items():
+            assert framework._spec_results(spec)[0] is results
+
+    def test_cache_info_counts_hits_and_misses(
+        self, small_engine, small_miner, ambiguous_topic
+    ):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            config=FrameworkConfig(k=5, candidates=50, spec_results=5),
+        )
+        assert framework.cache_info().hits == 0
+        framework.diversify_query(ambiguous_topic.query)
+        cold = framework.cache_info()
+        assert cold.misses > 0 and cold.size > 0
+        framework.diversify_query(ambiguous_topic.query)
+        warm = framework.cache_info()
+        assert warm.misses == cold.misses
+        assert warm.hits > cold.hits
+
+    def test_spec_cache_is_bounded(self, small_engine, small_miner, ambiguous_topic):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            config=FrameworkConfig(k=5, candidates=50, spec_results=5),
+            spec_cache_size=1,
+        )
+        framework.diversify_query(ambiguous_topic.query)
+        info = framework.cache_info()
+        assert info.size == 1
+        assert info.evictions == info.misses - 1
+
+    def test_prefetch_specializations_warms_cache(
+        self, small_engine, small_miner, ambiguous_topic
+    ):
+        framework = DiversificationFramework(
+            small_engine,
+            small_miner,
+            config=FrameworkConfig(k=5, candidates=50, spec_results=5),
+        )
+        specializations = framework.detect(ambiguous_topic.query)
+        spec_queries = [spec for spec, _ in specializations]
+        fetched = framework.prefetch_specializations(spec_queries)
+        assert fetched == len(set(spec_queries))
+        assert framework.prefetch_specializations(spec_queries) == 0
+        framework.diversify_query(ambiguous_topic.query)
+        assert framework.cache_info().hits >= len(spec_queries)
 
     def test_task_vectors_populated_for_mmr(
         self, small_engine, small_miner, ambiguous_topic

@@ -101,3 +101,41 @@ class TestSearchEngine:
             for d in results.doc_ids[:5]
         ]
         assert top_labels.count(topic.topic_id) >= 3
+
+
+class TestBatchAPIs:
+    @pytest.fixture()
+    def engine(self, tiny_collection):
+        return SearchEngine(tiny_collection)
+
+    def test_search_batch_deduplicates(self, engine):
+        batch = engine.search_batch(["apple", "banana", "apple"], k=3)
+        assert set(batch) == {"apple", "banana"}
+        assert batch["apple"].doc_ids == engine.search("apple", 3).doc_ids
+
+    def test_search_batch_empty(self, engine):
+        assert engine.search_batch([], k=3) == {}
+
+    def test_snippet_vector_cache_reuses_vectors(self, tiny_collection):
+        engine = SearchEngine(tiny_collection, vector_cache_size=64)
+        results = engine.search("apple")
+        first = engine.snippet_vectors("apple", results)
+        second = engine.snippet_vectors("apple", results)
+        for doc_id, vector in first.items():
+            assert second[doc_id] is vector
+
+    def test_uncached_engine_rebuilds_vectors(self, tiny_collection):
+        engine = SearchEngine(tiny_collection)
+        results = engine.search("apple")
+        first = engine.snippet_vectors("apple", results)
+        second = engine.snippet_vectors("apple", results)
+        assert all(first[d] is not second[d] for d in first)
+
+    def test_snippet_vectors_batch(self, tiny_collection):
+        engine = SearchEngine(tiny_collection, vector_cache_size=64)
+        batch = engine.search_batch(["apple", "fruit"], k=4)
+        vectors = engine.snippet_vectors_batch(batch)
+        assert set(vectors) == {"apple", "fruit"}
+        for query, results in batch.items():
+            assert set(vectors[query]) == set(results.doc_ids)
+            assert vectors[query] == engine.snippet_vectors(query, results)

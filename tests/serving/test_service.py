@@ -1,0 +1,134 @@
+"""Tests for the batched serving layer (DiversificationService)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.core.optselect import OptSelect
+from repro.serving import DiversificationService
+
+
+@pytest.fixture()
+def fresh_framework(small_engine, small_miner):
+    return DiversificationFramework(
+        small_engine,
+        small_miner,
+        OptSelect(),
+        FrameworkConfig(k=10, candidates=80, spec_results=10),
+    )
+
+
+@pytest.fixture()
+def service(fresh_framework):
+    return DiversificationService(fresh_framework)
+
+
+@pytest.fixture(scope="module")
+def topic_queries(small_corpus):
+    return [topic.query for topic in small_corpus.topics]
+
+
+class TestWarm:
+    def test_warm_precomputes_spec_artifacts(self, service, topic_queries):
+        report = service.warm(topic_queries)
+        assert report.queries == len(set(topic_queries))
+        assert report.fetched == report.specializations
+        assert service.spec_cache_info().size == report.specializations
+
+    def test_warm_is_idempotent(self, service, topic_queries):
+        first = service.warm(topic_queries)
+        second = service.warm(topic_queries)
+        assert second.fetched == 0
+        assert second.specializations == first.specializations
+
+    def test_warmed_service_serves_without_spec_misses(
+        self, service, topic_queries
+    ):
+        service.warm(topic_queries)
+        misses_before = service.spec_cache_info().misses
+        service.diversify_batch(topic_queries)
+        assert service.spec_cache_info().misses == misses_before
+
+
+class TestDiversifyBatch:
+    def test_ordering_matches_input(self, service, topic_queries):
+        queries = topic_queries + list(reversed(topic_queries))
+        results = service.diversify_batch(queries)
+        assert [r.query for r in results] == queries
+
+    def test_duplicates_share_one_result(self, service, topic_queries):
+        query = topic_queries[0]
+        results = service.diversify_batch([query, query, query])
+        assert results[0] is results[1] is results[2]
+        assert service.stats.ranked == 1
+        assert service.stats.served == 3
+
+    def test_matches_per_query_pipeline(
+        self, service, fresh_framework, small_engine, small_miner, topic_queries
+    ):
+        reference = DiversificationFramework(
+            small_engine,
+            small_miner,
+            OptSelect(),
+            FrameworkConfig(k=10, candidates=80, spec_results=10),
+        )
+        batch = service.diversify_batch(topic_queries)
+        for query, result in zip(topic_queries, batch):
+            assert reference.diversify_query(query).ranking == result.ranking
+
+    def test_result_cache_hits_across_batches(self, service, topic_queries):
+        service.diversify_batch(topic_queries)
+        ranked_before = service.stats.ranked
+        service.diversify_batch(topic_queries)
+        assert service.stats.ranked == ranked_before
+        assert service.result_cache_info().hits >= len(set(topic_queries))
+
+    def test_single_query_entry_point(self, service, topic_queries):
+        result = service.diversify(topic_queries[0])
+        assert result.query == topic_queries[0]
+        assert service.diversify(topic_queries[0]) is result
+
+    def test_invalidate_forces_rerank(self, service, topic_queries):
+        service.diversify(topic_queries[0])
+        service.invalidate()
+        service.diversify(topic_queries[0])
+        assert service.stats.ranked == 2
+
+    def test_latency_stats_recorded(self, service, topic_queries):
+        service.diversify_batch(topic_queries)
+        stats = service.stats
+        assert len(stats.latencies_ms) == stats.ranked
+        assert stats.mean_latency_ms > 0
+        assert stats.percentile_ms(0.95) >= stats.percentile_ms(0.50)
+        assert stats.throughput_qps > 0
+        assert "qps" in stats.summary()
+
+
+class TestPrepare:
+    def test_prepare_batch_builds_tasks_for_ambiguous(
+        self, service, small_miner, topic_queries
+    ):
+        prepared = service.prepare_batch(topic_queries)
+        assert set(prepared) == set(topic_queries)
+        for query, prep in prepared.items():
+            assert prep.query == query
+            if small_miner.is_ambiguous(query):
+                assert prep.ambiguous
+                assert prep.task is not None
+                assert prep.task.query == query
+            else:
+                assert prep.task is None
+
+    def test_prepare_single(self, service, small_miner, topic_queries, ambiguous_topic):
+        prep = service.prepare(ambiguous_topic.query)
+        assert prep.ambiguous and prep.task is not None
+
+    def test_prepare_batch_prefetches_once(self, service, topic_queries):
+        service.prepare_batch(topic_queries)
+        info = service.spec_cache_info()
+        # Every artifact was fetched by the batched prefetch, then read
+        # back by task construction: no misses beyond the prefetch pass.
+        assert info.size > 0
+        assert info.hits >= info.size
+        assert info.misses == 0
