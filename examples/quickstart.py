@@ -23,6 +23,7 @@ from repro import (
     FrameworkConfig,
     OptSelect,
     SearchEngine,
+    ShardedDiversificationService,
     SpecializationMiner,
     generate_corpus,
     generate_query_log,
@@ -105,6 +106,26 @@ def main() -> None:
         f"{service.spec_cache_info().hit_rate:.0%}, "
         f"result hit rate {service.result_cache_info().hit_rate:.0%}"
     )
+
+    # Scale out: the same traffic through a hash-routed 4-shard cluster.
+    # Every shard runs an identical framework, so the cluster must serve
+    # exactly the rankings the single service served.
+    print("\n7. serving the workload through a 4-shard cluster ...")
+    cluster = ShardedDiversificationService.from_factory(
+        lambda shard: DiversificationFramework(
+            engine, miner, OptSelect(), framework.config
+        ),
+        num_shards=4,
+    )
+    queries = [t.query for t in corpus.topics]
+    cluster.warm(queries)
+    cluster_results = {r.query: r for r in cluster.diversify_batch(queries)}
+    assert cluster_results[query].ranking == result.ranking
+    print(f"   routed {query!r} to shard {cluster.route(query)}; "
+          f"rankings identical to the single service")
+    print(f"   cluster: {cluster.cluster_stats().summary()}")
+    for stats in cluster.shard_stats():
+        print(f"   {stats.summary()}")
 
 
 if __name__ == "__main__":

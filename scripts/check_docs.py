@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docs gate: the README must match the code it documents.
+
+Checks, in order:
+
+1. ``README.md`` and ``docs/ARCHITECTURE.md`` exist;
+2. the README still references the load-bearing commands (tier-1 pytest
+   line, the throughput benchmark and its ``--shards`` mode);
+3. every ``python -m repro.<module>`` command mentioned in the README
+   names a module that actually imports;
+4. the experiment CLIs answer ``--help`` (smoke-run, subprocess per
+   module — catches argparse regressions and import-time crashes).
+
+Run from the repository root (CI runs it in the ``docs`` job)::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: Strings the README must keep verbatim — each is a command a user is
+#: told to run; losing one silently orphans a documented workflow.
+REQUIRED_SNIPPETS = [
+    "python -m pytest -x -q",
+    "python -m repro.experiments.throughput",
+    "--shards 4",
+    "docs/ARCHITECTURE.md",
+    "examples/quickstart.py",
+]
+
+COMMAND_PATTERN = re.compile(r"python -m (repro(?:\.\w+)+)")
+
+
+def fail(message: str) -> None:
+    print(f"check_docs: FAIL — {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    readme = ROOT / "README.md"
+    architecture = ROOT / "docs" / "ARCHITECTURE.md"
+    for path in (readme, architecture):
+        if not path.is_file():
+            fail(f"{path.relative_to(ROOT)} is missing")
+
+    text = readme.read_text(encoding="utf-8")
+    for snippet in REQUIRED_SNIPPETS:
+        if snippet not in text:
+            fail(f"README.md no longer mentions {snippet!r}")
+
+    sys.path.insert(0, str(SRC))
+    modules = sorted(set(COMMAND_PATTERN.findall(text)))
+    if not modules:
+        fail("README.md documents no `python -m repro.*` commands")
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except Exception as exc:  # pragma: no cover - failure path
+            fail(f"README references `python -m {module}` but it does "
+                 f"not import: {exc}")
+
+    for module in modules:
+        proc = subprocess.run(
+            [sys.executable, "-m", module, "--help"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=ROOT,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+        )
+        if proc.returncode != 0:
+            fail(
+                f"`python -m {module} --help` exited "
+                f"{proc.returncode}:\n{proc.stderr.strip()}"
+            )
+
+    print(
+        f"check_docs: OK — {len(modules)} documented commands import "
+        f"and answer --help: {', '.join(modules)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

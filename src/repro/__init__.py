@@ -48,6 +48,8 @@ from repro.core import (
     UtilityMatrix,
     XQuAD,
     ambiguous_query_detect,
+    default_diversifier,
+    fast_kernels_available,
     get_diversifier,
     harmonic_number,
     normalized_utility,
@@ -91,12 +93,15 @@ from repro.retrieval import (
     Document,
     DocumentCollection,
     InvertedIndex,
+    PartitionedSearchEngine,
     PorterStemmer,
     ResultList,
     SearchEngine,
     TermVector,
     cosine,
     delta,
+    partition_collection,
+    stable_shard,
 )
 from repro.serving import (
     CacheStats,
@@ -104,6 +109,7 @@ from repro.serving import (
     LRUCache,
     PreparedQuery,
     ServiceStats,
+    ShardedDiversificationService,
     WarmReport,
 )
 
@@ -126,6 +132,8 @@ __all__ = [
     "UtilityMatrix",
     "XQuAD",
     "ambiguous_query_detect",
+    "default_diversifier",
+    "fast_kernels_available",
     "get_diversifier",
     "harmonic_number",
     "normalized_utility",
@@ -164,6 +172,7 @@ __all__ = [
     "LRUCache",
     "PreparedQuery",
     "ServiceStats",
+    "ShardedDiversificationService",
     "WarmReport",
     # retrieval
     "Analyzer",
@@ -172,11 +181,14 @@ __all__ = [
     "Document",
     "DocumentCollection",
     "InvertedIndex",
+    "PartitionedSearchEngine",
     "PorterStemmer",
     "ResultList",
     "SearchEngine",
     "TermVector",
     "cosine",
     "delta",
+    "partition_collection",
+    "stable_shard",
     "__version__",
 ]

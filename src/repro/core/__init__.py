@@ -12,7 +12,11 @@
 * :mod:`repro.core.arrays` / :mod:`repro.core.kernels` /
   :mod:`repro.core.fast` — the dense task representation and the
   kernel-backed (numpy) variants of all four diversifiers; imported
-  lazily so numpy stays optional.
+  lazily so numpy stays optional.  When numpy is present the framework
+  and serving layer *default* onto the fast kernels
+  (:func:`~repro.core.framework.default_diversifier`); the kernels are
+  selection-identical to the references, so the default changes speed,
+  never rankings.
 * :mod:`repro.core.cache` — the bounded LRU shared by the framework,
   the search engine and the serving layer.
 """
@@ -28,6 +32,8 @@ from repro.core.framework import (
     DiversificationFramework,
     DiversifiedResult,
     FrameworkConfig,
+    default_diversifier,
+    fast_kernels_available,
     get_diversifier,
 )
 from repro.core.heaps import BoundedMaxHeap
@@ -70,6 +76,8 @@ __all__ = [
     "DiversificationFramework",
     "DiversifiedResult",
     "FrameworkConfig",
+    "default_diversifier",
+    "fast_kernels_available",
     "get_diversifier",
     "BoundedMaxHeap",
     "IASelect",

@@ -15,7 +15,9 @@ The counters (hits / misses / evictions) feed the framework's
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Generic, Iterator, TypeVar
 
@@ -43,6 +45,28 @@ class CacheStats:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    @classmethod
+    def merge(cls, stats: Iterable["CacheStats"]) -> "CacheStats":
+        """Aggregate many caches into one cluster-level snapshot.
+
+        Every field sums: the sharded serving layer holds one cache per
+        shard, and capacity, occupancy and traffic counters are all
+        additive across disjoint shards.  ``hit_rate`` of the merged
+        snapshot is then the traffic-weighted cluster hit rate.
+
+        >>> a = CacheStats(maxsize=2, size=1, hits=3, misses=1, evictions=0)
+        >>> CacheStats.merge([a, a]).hits
+        6
+        """
+        stats = list(stats)
+        return cls(
+            maxsize=sum(s.maxsize for s in stats),
+            size=sum(s.size for s in stats),
+            hits=sum(s.hits for s in stats),
+            misses=sum(s.misses for s in stats),
+            evictions=sum(s.evictions for s in stats),
+        )
+
 
 class LRUCache(Generic[K, V]):
     """A dict bounded to *maxsize* entries, evicting least-recently-used.
@@ -53,13 +77,19 @@ class LRUCache(Generic[K, V]):
     the recency order — so instrumentation can inspect the cache without
     distorting its own statistics.
 
+    Individual operations are atomic (an internal lock), so a cache
+    shared across threads — e.g. one engine-level vector cache behind
+    several serving shards — cannot be structurally corrupted or crash
+    mid-``get`` when another thread evicts.  Compound check-then-act
+    sequences remain the caller's responsibility to synchronise.
+
     >>> cache = LRUCache(2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
     >>> "a" in cache, cache.stats().evictions
     (False, 1)
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize <= 0:
@@ -69,48 +99,57 @@ class LRUCache(Generic[K, V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
 
     def get(self, key: K, default: V | None = None) -> V | None:
         """Return the cached value (refreshing recency) or *default*."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert/update *key*, evicting the LRU entry when full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            maxsize=self.maxsize,
-            size=len(self._data),
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-        )
+        with self._lock:
+            return CacheStats(
+                maxsize=self.maxsize,
+                size=len(self._data),
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+            )
 
     def __contains__(self, key: K) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator[K]:
-        """Keys, least-recently-used first."""
-        return iter(self._data)
+        """Keys, least-recently-used first (a snapshot: safe to iterate
+        while other threads mutate the cache)."""
+        with self._lock:
+            return iter(list(self._data))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

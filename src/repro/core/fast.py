@@ -14,8 +14,17 @@ built on the shared dense layer:
 
 The asymptotics are unchanged (the paper's point survives vectorisation —
 OptSelect still wins by ~k/log k); only the constant shrinks by ~50×.
-Selection equivalence with the references, including tie breaks, is
-asserted in the test suite on randomised tasks.
+
+**Selection-identical guarantee.**  Every ``Fast*`` class reproduces its
+reference implementation's ranking *exactly*, including tie breaks
+(baseline rank everywhere; earlier-insertion-wins in the bounded-heap
+phase).  The test suite asserts equality on randomised tasks.  That
+guarantee is what lets these classes be the library **default**: when
+numpy is importable, :func:`repro.core.framework.default_diversifier`
+returns :class:`FastOptSelect`, so a framework or serving layer built
+without an explicit diversifier runs on the kernels.  The instrumented
+pure-Python references remain what the complexity experiments (Tables 1
+and 2) measure, and what the default falls back to without numpy.
 
 numpy is an optional dependency: importing this module without numpy
 installed raises ``ImportError`` with a clear message, and the rest of

@@ -42,15 +42,65 @@ __all__ = [
     "DiversifiedResult",
     "DiversificationFramework",
     "get_diversifier",
+    "fast_kernels_available",
+    "default_diversifier",
 ]
 
 
-def get_diversifier(name: str, **kwargs) -> Diversifier:
+def fast_kernels_available() -> bool:
+    """Whether the numpy-backed kernels (:mod:`repro.core.fast`) import.
+
+    The kernels are selection-identical to the pure-Python references, so
+    when this returns True the framework and serving layer default onto
+    them; when numpy is absent everything falls back to the references
+    with no behaviour change beyond speed.
+    """
+    try:
+        import repro.core.fast  # noqa: F401 - probe only
+    except ImportError:
+        return False
+    return True
+
+
+def default_diversifier(use_fast: bool | None = None) -> Diversifier:
+    """The framework's default algorithm: OptSelect, kernel-backed if possible.
+
+    ``use_fast=None`` (the default) auto-detects numpy and returns
+    :class:`~repro.core.fast.FastOptSelect` when available, else the pure
+    Python :class:`~repro.core.optselect.OptSelect`.  ``True`` demands
+    the kernels (raising ``ImportError`` without numpy), ``False`` pins
+    the instrumented reference.  Both variants produce identical
+    rankings.
+    """
+    if use_fast is None:
+        use_fast = fast_kernels_available()
+    if use_fast:
+        from repro.core.fast import FastOptSelect
+
+        return FastOptSelect()
+    return OptSelect()
+
+
+def get_diversifier(
+    name: str, use_fast: bool | None = False, **kwargs
+) -> Diversifier:
     """Instantiate an algorithm by its paper name (case-insensitive).
+
+    ``use_fast`` selects the implementation: ``False`` (default) returns
+    the instrumented pure-Python reference — what the complexity
+    experiments measure — ``True`` the numpy kernel-backed variant from
+    :mod:`repro.core.fast`, and ``None`` auto-detects numpy.  Either way
+    the ranking is identical; only the constant factor changes.
 
     >>> get_diversifier("xquad").name
     'xQuAD'
     """
+    if use_fast is None:
+        use_fast = fast_kernels_available()
+    if use_fast:
+        from repro.core.fast import get_fast_diversifier
+
+        return get_fast_diversifier(name, **kwargs)
     registry = {
         "optselect": OptSelect,
         "iaselect": IASelect,
@@ -121,7 +171,14 @@ class DiversificationFramework:
         ``detect(query)`` method (an
         :class:`~repro.core.ambiguity.AmbiguityDetector`).
     diversifier:
-        Algorithm instance; OptSelect by default.
+        Algorithm instance; when omitted, :func:`default_diversifier`
+        picks OptSelect — kernel-backed
+        (:class:`~repro.core.fast.FastOptSelect`) when numpy is present,
+        the pure-Python reference otherwise.  Both are selection-identical.
+    use_fast:
+        Only consulted when *diversifier* is omitted: ``None`` (default)
+        auto-detects numpy, ``True`` requires the fast kernels,
+        ``False`` pins the pure-Python reference.
     config:
         Pipeline parameters.
     spec_cache_size:
@@ -139,10 +196,11 @@ class DiversificationFramework:
         diversifier: Diversifier | None = None,
         config: FrameworkConfig | None = None,
         spec_cache_size: int = 4096,
+        use_fast: bool | None = None,
     ) -> None:
         self.engine = engine
         self.detector = detector
-        self.diversifier = diversifier or OptSelect()
+        self.diversifier = diversifier or default_diversifier(use_fast)
         self.config = config or FrameworkConfig()
         # Offline side structures (Section 4.1): specialization result
         # lists and their surrogate vectors, built once per specialization

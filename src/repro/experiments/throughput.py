@@ -15,9 +15,17 @@ deduplicated engine pass, and repeated traffic is served from the
 bounded result LRU — and the report includes per-query latency
 percentiles plus cache hit rates so each effect is visible.
 
+With ``--shards N`` the harness instead benchmarks the sharded serving
+layer: a 1-shard cluster versus an N-shard cluster
+(:class:`~repro.serving.ShardedDiversificationService`, hash-routed,
+thread-pool fan-out) over the same Zipf workload, after asserting the
+cluster serves rankings identical to the unsharded service.  The report
+shows per-shard stats next to the merged cluster summary.
+
 Run as a script::
 
     python -m repro.experiments.throughput [--queries N] [--paper-scale]
+    python -m repro.experiments.throughput --shards 4
 """
 
 from __future__ import annotations
@@ -35,13 +43,21 @@ from repro.experiments.workloads import (
     TrecWorkload,
     build_trec_workload,
 )
-from repro.serving import DiversificationService, ServiceStats
+from repro.serving import (
+    CacheStats,
+    DiversificationService,
+    ServiceStats,
+    ShardedDiversificationService,
+    WarmReport,
+)
 
 __all__ = [
     "ThroughputResult",
+    "ShardedThroughputResult",
     "zipf_workload",
     "make_framework",
     "run_throughput",
+    "run_sharded_throughput",
     "main",
 ]
 
@@ -151,6 +167,184 @@ def run_throughput(
     )
 
 
+@dataclass(frozen=True)
+class ShardedThroughputResult:
+    """1-shard vs N-shard cluster timings over the same workload."""
+
+    queries: int
+    distinct: int
+    shards: int
+    single_seconds: float      #: best 1-shard cluster batch time
+    sharded_seconds: float     #: best N-shard cluster batch time
+    single_times: tuple[float, ...]
+    sharded_times: tuple[float, ...]
+    single_warm: WarmReport
+    sharded_warm: WarmReport
+    cluster_stats: ServiceStats
+    shard_stats: list[ServiceStats]
+    spec_cache: CacheStats
+    result_cache: CacheStats
+
+    @property
+    def single_qps(self) -> float:
+        return self.queries / self.single_seconds if self.single_seconds else 0.0
+
+    @property
+    def sharded_qps(self) -> float:
+        return (
+            self.queries / self.sharded_seconds if self.sharded_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        """N-shard throughput over 1-shard (≥ 1.0 means sharding is free
+        or better on this host)."""
+        return (
+            self.single_seconds / self.sharded_seconds
+            if self.sharded_seconds
+            else 0.0
+        )
+
+    @property
+    def noise(self) -> float:
+        """Worst relative spread across either arm's timing repeats.
+
+        A speedup within ``1.0 ± noise`` is measurement noise, not a
+        real difference — on a single-core host both arms do identical
+        total work under the GIL, so parity is the expected reading.
+        """
+        spreads = [
+            (max(times) - min(times)) / min(times)
+            for times in (self.single_times, self.sharded_times)
+            if times and min(times) > 0
+        ]
+        return max(spreads, default=0.0)
+
+
+def _build_cluster(
+    workload: TrecWorkload, shards: int, log_name: str
+) -> ShardedDiversificationService:
+    return ShardedDiversificationService.from_factory(
+        lambda shard: make_framework(workload, log_name), shards
+    )
+
+
+def run_sharded_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    shards: int = 4,
+    seed: int = 13,
+    log_name: str = "AOL",
+    repeats: int = 5,
+) -> ShardedThroughputResult:
+    """Benchmark a 1-shard vs an N-shard cluster on the Zipf workload.
+
+    Every shard runs the same framework over the same corpus, so the
+    cluster must serve exactly what the unsharded service serves — this
+    harness asserts that identity before any timing is trusted, then
+    measures each arm ``repeats`` times on fresh (cold-cache) clusters
+    and keeps the best batch time, which is the standard way to strip
+    scheduler noise from a wall-clock comparison.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed)
+
+    # Identity first: the sharded cluster must not change one ranking.
+    reference = DiversificationService(make_framework(workload, log_name))
+    reference_results = reference.diversify_batch(queries)
+    check_cluster = _build_cluster(workload, shards, log_name)
+    try:
+        for ref, res in zip(
+            reference_results, check_cluster.diversify_batch(queries)
+        ):
+            if ref.ranking != res.ranking:
+                raise AssertionError(
+                    f"sharded cluster changed the ranking of {ref.query!r}"
+                )
+    finally:
+        check_cluster.close()
+
+    def timed_batch(num_shards: int):
+        cluster = _build_cluster(workload, num_shards, log_name)
+        try:
+            warm_report = cluster.warm(queries)
+            start = time.perf_counter()
+            cluster.diversify_batch(queries)
+            return time.perf_counter() - start, cluster, warm_report
+        finally:
+            # Stats stay readable after close(); only the fan-out pool
+            # (created lazily on multi-core hosts) is released.
+            cluster.close()
+
+    # Interleave the arms (1, N, 1, N, …) so drift — thermal, frequency
+    # scaling, page-cache state — cannot systematically favour either.
+    single_times: list[float] = []
+    sharded_times: list[float] = []
+    cluster = single_warm = sharded_warm = None
+    for _ in range(max(1, repeats)):
+        seconds, _, single_warm = timed_batch(1)
+        single_times.append(seconds)
+        seconds, cluster, sharded_warm = timed_batch(shards)
+        sharded_times.append(seconds)
+    single_seconds = min(single_times)
+    sharded_seconds = min(sharded_times)
+
+    return ShardedThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        shards=shards,
+        single_seconds=single_seconds,
+        sharded_seconds=sharded_seconds,
+        single_times=tuple(single_times),
+        sharded_times=tuple(sharded_times),
+        single_warm=single_warm,
+        sharded_warm=sharded_warm,
+        cluster_stats=cluster.cluster_stats(),
+        shard_stats=cluster.shard_stats(),
+        spec_cache=cluster.spec_cache_info(),
+        result_cache=cluster.result_cache_info(),
+    )
+
+
+def summarize_sharded(result: ShardedThroughputResult) -> str:
+    headers = ["shard", "served", "ranked", "qps", "p50 ms", "p95 ms", "spec fetched"]
+    rows = []
+    for stats, warm in zip(result.shard_stats, result.sharded_warm.shards):
+        rows.append(
+            [
+                stats.name,
+                stats.served,
+                stats.ranked,
+                round(stats.throughput_qps, 1),
+                round(stats.percentile_ms(0.50), 2),
+                round(stats.percentile_ms(0.95), 2),
+                warm.fetched,
+            ]
+        )
+    cluster = result.cluster_stats
+    rows.append(
+        [
+            cluster.name,
+            cluster.served,
+            cluster.ranked,
+            round(cluster.throughput_qps, 1),
+            round(cluster.percentile_ms(0.50), 2),
+            round(cluster.percentile_ms(0.95), 2),
+            result.sharded_warm.fetched,
+        ]
+    )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Sharded serving — {result.shards} shards, {result.queries} "
+            f"queries ({result.distinct} distinct)"
+        ),
+    )
+
+
 def summarize(result: ThroughputResult) -> str:
     stats = result.service_stats
     headers = ["strategy", "seconds", "qps", "p50 ms", "p95 ms"]
@@ -181,7 +375,10 @@ def summarize(result: ThroughputResult) -> str:
 
 
 def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--queries", type=int, default=100)
     parser.add_argument(
         "--paper-scale",
@@ -189,9 +386,55 @@ def main(argv: list[str] | None = None) -> None:
         help="50 topics / larger corpus (slower)",
     )
     parser.add_argument("--log", default="AOL", choices=("AOL", "MSN"))
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="benchmark a 1-shard vs an N-shard sharded cluster instead "
+        "of the loop-vs-batch comparison",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per arm in --shards mode (best-of)",
+    )
     args = parser.parse_args(argv)
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
     workload = build_trec_workload(scale, logs=(args.log,))
+
+    if args.shards > 0:
+        sharded = run_sharded_throughput(
+            workload,
+            args.queries,
+            shards=args.shards,
+            log_name=args.log,
+            repeats=args.repeats,
+        )
+        print(summarize_sharded(sharded))
+        print()
+        print(
+            f"batch wall-clock (best of {args.repeats}): "
+            f"1 shard {sharded.single_seconds:.3f}s "
+            f"({sharded.single_qps:.1f} qps)  vs  "
+            f"{sharded.shards} shards {sharded.sharded_seconds:.3f}s "
+            f"({sharded.sharded_qps:.1f} qps)  "
+            f"→ {sharded.speedup:.2f}x (timing noise ±{sharded.noise:.1%})"
+        )
+        print(f"warm (cluster): {sharded.sharded_warm.summary()}")
+        print(
+            f"caches (cluster): specialization "
+            f"{sharded.spec_cache.hit_rate:.0%} hit rate "
+            f"({sharded.spec_cache.size} entries across shards), "
+            f"result {sharded.result_cache.hit_rate:.0%}"
+        )
+        print(
+            "rankings verified identical to the unsharded "
+            "DiversificationService before timing."
+        )
+        return
+
     result = run_throughput(workload, args.queries, log_name=args.log)
     print(summarize(result))
     print()

@@ -4,6 +4,12 @@ Provides text analysis (tokenizer, stopwords, Porter stemmer), an inverted
 index, DFR/BM25 weighting models, query-biased snippet extraction, cosine
 similarity, and the :class:`SearchEngine` facade producing the ranked
 result lists ``R_q`` that the diversification algorithms re-rank.
+
+:mod:`repro.retrieval.sharding` partitions that substrate for scale-out:
+:func:`stable_shard` (the hash router shared with the sharded serving
+layer), :func:`partition_collection`, and
+:class:`PartitionedSearchEngine`, whose document-sharded scatter/gather
+search is ranking-identical to a single engine.
 """
 
 from repro.retrieval.analysis import ENGLISH_STOPWORDS, Analyzer, PorterStemmer, tokenize
@@ -16,6 +22,11 @@ from repro.retrieval.persistence import (
     dump_query_log,
     load_collection,
     load_query_log,
+)
+from repro.retrieval.sharding import (
+    PartitionedSearchEngine,
+    partition_collection,
+    stable_shard,
 )
 from repro.retrieval.similarity import TermVector, cosine, delta
 from repro.retrieval.snippets import Snippet, SnippetExtractor
@@ -42,6 +53,9 @@ __all__ = [
     "dump_query_log",
     "load_collection",
     "load_query_log",
+    "PartitionedSearchEngine",
+    "partition_collection",
+    "stable_shard",
     "TermVector",
     "cosine",
     "delta",

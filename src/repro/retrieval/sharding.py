@@ -1,0 +1,211 @@
+"""Index partitioning: hash-routed shards of the retrieval substrate.
+
+The paper's feasibility argument (Section 4.1) holds per machine; growing
+past one worker needs the storage layer split the way the partitioned
+designs surveyed in PAPERS.md split theirs — deterministic placement and
+results that merge back losslessly.  This module provides both halves:
+
+* :func:`stable_shard` — the placement function.  A seeded blake2b hash
+  of the key modulo the shard count, stable across processes and Python
+  versions (unlike the built-in ``hash``, which is salted per process).
+  The serving layer (:mod:`repro.serving.sharded`) routes *queries* with
+  the same function this module uses for *documents*, so one router
+  underlies both levels of sharding.
+* :func:`partition_collection` — split a
+  :class:`~repro.retrieval.documents.DocumentCollection` into N
+  sub-collections by doc_id hash, preserving relative document order.
+* :class:`PartitionedSearchEngine` — a document-partitioned
+  :class:`~repro.retrieval.engine.SearchEngine`: N independent inverted
+  indexes scored with *global* collection statistics and merged with the
+  global tie-break, which makes its rankings **identical** (scores
+  included) to a single engine over the whole collection.  That identity
+  is what lets the index be partitioned underneath the diversification
+  pipeline without changing a single served ranking; the test suite
+  asserts it exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from collections import Counter
+
+from repro.core.cache import LRUCache
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import DocumentCollection
+from repro.retrieval.engine import ResultList, SearchEngine
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.models import DPH, WeightingModel
+from repro.retrieval.snippets import SnippetExtractor
+
+__all__ = [
+    "stable_shard",
+    "partition_collection",
+    "PartitionedSearchEngine",
+]
+
+
+def stable_shard(key: str, num_shards: int, seed: int = 0) -> int:
+    """Deterministic shard for *key*, uniform over ``range(num_shards)``.
+
+    Process-stable (blake2b, not the salted built-in ``hash``), so the
+    same key always lands on the same shard across restarts — the
+    property both the partitioned index (placement of documents) and the
+    sharded serving layer (routing of queries) rely on.
+
+    >>> stable_shard("apple", 4) == stable_shard("apple", 4)
+    True
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_shards == 1:
+        return 0
+    digest = hashlib.blake2b(
+        f"{seed}:{key}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def partition_collection(
+    collection: DocumentCollection, num_shards: int, seed: int = 0
+) -> list[DocumentCollection]:
+    """Hash-partition *collection* into *num_shards* sub-collections.
+
+    Every document lands in exactly one partition
+    (``stable_shard(doc_id, num_shards, seed)``), and partitions preserve
+    the collection's relative document order — which is what lets the
+    partitioned engine reconstruct the single-index tie-break exactly.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    partitions: list[list] = [[] for _ in range(num_shards)]
+    for document in collection:
+        partitions[stable_shard(document.doc_id, num_shards, seed)].append(
+            document
+        )
+    return [DocumentCollection(docs) for docs in partitions]
+
+
+class PartitionedSearchEngine(SearchEngine):
+    """A :class:`SearchEngine` whose inverted index is split into shards.
+
+    Documents are hash-partitioned into ``num_partitions`` independent
+    :class:`~repro.retrieval.index.InvertedIndex` instances (each
+    buildable on its own worker), but scoring stays *collection-global*:
+    per-term document/collection frequencies are summed across
+    partitions, document count and average length are global, and the
+    per-partition accumulators merge under the global ``(score desc,
+    collection ordinal asc)`` tie-break.  Because DFR/BM25 contributions
+    depend only on per-document counts plus those global statistics, the
+    merged ranking — scores included — is identical to a single engine
+    over the undivided collection.
+
+    Snippet extraction and surrogate vectorisation are inherited
+    unchanged: they read the full collection, which every shard of the
+    serving layer can reach.
+    """
+
+    def __init__(
+        self,
+        collection: DocumentCollection,
+        num_partitions: int = 2,
+        model: WeightingModel | None = None,
+        analyzer: Analyzer | None = None,
+        snippet_extractor=None,
+        vector_cache_size: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+        self.seed = seed
+        # Deliberately not calling super().__init__: it would build the
+        # single global index this class exists to avoid holding.
+        self.collection = collection
+        self.analyzer = analyzer or Analyzer()
+        self.model = model or DPH()
+        self.partition_collections = partition_collection(
+            collection, num_partitions, seed
+        )
+        self.partitions = [
+            InvertedIndex.from_collection(part, self.analyzer)
+            for part in self.partition_collections
+        ]
+        #: partition-local ordinal → collection-global ordinal, per shard.
+        self._global_ordinals = [
+            [collection.ordinal(index.doc_id(o)) for o in range(index.num_documents)]
+            for index in self.partitions
+        ]
+        self._num_documents = sum(p.num_documents for p in self.partitions)
+        total_tokens = sum(p.total_tokens for p in self.partitions)
+        self._average_document_length = (
+            total_tokens / self._num_documents if self._num_documents else 0.0
+        )
+        self.snippets = snippet_extractor or SnippetExtractor(
+            analyzer=self.analyzer
+        )
+        self._vector_cache = (
+            LRUCache(vector_cache_size) if vector_cache_size > 0 else None
+        )
+        # ``self.index`` intentionally left unset: there is no single
+        # index, and anything reaching for one should fail loudly.
+
+    def search(self, query: str, k: int = 1000) -> ResultList:
+        """Scatter the query over every partition, gather the global top-k.
+
+        Identical to :meth:`SearchEngine.search` on the undivided
+        collection: same per-document float contributions (global df/cf/
+        N/avgdl), same accumulation order per document (query-term
+        order), same ``(score desc, ordinal asc)`` selection.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        terms = self.analyzer.analyze(query)
+        if not terms:
+            return ResultList(query, [])
+        weights = Counter(terms)
+
+        n_docs = self._num_documents
+        avg_dl = self._average_document_length
+        accumulators: dict[int, float] = {}
+        for term, qtf in weights.items():
+            per_partition = [p.postings(term) for p in self.partitions]
+            df = sum(pl.document_frequency for pl in per_partition if pl)
+            cf = sum(pl.collection_frequency for pl in per_partition if pl)
+            if df == 0:
+                continue
+            for index, postings, to_global in zip(
+                self.partitions, per_partition, self._global_ordinals
+            ):
+                if postings is None:
+                    continue
+                for ordinal, tf in zip(postings.ordinals, postings.tfs):
+                    contribution = self.model.score(
+                        tf,
+                        index.document_length(ordinal),
+                        df,
+                        cf,
+                        n_docs,
+                        avg_dl,
+                        key_frequency=float(qtf),
+                    )
+                    global_ordinal = to_global[ordinal]
+                    if global_ordinal in accumulators:
+                        accumulators[global_ordinal] += contribution
+                    else:
+                        accumulators[global_ordinal] = contribution
+
+        top = heapq.nsmallest(
+            k, accumulators.items(), key=lambda item: (-item[1], item[0])
+        )
+        by_ordinal = self.collection.by_ordinal
+        return ResultList(
+            query, [(by_ordinal(ordinal).doc_id, score) for ordinal, score in top]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "+".join(str(p.num_documents) for p in self.partitions)
+        return (
+            f"PartitionedSearchEngine(docs={self._num_documents} [{sizes}], "
+            f"model={self.model.name})"
+        )

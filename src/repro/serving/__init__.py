@@ -1,17 +1,31 @@
 """Serving subsystem: the online face of the reproduction.
 
 The core library diversifies one query at a time; this package turns it
-into a servable system with an explicit offline/online lifecycle:
+into a servable system with an explicit offline/online lifecycle, then
+grows it past one worker:
 
 * :class:`~repro.serving.service.DiversificationService` — ``warm()``
   precomputes specialization artifacts (the paper's Section 4.1 offline
   phase), ``diversify_batch()`` serves traffic with deduplication,
   bounded LRU caching and per-query latency/throughput accounting;
+* :class:`~repro.serving.sharded.ShardedDiversificationService` — N
+  hash-routed service shards behind the same API: queries route by the
+  process-stable :func:`~repro.retrieval.sharding.stable_shard`, the
+  offline and online phases fan out per-shard over a thread pool, and
+  :class:`ServiceStats` / :class:`~repro.core.cache.CacheStats` /
+  :class:`WarmReport` merge into cluster-level summaries.  The cluster
+  serves rankings identical to the unsharded service;
 * :class:`~repro.core.cache.LRUCache` (re-exported) — the bounded cache
   shared with the framework and the search engine.
 
+Services built without an explicit diversifier inherit the framework's
+kernel default: selection-identical numpy kernels when numpy is present,
+the pure-Python references otherwise (see
+:func:`repro.core.framework.default_diversifier`).
+
 See ``examples/quickstart.py`` for the end-to-end flow and
-``repro.experiments.throughput`` for the batch-vs-loop measurement.
+``repro.experiments.throughput`` for the batch-vs-loop and 1-vs-N-shard
+measurements.
 """
 
 from repro.core.cache import CacheStats, LRUCache
@@ -21,6 +35,7 @@ from repro.serving.service import (
     ServiceStats,
     WarmReport,
 )
+from repro.serving.sharded import ShardedDiversificationService
 
 __all__ = [
     "CacheStats",
@@ -28,5 +43,6 @@ __all__ = [
     "DiversificationService",
     "PreparedQuery",
     "ServiceStats",
+    "ShardedDiversificationService",
     "WarmReport",
 ]

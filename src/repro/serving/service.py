@@ -60,13 +60,50 @@ class PreparedQuery:
 
 @dataclass(frozen=True)
 class WarmReport:
-    """What one offline :meth:`DiversificationService.warm` pass did."""
+    """What one offline :meth:`DiversificationService.warm` pass did.
+
+    ``name`` labels the service that warmed (the shard id when the
+    service is embedded in a
+    :class:`~repro.serving.sharded.ShardedDiversificationService`);
+    a merged cluster report carries its per-shard reports in ``shards``.
+    """
 
     queries: int
     ambiguous: int
     specializations: int
     fetched: int
     seconds: float
+    name: str = ""
+    shards: tuple["WarmReport", ...] = ()
+
+    def summary(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return (
+            f"{label}queries={self.queries} ambiguous={self.ambiguous} "
+            f"specializations={self.specializations} "
+            f"fetched={self.fetched} seconds={self.seconds:.3f}"
+        )
+
+    @classmethod
+    def merge(
+        cls, reports: Sequence["WarmReport"], name: str = "cluster"
+    ) -> "WarmReport":
+        """Cluster-level view of per-shard warm passes.
+
+        Counters sum (shards warm disjoint query partitions);
+        ``seconds`` sums too, i.e. total shard-busy time — the driving
+        wall-clock is whatever the caller measured around the fan-out.
+        The inputs are kept in ``shards`` for per-shard reporting.
+        """
+        return cls(
+            queries=sum(r.queries for r in reports),
+            ambiguous=sum(r.ambiguous for r in reports),
+            specializations=sum(r.specializations for r in reports),
+            fetched=sum(r.fetched for r in reports),
+            seconds=sum(r.seconds for r in reports),
+            name=name,
+            shards=tuple(reports),
+        )
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -88,7 +125,10 @@ class ServiceStats:
 
     Counters are exact over the service's lifetime; ``latencies_ms`` is
     a sliding sample of the most recent ranked queries (bounded, so a
-    long-running service does not grow with traffic).
+    long-running service does not grow with traffic).  ``name`` labels
+    the owning service in summaries (the shard id inside a sharded
+    deployment); :meth:`merge` rolls per-shard stats into one
+    cluster-level instance.
     """
 
     served: int = 0        #: results returned, including cache hits
@@ -99,6 +139,7 @@ class ServiceStats:
     latencies_ms: deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_SIZE)
     )
+    name: str = ""         #: label in summaries (shard id when sharded)
 
     def record(self, latency_ms: float, diversified: bool) -> None:
         self.ranked += 1
@@ -121,9 +162,36 @@ class ServiceStats:
         """Served queries per second of service wall-clock."""
         return self.served / self.seconds if self.seconds > 0 else 0.0
 
+    @classmethod
+    def merge(
+        cls, stats: Sequence["ServiceStats"], name: str = "cluster"
+    ) -> "ServiceStats":
+        """Roll per-shard stats into one cluster-level ``ServiceStats``.
+
+        Counters sum across shards (their query partitions are
+        disjoint), latency samples concatenate into one bounded sliding
+        sample, and ``seconds`` sums to total shard-busy time.  When the
+        shards ran concurrently the cluster wall-clock is shorter than
+        that sum; callers that measured the fan-out themselves (the
+        sharded service does) should overwrite ``seconds`` with the
+        measured wall-clock before deriving ``throughput_qps``.
+        """
+        merged = cls(
+            served=sum(s.served for s in stats),
+            ranked=sum(s.ranked for s in stats),
+            diversified=sum(s.diversified for s in stats),
+            batches=sum(s.batches for s in stats),
+            seconds=sum(s.seconds for s in stats),
+            name=name,
+        )
+        for s in stats:
+            merged.latencies_ms.extend(s.latencies_ms)
+        return merged
+
     def summary(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
         return (
-            f"served={self.served} ranked={self.ranked} "
+            f"{label}served={self.served} ranked={self.ranked} "
             f"diversified={self.diversified} batches={self.batches} "
             f"throughput={self.throughput_qps:.1f} qps "
             f"latency mean={self.mean_latency_ms:.2f}ms "
@@ -144,6 +212,11 @@ class DiversificationService:
         key is the query string alone, so mutate the framework's
         diversifier/config only via a fresh service (or call
         :meth:`invalidate`).
+    name:
+        Label threaded into ``repr``, :class:`ServiceStats` and
+        :class:`WarmReport` summaries.  The sharded serving layer sets
+        it to the shard id (``"shard3"``) so per-shard reports stay
+        attributable.
 
     >>> service = DiversificationService(framework)     # doctest: +SKIP
     >>> service.warm(expected_queries)                  # doctest: +SKIP
@@ -154,8 +227,10 @@ class DiversificationService:
         self,
         framework: DiversificationFramework,
         result_cache_size: int = 2048,
+        name: str = "",
     ) -> None:
         self.framework = framework
+        self.name = name
         self._result_cache: LRUCache[str, DiversifiedResult] = LRUCache(
             result_cache_size
         )
@@ -164,7 +239,7 @@ class DiversificationService:
         self._detect_cache: LRUCache[str, SpecializationSet] = LRUCache(
             result_cache_size
         )
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(name=name)
 
     def _detect(self, query: str) -> SpecializationSet:
         specializations = self._detect_cache.get(query)
@@ -199,6 +274,7 @@ class DiversificationService:
             specializations=len(set(spec_queries)),
             fetched=fetched,
             seconds=time.perf_counter() - start,
+            name=self.name,
         )
 
     def prepare(self, query: str) -> PreparedQuery:
@@ -296,7 +372,8 @@ class DiversificationService:
         return self.framework.cache_info()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f"name={self.name!r}, " if self.name else ""
         return (
-            f"DiversificationService({self.framework!r}, "
+            f"DiversificationService({label}{self.framework!r}, "
             f"cached={len(self._result_cache)})"
         )

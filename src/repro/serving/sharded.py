@@ -1,0 +1,329 @@
+"""Sharded serving layer: hash-routed shards of the diversification service.
+
+One :class:`~repro.serving.service.DiversificationService` bounds the
+paper's online phase to a single worker.  This module grows it
+horizontally the way the partitioned-storage designs in PAPERS.md grow
+theirs: state is partitioned with deterministic placement, and the
+per-partition summaries merge back losslessly.
+
+:class:`ShardedDiversificationService` owns N shard services.  Queries
+route by :func:`~repro.retrieval.sharding.stable_shard` — the same
+seeded, process-stable hash the retrieval layer uses to place documents
+— so a given query *always* lands on the same shard, and each shard's
+specialization cache, detection cache and result LRU hold exactly its
+partition of the query space.  The offline phase (``warm``) and the
+online phase (``diversify_batch``) fan out per-shard over a thread pool
+and merge:
+
+* results re-assemble in request order (routing is per-query, the batch
+  contract is unchanged);
+* :class:`~repro.serving.service.ServiceStats` /
+  :class:`~repro.core.cache.CacheStats` /
+  :class:`~repro.serving.service.WarmReport` roll up through their
+  ``merge`` classmethods into cluster-level summaries that keep the
+  per-shard breakdown.
+
+Because every shard runs the same framework over the same corpus (the
+index itself may be document-partitioned via
+:class:`~repro.retrieval.sharding.PartitionedSearchEngine`, which is
+ranking-identical), the cluster serves **exactly** the rankings the
+unsharded service serves — asserted by the test suite and re-checked by
+``python -m repro.experiments.throughput --shards N``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.cache import CacheStats
+from repro.core.framework import DiversificationFramework, DiversifiedResult
+from repro.retrieval.sharding import stable_shard
+from repro.serving.service import (
+    DiversificationService,
+    PreparedQuery,
+    ServiceStats,
+    WarmReport,
+)
+
+__all__ = ["ShardedDiversificationService"]
+
+
+class ShardedDiversificationService:
+    """N hash-routed :class:`DiversificationService` shards behind one API.
+
+    Parameters
+    ----------
+    services:
+        The shard services, in shard order.  Shards without a ``name``
+        are labelled ``shard0 … shardN-1`` so their stats stay
+        attributable in merged reports.
+    max_workers:
+        Thread-pool width for the per-shard fan-out.  Defaults to
+        ``min(num_shards, os.cpu_count())`` — on a single-core host the
+        fan-out degenerates to an ordered sweep, which is the right call
+        for the GIL-bound pure-Python pipeline; the numpy kernels
+        release the GIL inside their matmuls, so wider pools pay off as
+        task sizes grow.
+    router_seed:
+        Seed of the :func:`~repro.retrieval.sharding.stable_shard`
+        router.  Must be kept constant for the lifetime of the cluster's
+        caches: changing it remaps queries to different shards (cold
+        caches), though results stay correct because every shard can
+        answer any query.
+
+    >>> cluster = ShardedDiversificationService.from_factory(  # doctest: +SKIP
+    ...     lambda shard: DiversificationFramework(engine, miner),
+    ...     num_shards=4,
+    ... )
+    >>> cluster.warm(expected_queries)                         # doctest: +SKIP
+    >>> results = cluster.diversify_batch(traffic)             # doctest: +SKIP
+    >>> print(cluster.cluster_stats().summary())               # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        services: Sequence[DiversificationService],
+        max_workers: int | None = None,
+        router_seed: int = 0,
+    ) -> None:
+        services = list(services)
+        if not services:
+            raise ValueError("at least one shard service is required")
+        for i, service in enumerate(services):
+            if not service.name:
+                service.name = f"shard{i}"
+                service.stats.name = service.name
+        self._services = services
+        self.router_seed = router_seed
+        if max_workers is None:
+            max_workers = min(len(services), os.cpu_count() or 1)
+        self._max_workers = max(1, max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._online_seconds = 0.0
+
+    @classmethod
+    def from_factory(
+        cls,
+        framework_factory: Callable[[int], DiversificationFramework],
+        num_shards: int,
+        result_cache_size: int = 2048,
+        max_workers: int | None = None,
+        router_seed: int = 0,
+    ) -> "ShardedDiversificationService":
+        """Build *num_shards* shards from ``framework_factory(shard_id)``.
+
+        The factory is called once per shard; frameworks may share a
+        (read-only) engine and detector, or carry per-shard replicas /
+        a :class:`~repro.retrieval.sharding.PartitionedSearchEngine` —
+        anything ranking-identical keeps the cluster's identity
+        guarantee.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        services = [
+            DiversificationService(
+                framework_factory(shard),
+                result_cache_size=result_cache_size,
+                name=f"shard{shard}",
+            )
+            for shard in range(num_shards)
+        ]
+        return cls(services, max_workers=max_workers, router_seed=router_seed)
+
+    # -- routing -----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._services)
+
+    @property
+    def services(self) -> tuple[DiversificationService, ...]:
+        """The shard services, in shard order (read-only view)."""
+        return tuple(self._services)
+
+    def route(self, query: str) -> int:
+        """Shard id owning *query* — stable across processes/restarts."""
+        return stable_shard(query, len(self._services), self.router_seed)
+
+    def shard_for(self, query: str) -> DiversificationService:
+        """The shard service that owns *query*."""
+        return self._services[self.route(query)]
+
+    def partition(self, queries: Iterable[str]) -> list[list[str]]:
+        """Split *queries* into per-shard buckets, preserving order.
+
+        The hash runs once per *distinct* query — serving batches repeat
+        queries heavily (that is what batching is for), so routing cost
+        tracks distinct traffic, not raw volume.
+        """
+        return self._partition_with_routes(queries)[0]
+
+    def _partition_with_routes(
+        self, queries: Iterable[str]
+    ) -> tuple[list[list[str]], dict[str, int]]:
+        """Per-shard buckets plus the ``{query: shard}`` memo behind them."""
+        buckets: list[list[str]] = [[] for _ in self._services]
+        shard_of: dict[str, int] = {}
+        for query in queries:
+            shard = shard_of.get(query)
+            if shard is None:
+                shard = shard_of[query] = self.route(query)
+            buckets[shard].append(query)
+        return buckets, shard_of
+
+    # -- fan-out machinery -------------------------------------------------------
+
+    def _run_per_shard(self, calls: list[tuple[int, Callable[[], object]]]):
+        """Run ``(shard, thunk)`` pairs, concurrently when the pool allows.
+
+        Returns ``{shard: result}``.  With one worker (or one call) the
+        sweep stays on the calling thread — no pool overhead, same
+        ordering semantics.
+        """
+        if self._max_workers == 1 or len(calls) <= 1:
+            return {shard: thunk() for shard, thunk in calls}
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        futures = {shard: self._pool.submit(thunk) for shard, thunk in calls}
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent; cluster stays usable
+        inline afterwards)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- offline phase -----------------------------------------------------------
+
+    def warm(self, queries: Iterable[str]) -> WarmReport:
+        """Fan the offline phase out per-shard; return the merged report.
+
+        Each shard warms only the queries it will later serve, so the
+        specialization artifacts land exactly where the online path
+        reads them.  The merged report's ``shards`` tuple keeps one
+        (possibly empty) report per shard, in shard order; its
+        ``seconds`` is the cluster wall-clock measured around the
+        fan-out (the per-shard reports keep shard-busy time, which can
+        sum past it when shards overlap).
+        """
+        start = time.perf_counter()
+        buckets = self.partition(queries)
+        done = self._run_per_shard(
+            [
+                (shard, lambda s=self._services[shard], b=bucket: s.warm(b))
+                for shard, bucket in enumerate(buckets)
+                if bucket
+            ]
+        )
+        reports = [
+            done.get(shard)
+            or WarmReport(0, 0, 0, 0, 0.0, name=self._services[shard].name)
+            for shard in range(len(self._services))
+        ]
+        return dataclasses.replace(
+            WarmReport.merge(reports), seconds=time.perf_counter() - start
+        )
+
+    def prepare_batch(self, queries: Iterable[str]) -> dict[str, PreparedQuery]:
+        """Detection + task construction, fanned out per-shard."""
+        buckets = self.partition(queries)
+        done = self._run_per_shard(
+            [
+                (
+                    shard,
+                    lambda s=self._services[shard], b=bucket: s.prepare_batch(b),
+                )
+                for shard, bucket in enumerate(buckets)
+                if bucket
+            ]
+        )
+        merged: dict[str, PreparedQuery] = {}
+        for prepared in done.values():
+            merged.update(prepared)
+        return merged
+
+    # -- online phase ------------------------------------------------------------
+
+    def diversify(self, query: str) -> DiversifiedResult:
+        """Serve one query on its owning shard."""
+        start = time.perf_counter()
+        result = self.shard_for(query).diversify(query)
+        self._online_seconds += time.perf_counter() - start
+        return result
+
+    def diversify_batch(self, queries: Sequence[str]) -> list[DiversifiedResult]:
+        """Serve a batch across the shards; results align with *queries*.
+
+        The batch splits into per-shard sub-batches (duplicates of a
+        query always share a shard, so the per-shard dedup equals the
+        unsharded dedup), each shard runs its own
+        :meth:`DiversificationService.diversify_batch`, and the shard
+        outputs zip back together in request order.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        start = time.perf_counter()
+        buckets, shard_of = self._partition_with_routes(queries)
+        done = self._run_per_shard(
+            [
+                (
+                    shard,
+                    lambda s=self._services[shard], b=bucket: s.diversify_batch(b),
+                )
+                for shard, bucket in enumerate(buckets)
+                if bucket
+            ]
+        )
+        # Shard outputs align with their buckets, which preserved the
+        # request order — walk the request stream again, consuming each
+        # owning shard's results in turn.
+        cursors = {shard: iter(results) for shard, results in done.items()}
+        merged = [next(cursors[shard_of[query]]) for query in queries]
+        self._online_seconds += time.perf_counter() - start
+        return merged
+
+    # -- maintenance & cluster summaries -----------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every shard's cached results and detections."""
+        for service in self._services:
+            service.invalidate()
+
+    def shard_stats(self) -> list[ServiceStats]:
+        """Per-shard online stats, in shard order."""
+        return [service.stats for service in self._services]
+
+    def cluster_stats(self) -> ServiceStats:
+        """Merged online stats with *cluster* wall-clock.
+
+        Counters and latency samples merge across shards; ``seconds``
+        is the wall-clock this object measured around its fan-outs —
+        overlapping shard work is not double-counted, so
+        ``throughput_qps`` is the cluster's actual serving rate.
+        """
+        merged = ServiceStats.merge(self.shard_stats())
+        merged.seconds = self._online_seconds
+        return merged
+
+    def spec_cache_info(self) -> CacheStats:
+        """Cluster-merged specialization-cache counters."""
+        return CacheStats.merge(s.spec_cache_info() for s in self._services)
+
+    def result_cache_info(self) -> CacheStats:
+        """Cluster-merged result-LRU counters."""
+        return CacheStats.merge(s.result_cache_info() for s in self._services)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedDiversificationService(shards={self.num_shards}, "
+            f"workers={self._max_workers}, seed={self.router_seed})"
+        )

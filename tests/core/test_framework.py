@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from repro.core.ambiguity import SpecializationSet
 from repro.core.framework import (
     DiversificationFramework,
     FrameworkConfig,
+    default_diversifier,
+    fast_kernels_available,
     get_diversifier,
 )
 from repro.core.iaselect import IASelect
@@ -18,7 +22,9 @@ from repro.core.xquad import XQuAD
 
 class TestGetDiversifier:
     def test_registry(self):
-        assert isinstance(get_diversifier("optselect"), OptSelect)
+        # use_fast defaults to False: the instrumented references, which
+        # are what the complexity experiments measure.
+        assert type(get_diversifier("optselect")) is OptSelect
         assert isinstance(get_diversifier("XQUAD"), XQuAD)
         assert isinstance(get_diversifier("IASelect"), IASelect)
         assert isinstance(get_diversifier("mmr"), MMR)
@@ -30,6 +36,70 @@ class TestGetDiversifier:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown diversifier"):
             get_diversifier("pagerank")
+
+    def test_use_fast_returns_kernel_variant(self):
+        pytest.importorskip("numpy")
+        from repro.core.fast import FastOptSelect, FastXQuAD
+
+        assert type(get_diversifier("optselect", use_fast=True)) is FastOptSelect
+        assert type(get_diversifier("xquad", use_fast=True)) is FastXQuAD
+
+    def test_use_fast_auto_detects(self):
+        pytest.importorskip("numpy")
+        from repro.core.fast import FastOptSelect
+
+        assert type(get_diversifier("optselect", use_fast=None)) is FastOptSelect
+
+
+class TestFastKernelDefaults:
+    def test_default_is_fast_when_numpy_present(self):
+        pytest.importorskip("numpy")
+        from repro.core.fast import FastOptSelect
+
+        assert fast_kernels_available()
+        assert type(default_diversifier()) is FastOptSelect
+
+    def test_framework_inherits_fast_default(self, small_engine, small_miner):
+        pytest.importorskip("numpy")
+        from repro.core.fast import FastOptSelect
+
+        framework = DiversificationFramework(small_engine, small_miner)
+        assert type(framework.diversifier) is FastOptSelect
+
+    def test_use_fast_false_pins_reference(self, small_engine, small_miner):
+        framework = DiversificationFramework(
+            small_engine, small_miner, use_fast=False
+        )
+        assert type(framework.diversifier) is OptSelect
+
+    def test_fallback_without_numpy(self, monkeypatch):
+        """Simulate a numpy-less interpreter: blocking the fast module
+        in sys.modules makes its import raise, and the default must fall
+        back to the pure-Python reference."""
+        monkeypatch.setitem(sys.modules, "repro.core.fast", None)
+        assert not fast_kernels_available()
+        assert type(default_diversifier()) is OptSelect
+        assert type(get_diversifier("optselect", use_fast=None)) is OptSelect
+
+    def test_use_fast_true_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "repro.core.fast", None)
+        with pytest.raises(ImportError):
+            default_diversifier(use_fast=True)
+
+    def test_fast_default_framework_matches_reference_rankings(
+        self, small_engine, small_miner, small_corpus
+    ):
+        pytest.importorskip("numpy")
+        config = FrameworkConfig(k=10, candidates=80, spec_results=10)
+        fast = DiversificationFramework(small_engine, small_miner, config=config)
+        reference = DiversificationFramework(
+            small_engine, small_miner, OptSelect(), config
+        )
+        for topic in small_corpus.topics:
+            assert (
+                fast.diversify_query(topic.query).ranking
+                == reference.diversify_query(topic.query).ranking
+            )
 
 
 class TestFrameworkConfig:

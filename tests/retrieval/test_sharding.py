@@ -1,0 +1,125 @@
+"""Tests for index partitioning: the hash router, collection
+partitioning, and the ranking-identity of the partitioned engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.engine import SearchEngine
+from repro.retrieval.sharding import (
+    PartitionedSearchEngine,
+    partition_collection,
+    stable_shard,
+)
+
+
+class TestStableShard:
+    def test_deterministic(self):
+        for key in ("apple", "apple store", "jaguar", ""):
+            assert stable_shard(key, 4) == stable_shard(key, 4)
+
+    def test_in_range(self):
+        for i in range(200):
+            assert 0 <= stable_shard(f"q{i}", 7) < 7
+
+    def test_single_shard_is_zero(self):
+        assert stable_shard("anything", 1) == 0
+
+    def test_seed_changes_mapping(self):
+        keys = [f"q{i}" for i in range(64)]
+        base = [stable_shard(k, 8) for k in keys]
+        reseeded = [stable_shard(k, 8, seed=1) for k in keys]
+        assert base != reseeded
+
+    def test_roughly_uniform(self):
+        counts = [0] * 4
+        n = 2000
+        for i in range(n):
+            counts[stable_shard(f"query-{i}", 4)] += 1
+        # Binomial(2000, 1/4): ±5 sigma is ~±97; demand a loose band.
+        for c in counts:
+            assert 350 < c < 650
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            stable_shard("q", 0)
+
+
+class TestPartitionCollection:
+    def test_exactly_once_and_order_preserved(self, small_corpus):
+        collection = small_corpus.collection
+        parts = partition_collection(collection, 3)
+        assert len(parts) == 3
+        seen = [d.doc_id for p in parts for d in p]
+        assert sorted(seen) == sorted(collection.doc_ids)
+        assert len(seen) == len(collection)
+        for part in parts:
+            ordinals = [collection.ordinal(d.doc_id) for d in part]
+            assert ordinals == sorted(ordinals)
+
+    def test_placement_matches_router(self, small_corpus):
+        collection = small_corpus.collection
+        parts = partition_collection(collection, 4, seed=5)
+        for shard, part in enumerate(parts):
+            for document in part:
+                assert stable_shard(document.doc_id, 4, seed=5) == shard
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_collection(DocumentCollection(), 0)
+
+
+@pytest.fixture(scope="module")
+def partitioned_engine(small_corpus):
+    return PartitionedSearchEngine(small_corpus.collection, num_partitions=3)
+
+
+class TestPartitionedSearchEngine:
+    def test_rankings_identical_to_single_engine(
+        self, small_corpus, small_engine, partitioned_engine
+    ):
+        """The load-bearing guarantee: document partitioning with global
+        statistics must not change one score or one rank."""
+        for topic in small_corpus.topics:
+            single = small_engine.search(topic.query, 50)
+            sharded = partitioned_engine.search(topic.query, 50)
+            assert single.doc_ids == sharded.doc_ids
+            assert single.scores == sharded.scores
+
+    @pytest.mark.parametrize("num_partitions", [1, 2, 5])
+    def test_identity_across_partition_counts(
+        self, small_corpus, small_engine, num_partitions
+    ):
+        engine = PartitionedSearchEngine(
+            small_corpus.collection, num_partitions=num_partitions
+        )
+        query = small_corpus.topics[0].query
+        single = small_engine.search(query, 30)
+        assert engine.search(query, 30).doc_ids == single.doc_ids
+
+    def test_empty_query(self, partitioned_engine):
+        assert len(partitioned_engine.search("", 10)) == 0
+
+    def test_k_validation(self, partitioned_engine):
+        with pytest.raises(ValueError):
+            partitioned_engine.search("apple", 0)
+
+    def test_search_batch_dedupes(self, small_corpus, partitioned_engine):
+        query = small_corpus.topics[0].query
+        out = partitioned_engine.search_batch([query, query], 10)
+        assert set(out) == {query}
+
+    def test_snippets_inherited(self, small_corpus, partitioned_engine):
+        query = small_corpus.topics[0].query
+        results = partitioned_engine.search(query, 5)
+        vectors = partitioned_engine.snippet_vectors(query, results)
+        assert set(vectors) == set(results.doc_ids)
+
+    def test_every_document_in_exactly_one_partition(self, partitioned_engine):
+        total = sum(p.num_documents for p in partitioned_engine.partitions)
+        assert total == len(partitioned_engine.collection)
+
+    def test_invalid_partition_count(self, small_corpus):
+        with pytest.raises(ValueError):
+            PartitionedSearchEngine(small_corpus.collection, num_partitions=0)

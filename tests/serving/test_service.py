@@ -105,6 +105,29 @@ class TestDiversifyBatch:
         assert "qps" in stats.summary()
 
 
+class TestNameThreading:
+    """The shard label must surface everywhere a report is rendered."""
+
+    def test_named_service_labels_stats_and_warm(
+        self, fresh_framework, topic_queries
+    ):
+        service = DiversificationService(fresh_framework, name="shard7")
+        assert service.stats.name == "shard7"
+        assert "name='shard7'" in repr(service)
+        report = service.warm(topic_queries)
+        assert report.name == "shard7"
+        assert report.summary().startswith("[shard7]")
+        service.diversify_batch(topic_queries)
+        assert service.stats.summary().startswith("[shard7]")
+
+    def test_unnamed_service_has_clean_summaries(self, service, topic_queries):
+        report = service.warm(topic_queries)
+        assert report.name == ""
+        assert not report.summary().startswith("[")
+        assert not service.stats.summary().startswith("[")
+        assert "name=" not in repr(service)
+
+
 class TestPrepare:
     def test_prepare_batch_builds_tasks_for_ambiguous(
         self, service, small_miner, topic_queries

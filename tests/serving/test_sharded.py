@@ -1,0 +1,240 @@
+"""Tests for the sharded serving layer (ShardedDiversificationService)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CacheStats
+from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.core.optselect import OptSelect
+from repro.retrieval.sharding import stable_shard
+from repro.serving import (
+    DiversificationService,
+    ServiceStats,
+    ShardedDiversificationService,
+)
+
+NUM_SHARDS = 3
+
+
+def make_framework(small_engine, small_miner):
+    return DiversificationFramework(
+        small_engine,
+        small_miner,
+        OptSelect(),
+        FrameworkConfig(k=10, candidates=80, spec_results=10),
+    )
+
+
+@pytest.fixture()
+def cluster(small_engine, small_miner):
+    return ShardedDiversificationService.from_factory(
+        lambda shard: make_framework(small_engine, small_miner),
+        num_shards=NUM_SHARDS,
+    )
+
+
+@pytest.fixture()
+def single(small_engine, small_miner):
+    return DiversificationService(make_framework(small_engine, small_miner))
+
+
+@pytest.fixture(scope="module")
+def workload(small_corpus):
+    """A repeating workload over every topic query."""
+    queries = [topic.query for topic in small_corpus.topics]
+    return queries * 2 + list(reversed(queries))
+
+
+class TestRouting:
+    def test_route_is_stable_hash(self, cluster, workload):
+        for query in workload:
+            assert cluster.route(query) == stable_shard(query, NUM_SHARDS)
+            assert cluster.route(query) == cluster.route(query)
+            assert cluster.shard_for(query) is cluster.services[
+                cluster.route(query)
+            ]
+
+    def test_partition_covers_batch_in_order(self, cluster, workload):
+        buckets = cluster.partition(workload)
+        assert len(buckets) == NUM_SHARDS
+        assert sorted(q for b in buckets for q in b) == sorted(workload)
+        for shard, bucket in enumerate(buckets):
+            assert bucket == [q for q in workload if cluster.route(q) == shard]
+
+    def test_router_seed_remaps(self, small_engine, small_miner, workload):
+        reseeded = ShardedDiversificationService.from_factory(
+            lambda shard: make_framework(small_engine, small_miner),
+            num_shards=NUM_SHARDS,
+            router_seed=1,
+        )
+        default = [stable_shard(q, NUM_SHARDS) for q in set(workload)]
+        assert [reseeded.route(q) for q in set(workload)] != default
+
+
+class TestIdentity:
+    def test_batch_identical_to_unsharded(self, cluster, single, workload):
+        """The acceptance criterion: sharding must not change a ranking."""
+        sharded = cluster.diversify_batch(workload)
+        unsharded = single.diversify_batch(workload)
+        assert [r.query for r in sharded] == workload
+        for a, b in zip(unsharded, sharded):
+            assert a.query == b.query
+            assert a.ranking == b.ranking
+
+    def test_identity_with_thread_pool(
+        self, small_engine, small_miner, single, workload
+    ):
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: make_framework(small_engine, small_miner),
+            num_shards=NUM_SHARDS,
+            max_workers=NUM_SHARDS,
+        )
+        try:
+            sharded = cluster.diversify_batch(workload)
+            for a, b in zip(single.diversify_batch(workload), sharded):
+                assert a.ranking == b.ranking
+        finally:
+            cluster.close()
+
+    def test_duplicates_share_one_result(self, cluster, workload):
+        query = workload[0]
+        results = cluster.diversify_batch([query, query, query])
+        assert results[0] is results[1] is results[2]
+
+    def test_single_query_routes_to_owner(self, cluster, workload):
+        query = workload[0]
+        owner = cluster.shard_for(query)
+        result = cluster.diversify(query)
+        assert result.query == query
+        assert owner.stats.ranked == 1
+        others = [s for s in cluster.services if s is not owner]
+        assert all(s.stats.ranked == 0 for s in others)
+
+    def test_empty_batch(self, cluster):
+        assert cluster.diversify_batch([]) == []
+
+
+class TestMergedStats:
+    def test_cluster_counters_equal_single_service(
+        self, cluster, single, workload
+    ):
+        """Same workload, same counters: partitioning only relabels
+        where the work happened."""
+        single.warm(workload)
+        single.diversify_batch(workload)
+        cluster.warm(workload)
+        cluster.diversify_batch(workload)
+
+        merged = cluster.cluster_stats()
+        assert merged.served == single.stats.served
+        assert merged.ranked == single.stats.ranked
+        assert merged.diversified == single.stats.diversified
+        assert len(merged.latencies_ms) == len(single.stats.latencies_ms)
+        assert merged.seconds > 0
+        assert merged.throughput_qps > 0
+
+        # Result LRU traffic is partition-invariant too: one lookup per
+        # distinct query per batch, wherever it routes.
+        merged_rc = cluster.result_cache_info()
+        single_rc = single.result_cache_info()
+        assert merged_rc.hits + merged_rc.misses == (
+            single_rc.hits + single_rc.misses
+        )
+        assert merged_rc.size == single_rc.size
+
+    def test_warm_report_merges_per_shard(self, cluster, workload):
+        report = cluster.warm(workload)
+        assert report.name == "cluster"
+        assert len(report.shards) == NUM_SHARDS
+        assert report.queries == len(set(workload))
+        assert report.fetched == sum(r.fetched for r in report.shards)
+        assert report.ambiguous == sum(r.ambiguous for r in report.shards)
+        assert [r.name for r in report.shards] == [
+            s.name for s in cluster.services
+        ]
+        assert "cluster" in report.summary()
+
+    def test_spec_cache_merge(self, cluster, workload):
+        cluster.warm(workload)
+        merged = cluster.spec_cache_info()
+        per_shard = [s.spec_cache_info() for s in cluster.services]
+        assert merged.size == sum(c.size for c in per_shard)
+        assert merged.misses == sum(c.misses for c in per_shard)
+
+    def test_prepare_batch_covers_distinct(self, cluster, workload):
+        prepared = cluster.prepare_batch(workload)
+        assert set(prepared) == set(workload)
+        for query, prep in prepared.items():
+            assert prep.query == query
+
+    def test_invalidate_forces_rerank(self, cluster, workload):
+        query = workload[0]
+        cluster.diversify(query)
+        cluster.invalidate()
+        cluster.diversify(query)
+        assert cluster.cluster_stats().ranked == 2
+
+
+class TestConstruction:
+    def test_shards_are_auto_named(self, cluster):
+        assert [s.name for s in cluster.services] == [
+            f"shard{i}" for i in range(NUM_SHARDS)
+        ]
+        assert [s.stats.name for s in cluster.services] == [
+            f"shard{i}" for i in range(NUM_SHARDS)
+        ]
+
+    def test_explicit_names_kept(self, small_engine, small_miner):
+        services = [
+            DiversificationService(
+                make_framework(small_engine, small_miner), name="eu-west"
+            ),
+            DiversificationService(make_framework(small_engine, small_miner)),
+        ]
+        cluster = ShardedDiversificationService(services)
+        assert [s.name for s in cluster.services] == ["eu-west", "shard1"]
+
+    def test_requires_services(self):
+        with pytest.raises(ValueError):
+            ShardedDiversificationService([])
+
+    def test_from_factory_validates_count(self, small_engine, small_miner):
+        with pytest.raises(ValueError):
+            ShardedDiversificationService.from_factory(
+                lambda shard: make_framework(small_engine, small_miner), 0
+            )
+
+    def test_repr(self, cluster):
+        assert "shards=3" in repr(cluster)
+
+
+class TestStatsMergePrimitives:
+    def test_service_stats_merge(self):
+        a = ServiceStats(served=5, ranked=3, diversified=2, batches=1, seconds=0.5)
+        a.latencies_ms.extend([1.0, 2.0, 3.0])
+        b = ServiceStats(served=7, ranked=4, diversified=1, batches=2, seconds=0.25)
+        b.latencies_ms.extend([4.0])
+        merged = ServiceStats.merge([a, b], name="cluster")
+        assert merged.name == "cluster"
+        assert merged.served == 12
+        assert merged.ranked == 7
+        assert merged.diversified == 3
+        assert merged.batches == 3
+        assert merged.seconds == 0.75
+        assert sorted(merged.latencies_ms) == [1.0, 2.0, 3.0, 4.0]
+        assert merged.summary().startswith("[cluster]")
+
+    def test_cache_stats_merge(self):
+        a = CacheStats(maxsize=4, size=2, hits=10, misses=5, evictions=1)
+        b = CacheStats(maxsize=8, size=3, hits=2, misses=2, evictions=0)
+        merged = CacheStats.merge([a, b])
+        assert merged == CacheStats(
+            maxsize=12, size=5, hits=12, misses=7, evictions=1
+        )
+        assert merged.hit_rate == pytest.approx(12 / 19)
+
+    def test_cache_stats_merge_empty(self):
+        merged = CacheStats.merge([])
+        assert merged.hits == merged.misses == merged.size == 0
+        assert merged.hit_rate == 0.0
