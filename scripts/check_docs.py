@@ -34,6 +34,7 @@ REQUIRED_SNIPPETS = [
     "python -m pytest -x -q",
     "python -m repro.experiments.throughput",
     "--shards 4",
+    "--mode async",
     "docs/ARCHITECTURE.md",
     "examples/quickstart.py",
 ]

@@ -104,10 +104,12 @@ from repro.retrieval import (
     stable_shard,
 )
 from repro.serving import (
+    AsyncDiversificationService,
     CacheStats,
     DiversificationService,
     LRUCache,
     PreparedQuery,
+    ServiceClosed,
     ServiceStats,
     ShardedDiversificationService,
     WarmReport,
@@ -167,10 +169,12 @@ __all__ = [
     "generate_query_log",
     "split_by_time_gap",
     # serving
+    "AsyncDiversificationService",
     "CacheStats",
     "DiversificationService",
     "LRUCache",
     "PreparedQuery",
+    "ServiceClosed",
     "ServiceStats",
     "ShardedDiversificationService",
     "WarmReport",

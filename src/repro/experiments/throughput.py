@@ -22,15 +22,26 @@ thread-pool fan-out) over the same Zipf workload, after asserting the
 cluster serves rankings identical to the unsharded service.  The report
 shows per-shard stats next to the merged cluster summary.
 
+With ``--mode async`` the harness drives the asyncio micro-batching
+front-end (:class:`~repro.serving.AsyncDiversificationService`) under
+**open-loop** arrivals: every request joins the system at its own
+Zipf-sampled query's exponentially-spaced arrival time regardless of how
+fast the service drains — the admission regime a real front-end faces.
+Before reporting, every result is identity-checked against the
+sequential ``diversify_batch`` path over the same queries.  Combine with
+``--shards N`` to put the sharded cluster behind the front-end.
+
 Run as a script::
 
     python -m repro.experiments.throughput [--queries N] [--paper-scale]
     python -m repro.experiments.throughput --shards 4
+    python -m repro.experiments.throughput --mode async [--shards N]
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import random
 import time
 from dataclasses import dataclass
@@ -44,6 +55,7 @@ from repro.experiments.workloads import (
     build_trec_workload,
 )
 from repro.serving import (
+    AsyncDiversificationService,
     CacheStats,
     DiversificationService,
     ServiceStats,
@@ -54,10 +66,12 @@ from repro.serving import (
 __all__ = [
     "ThroughputResult",
     "ShardedThroughputResult",
+    "AsyncThroughputResult",
     "zipf_workload",
     "make_framework",
     "run_throughput",
     "run_sharded_throughput",
+    "run_async_throughput",
     "main",
 ]
 
@@ -345,6 +359,131 @@ def summarize_sharded(result: ShardedThroughputResult) -> str:
     )
 
 
+@dataclass(frozen=True)
+class AsyncThroughputResult:
+    """Open-loop run of the async micro-batching front-end."""
+
+    queries: int
+    distinct: int
+    shards: int                #: 0 = unsharded backend
+    seconds: float             #: wall-clock, first arrival → last result
+    offered_qps: float         #: open-loop arrival rate the driver targeted
+    front_stats: ServiceStats  #: batch formation (histogram, waits, depth)
+    backend_stats: ServiceStats
+    identity_checked: bool
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.queries / self.seconds if self.seconds else 0.0
+
+
+def run_async_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    seed: int = 13,
+    log_name: str = "AOL",
+    shards: int = 0,
+    max_batch_size: int = 16,
+    max_wait_s: float = 0.002,
+    offered_qps: float = 2000.0,
+) -> AsyncThroughputResult:
+    """Drive the async front-end under open-loop Zipf arrivals.
+
+    Open-loop means arrivals do not wait for the service: each request is
+    its own task that sleeps until its exponentially-spaced arrival time
+    and then submits, so queueing pressure is real.  The front-end warms
+    the backend first, serves the stream, and every returned ranking is
+    asserted identical to a sequential ``diversify_batch`` over the same
+    query list on a fresh service — the async layer may change *when*
+    work happens, never *what* is served.
+    """
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed)
+
+    # The sequential reference first, on its own cold service.
+    reference = DiversificationService(
+        make_framework(workload, log_name)
+    ).diversify_batch(queries)
+
+    if shards > 0:
+        backend = _build_cluster(workload, shards, log_name)
+    else:
+        backend = DiversificationService(make_framework(workload, log_name))
+
+    rng = random.Random(seed + 1)
+    arrivals: list[float] = []
+    t = 0.0
+    for _ in queries:
+        t += rng.expovariate(offered_qps)
+        arrivals.append(t)
+
+    async def drive():
+        async with AsyncDiversificationService(
+            backend,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+        ) as front:
+            await front.warm(queries)
+
+            async def client(query: str, at: float):
+                await asyncio.sleep(at)
+                return await front.submit(query)
+
+            start = time.perf_counter()
+            results = await asyncio.gather(
+                *(client(q, at) for q, at in zip(queries, arrivals))
+            )
+            seconds = time.perf_counter() - start
+            return results, seconds, front.stats
+
+    results, seconds, front_stats = asyncio.run(drive())
+
+    for want, got in zip(reference, results):
+        if want.query != got.query or want.ranking != got.ranking:
+            raise AssertionError(
+                f"async front-end changed the ranking of {want.query!r}"
+            )
+
+    if shards > 0:
+        backend_stats = backend.cluster_stats()
+        backend.close()
+    else:
+        backend_stats = backend.stats
+    return AsyncThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        shards=shards,
+        seconds=seconds,
+        offered_qps=offered_qps,
+        front_stats=front_stats,
+        backend_stats=backend_stats,
+        identity_checked=True,
+    )
+
+
+def summarize_async(result: AsyncThroughputResult) -> str:
+    front = result.front_stats
+    headers = ["batch size", "batches", "requests"]
+    rows = [
+        [size, count, size * count]
+        for size, count in sorted(front.batch_sizes.items())
+    ]
+    backend_label = (
+        f"{result.shards}-shard cluster" if result.shards else "single service"
+    )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Async micro-batching — {result.queries} queries "
+            f"({result.distinct} distinct) over the {backend_label}, "
+            f"offered {result.offered_qps:.0f} qps"
+        ),
+    )
+
+
 def summarize(result: ThroughputResult) -> str:
     stats = result.service_stats
     headers = ["strategy", "seconds", "qps", "p50 ms", "p95 ms"]
@@ -387,12 +526,21 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--log", default="AOL", choices=("AOL", "MSN"))
     parser.add_argument(
+        "--mode",
+        default="batch",
+        choices=("batch", "async"),
+        help="'batch': pre-formed batches (loop-vs-batch, or 1-vs-N "
+        "shards with --shards); 'async': the asyncio micro-batching "
+        "front-end under open-loop Zipf arrivals, identity-checked "
+        "against the sequential path",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=0,
         metavar="N",
-        help="benchmark a 1-shard vs an N-shard sharded cluster instead "
-        "of the loop-vs-batch comparison",
+        help="in batch mode: benchmark a 1-shard vs an N-shard cluster; "
+        "in async mode: put an N-shard cluster behind the front-end",
     )
     parser.add_argument(
         "--repeats",
@@ -400,9 +548,59 @@ def main(argv: list[str] | None = None) -> None:
         default=5,
         help="timing repeats per arm in --shards mode (best-of)",
     )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=16,
+        help="async mode: close the admission window at this many requests",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="async mode: close the admission window this long after its "
+        "first request",
+    )
+    parser.add_argument(
+        "--offered-qps",
+        type=float,
+        default=2000.0,
+        help="async mode: open-loop arrival rate of the Zipf stream",
+    )
     args = parser.parse_args(argv)
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
     workload = build_trec_workload(scale, logs=(args.log,))
+
+    if args.mode == "async":
+        result = run_async_throughput(
+            workload,
+            args.queries,
+            log_name=args.log,
+            shards=args.shards,
+            max_batch_size=args.max_batch_size,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            offered_qps=args.offered_qps,
+        )
+        print(summarize_async(result))
+        print()
+        front = result.front_stats
+        print(
+            f"served {result.queries} requests in {result.seconds:.3f}s "
+            f"({result.achieved_qps:.1f} qps achieved vs "
+            f"{result.offered_qps:.0f} offered)"
+        )
+        print(
+            f"formation: mean batch {front.mean_batch_size:.1f}, "
+            f"queue wait mean={front.mean_wait_ms:.2f}ms "
+            f"p95={front.wait_percentile_ms(0.95):.2f}ms, "
+            f"queue depth peak={front.queue_depth_peak}"
+        )
+        print(f"backend: {result.backend_stats.summary()}")
+        print(
+            "identity check: every async result equals the sequential "
+            "diversify_batch ranking for the same query stream."
+        )
+        return
 
     if args.shards > 0:
         sharded = run_sharded_throughput(

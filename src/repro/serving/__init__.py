@@ -15,6 +15,13 @@ grows it past one worker:
   :class:`ServiceStats` / :class:`~repro.core.cache.CacheStats` /
   :class:`WarmReport` merge into cluster-level summaries.  The cluster
   serves rankings identical to the unsharded service;
+* :class:`~repro.serving.async_service.AsyncDiversificationService` —
+  the asyncio micro-batching front-end: single-query ``await
+  submit(query)`` calls coalesce under a size/time admission window
+  (bounded queue, backpressure) into batches dispatched to either
+  service above on an executor, with batch-formation accounting in
+  :class:`ServiceStats`.  Results are identical to a direct
+  ``diversify_batch`` call;
 * :class:`~repro.core.cache.LRUCache` (re-exported) — the bounded cache
   shared with the framework and the search engine.
 
@@ -29,6 +36,11 @@ measurements.
 """
 
 from repro.core.cache import CacheStats, LRUCache
+from repro.serving.async_service import (
+    AsyncDiversificationService,
+    LoopClock,
+    ServiceClosed,
+)
 from repro.serving.service import (
     DiversificationService,
     PreparedQuery,
@@ -38,10 +50,13 @@ from repro.serving.service import (
 from repro.serving.sharded import ShardedDiversificationService
 
 __all__ = [
+    "AsyncDiversificationService",
     "CacheStats",
     "LRUCache",
+    "LoopClock",
     "DiversificationService",
     "PreparedQuery",
+    "ServiceClosed",
     "ServiceStats",
     "ShardedDiversificationService",
     "WarmReport",

@@ -86,7 +86,7 @@ class WarmReport:
 
     @classmethod
     def merge(
-        cls, reports: Sequence["WarmReport"], name: str = "cluster"
+        cls, reports: Iterable["WarmReport"], name: str = "cluster"
     ) -> "WarmReport":
         """Cluster-level view of per-shard warm passes.
 
@@ -94,7 +94,10 @@ class WarmReport:
         ``seconds`` sums too, i.e. total shard-busy time — the driving
         wall-clock is whatever the caller measured around the fan-out.
         The inputs are kept in ``shards`` for per-shard reporting.
+        Accepts any iterable (including a generator); an empty input
+        yields a valid zeroed report.
         """
+        reports = list(reports)
         return cls(
             queries=sum(r.queries for r in reports),
             ambiguous=sum(r.ambiguous for r in reports),
@@ -129,6 +132,13 @@ class ServiceStats:
     the owning service in summaries (the shard id inside a sharded
     deployment); :meth:`merge` rolls per-shard stats into one
     cluster-level instance.
+
+    The batch-formation fields (``batch_sizes`` / ``wait_ms`` /
+    ``queue_depth_peak``) belong to the micro-batching front-end
+    (:class:`~repro.serving.async_service.AsyncDiversificationService`):
+    how large its admission windows actually got, how long requests sat
+    in the queue before their batch closed, and how deep the queue ran.
+    They stay zero/empty on services that receive pre-formed batches.
     """
 
     served: int = 0        #: results returned, including cache hits
@@ -140,11 +150,28 @@ class ServiceStats:
         default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_SIZE)
     )
     name: str = ""         #: label in summaries (shard id when sharded)
+    #: histogram of dispatched batch sizes: {size: count of batches}
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+    #: sliding sample of per-request queue waits (enqueue → batch close)
+    wait_ms: deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_SIZE)
+    )
+    queue_depth_peak: int = 0  #: deepest the admission queue ever ran
 
     def record(self, latency_ms: float, diversified: bool) -> None:
         self.ranked += 1
         self.diversified += int(diversified)
         self.latencies_ms.append(latency_ms)
+
+    def record_formation(
+        self, batch_size: int, waits_ms: Iterable[float], queue_depth: int
+    ) -> None:
+        """Account one formed batch: its size, the queue wait of each of
+        its requests, and the queue depth left behind at close time."""
+        self.batch_sizes[batch_size] = self.batch_sizes.get(batch_size, 0) + 1
+        self.wait_ms.extend(waits_ms)
+        if queue_depth > self.queue_depth_peak:
+            self.queue_depth_peak = queue_depth
 
     @property
     def mean_latency_ms(self) -> float:
@@ -158,24 +185,42 @@ class ServiceStats:
         return _percentile(sorted(self.latencies_ms), q)
 
     @property
+    def mean_batch_size(self) -> float:
+        formed = sum(self.batch_sizes.values())
+        if not formed:
+            return 0.0
+        return sum(size * count for size, count in self.batch_sizes.items()) / formed
+
+    @property
+    def mean_wait_ms(self) -> float:
+        return sum(self.wait_ms) / len(self.wait_ms) if self.wait_ms else 0.0
+
+    def wait_percentile_ms(self, q: float) -> float:
+        return _percentile(sorted(self.wait_ms), q)
+
+    @property
     def throughput_qps(self) -> float:
         """Served queries per second of service wall-clock."""
         return self.served / self.seconds if self.seconds > 0 else 0.0
 
     @classmethod
     def merge(
-        cls, stats: Sequence["ServiceStats"], name: str = "cluster"
+        cls, stats: Iterable["ServiceStats"], name: str = "cluster"
     ) -> "ServiceStats":
         """Roll per-shard stats into one cluster-level ``ServiceStats``.
 
         Counters sum across shards (their query partitions are
-        disjoint), latency samples concatenate into one bounded sliding
-        sample, and ``seconds`` sums to total shard-busy time.  When the
-        shards ran concurrently the cluster wall-clock is shorter than
-        that sum; callers that measured the fan-out themselves (the
-        sharded service does) should overwrite ``seconds`` with the
-        measured wall-clock before deriving ``throughput_qps``.
+        disjoint), latency and wait samples concatenate into one bounded
+        sliding sample, batch-size histograms add up, queue depth peaks
+        take the max, and ``seconds`` sums to total shard-busy time.
+        When the shards ran concurrently the cluster wall-clock is
+        shorter than that sum; callers that measured the fan-out
+        themselves (the sharded service does) should overwrite
+        ``seconds`` with the measured wall-clock before deriving
+        ``throughput_qps``.  An empty input yields a valid zeroed
+        summary.
         """
+        stats = list(stats)
         merged = cls(
             served=sum(s.served for s in stats),
             ranked=sum(s.ranked for s in stats),
@@ -183,14 +228,18 @@ class ServiceStats:
             batches=sum(s.batches for s in stats),
             seconds=sum(s.seconds for s in stats),
             name=name,
+            queue_depth_peak=max((s.queue_depth_peak for s in stats), default=0),
         )
         for s in stats:
             merged.latencies_ms.extend(s.latencies_ms)
+            merged.wait_ms.extend(s.wait_ms)
+            for size, count in s.batch_sizes.items():
+                merged.batch_sizes[size] = merged.batch_sizes.get(size, 0) + count
         return merged
 
     def summary(self) -> str:
         label = f"[{self.name}] " if self.name else ""
-        return (
+        text = (
             f"{label}served={self.served} ranked={self.ranked} "
             f"diversified={self.diversified} batches={self.batches} "
             f"throughput={self.throughput_qps:.1f} qps "
@@ -198,6 +247,13 @@ class ServiceStats:
             f"p50={self.percentile_ms(0.50):.2f}ms "
             f"p95={self.percentile_ms(0.95):.2f}ms"
         )
+        if self.batch_sizes:
+            text += (
+                f" batch mean={self.mean_batch_size:.1f} "
+                f"wait p95={self.wait_percentile_ms(0.95):.2f}ms "
+                f"depth peak={self.queue_depth_peak}"
+            )
+        return text
 
 
 class DiversificationService:

@@ -51,14 +51,52 @@ def small_miner(small_log):
     return SpecializationMiner(small_log).build()
 
 
+#: The standard small-scale config shared by framework/serving tests.
+STANDARD_CONFIG = FrameworkConfig(k=10, candidates=80, spec_results=10)
+
+
+@pytest.fixture(scope="session")
+def standard_config():
+    return STANDARD_CONFIG
+
+
 @pytest.fixture(scope="session")
 def small_framework(small_engine, small_miner):
     return DiversificationFramework(
-        small_engine,
-        small_miner,
-        OptSelect(),
-        FrameworkConfig(k=10, candidates=80, spec_results=10),
+        small_engine, small_miner, OptSelect(), STANDARD_CONFIG
     )
+
+
+@pytest.fixture(scope="session")
+def framework_factory(small_engine, small_miner):
+    """Factory for *fresh* (cold-cache) frameworks at the standard small
+    scale.  Serving tests need a new framework per test so cache counters
+    start from zero; this deduplicates the per-module copies of the same
+    constructor call.  Pass ``diversifier=``/``config=`` to override the
+    defaults (reference OptSelect, :data:`STANDARD_CONFIG`)."""
+
+    def make(diversifier=None, config=None, **kwargs):
+        return DiversificationFramework(
+            small_engine,
+            small_miner,
+            diversifier if diversifier is not None else OptSelect(),
+            config or STANDARD_CONFIG,
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture()
+def fresh_framework(framework_factory):
+    """A cold-cache framework, new for every test."""
+    return framework_factory()
+
+
+@pytest.fixture(scope="session")
+def topic_queries(small_corpus):
+    """Every corpus topic's root query, in topic order."""
+    return [topic.query for topic in small_corpus.topics]
 
 
 @pytest.fixture(scope="session")

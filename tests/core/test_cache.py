@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.core.cache import LRUCache
@@ -79,3 +83,106 @@ class TestLRUCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+
+class TestLRUCacheConcurrency:
+    """Hammer a shared cache from a thread pool.
+
+    The serving layer shares caches across threads (the sharded fan-out,
+    the engine-level vector cache, and now the async front-end's
+    executor dispatch), so the per-operation lock must keep the counters
+    *consistent* — every ``get`` is exactly one hit or one miss — and the
+    structure uncorrupted, not merely crash-free.
+    """
+
+    WORKERS = 8
+    OPS_PER_WORKER = 3000
+    KEYSPACE = 64
+
+    @staticmethod
+    def _value_for(key: int) -> int:
+        return key * 1_000_003  # distinct per key: detects cross-entry mixups
+
+    def test_counters_and_entries_survive_a_thread_hammer(self):
+        cache: LRUCache[int, int] = LRUCache(32)
+        start = threading.Barrier(self.WORKERS)
+
+        def worker(worker_id: int) -> int:
+            rng = random.Random(worker_id)
+            start.wait()  # maximise overlap: all threads enter together
+            gets = 0
+            for _ in range(self.OPS_PER_WORKER):
+                key = rng.randrange(self.KEYSPACE)
+                if rng.random() < 0.5:
+                    cache.put(key, self._value_for(key))
+                else:
+                    value = cache.get(key)
+                    gets += 1
+                    if value is not None:
+                        assert value == self._value_for(key)
+            return gets
+
+        with ThreadPoolExecutor(max_workers=self.WORKERS) as pool:
+            total_gets = sum(pool.map(worker, range(self.WORKERS)))
+
+        stats = cache.stats()
+        # Every get was counted exactly once, as a hit or a miss.
+        assert stats.hits + stats.misses == total_gets
+        assert stats.size == len(cache) <= cache.maxsize
+        assert stats.evictions >= 0
+        # No entry corruption: every surviving key maps to its own value.
+        for key in cache:
+            assert cache.get(key) == self._value_for(key)
+
+    def test_concurrent_eviction_churn_stays_bounded(self):
+        """Tiny capacity + wide keyspace: constant eviction pressure must
+        never let the cache exceed its bound or lose the LRU invariant's
+        bookkeeping (size observed ≤ maxsize at every probe)."""
+        cache: LRUCache[int, int] = LRUCache(4)
+        observed: list[int] = []
+        start = threading.Barrier(4)
+
+        def churner(worker_id: int) -> None:
+            rng = random.Random(100 + worker_id)
+            start.wait()
+            for _ in range(2000):
+                key = rng.randrange(256)
+                cache.put(key, self._value_for(key))
+                observed.append(len(cache))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(churner, range(4)))
+
+        assert max(observed) <= 4
+        stats = cache.stats()
+        # 8000 puts into 4 slots over a 256-key space: heavy eviction,
+        # and every insertion is accounted — inserts = evictions + size.
+        assert stats.evictions > 1000
+        assert stats.size <= 4
+
+    def test_clear_races_with_traffic(self):
+        """clear() under concurrent gets/puts must neither crash nor
+        corrupt: afterwards the cache still bounds itself and serves."""
+        cache: LRUCache[int, int] = LRUCache(16)
+        stop = threading.Event()
+
+        def traffic() -> None:
+            rng = random.Random(7)
+            while not stop.is_set():
+                key = rng.randrange(32)
+                cache.put(key, self._value_for(key))
+                value = cache.get(key)
+                if value is not None:
+                    assert value == self._value_for(key)
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(traffic) for _ in range(2)]
+            for _ in range(200):
+                cache.clear()
+            stop.set()
+            for future in futures:
+                future.result()  # surface assertion failures from threads
+
+        assert len(cache) <= 16
+        cache.put(1, self._value_for(1))
+        assert cache.get(1) == self._value_for(1)

@@ -87,14 +87,14 @@ class TestFastKernelDefaults:
             default_diversifier(use_fast=True)
 
     def test_fast_default_framework_matches_reference_rankings(
-        self, small_engine, small_miner, small_corpus
+        self, small_engine, small_miner, framework_factory, standard_config,
+        small_corpus
     ):
         pytest.importorskip("numpy")
-        config = FrameworkConfig(k=10, candidates=80, spec_results=10)
-        fast = DiversificationFramework(small_engine, small_miner, config=config)
-        reference = DiversificationFramework(
-            small_engine, small_miner, OptSelect(), config
+        fast = DiversificationFramework(
+            small_engine, small_miner, config=standard_config
         )
+        reference = framework_factory()
         for topic in small_corpus.topics:
             assert (
                 fast.diversify_query(topic.query).ranking
@@ -235,15 +235,12 @@ class TestPipeline:
         assert result.task.utilities.threshold == 0.4
 
     def test_algorithms_produce_different_rankings_sometimes(
-        self, small_engine, small_miner, small_corpus
+        self, framework_factory, small_corpus
     ):
         """Across the detectable topics, at least one query must separate
         OptSelect from the baseline ranking — otherwise the pipeline is
         inert."""
-        config = FrameworkConfig(k=10, candidates=80, spec_results=10)
-        framework = DiversificationFramework(
-            small_engine, small_miner, OptSelect(), config
-        )
+        framework = framework_factory()
         differs = 0
         for topic in small_corpus.topics:
             result = framework.diversify_query(topic.query)

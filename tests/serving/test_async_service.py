@@ -1,0 +1,567 @@
+"""Deterministic tests for the async micro-batching front-end.
+
+Every window/backpressure/cancellation behaviour is driven by the manual
+clock and event harness in :mod:`tests.serving.aio` — no real timers, so
+each scenario runs exactly the interleaving it constructs.  One
+integration test at the end exercises the real clock + executor path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.serving import (
+    AsyncDiversificationService,
+    DiversificationService,
+    ServiceClosed,
+    ShardedDiversificationService,
+)
+
+from .aio import FailingBackend, ManualClock, RecordingBackend, run, settle
+
+#: Admission window used by the manual-clock scenarios (value is
+#: arbitrary: the clock only moves when a test advances it).
+WINDOW = 0.005
+
+
+@pytest.fixture()
+def service(fresh_framework):
+    return DiversificationService(fresh_framework)
+
+
+@pytest.fixture()
+def backend(service):
+    return RecordingBackend(service)
+
+
+def make_front(backend, clock, **kwargs):
+    """An inline (event-loop-dispatched) front-end under a manual clock."""
+    kwargs.setdefault("max_batch_size", 10)
+    kwargs.setdefault("max_wait_s", WINDOW)
+    return AsyncDiversificationService(backend, inline=True, clock=clock, **kwargs)
+
+
+class TestWindow:
+    def test_full_batch_dispatches_without_the_clock(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock, max_batch_size=3) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:3]
+                ]
+                await settle()  # size limit hit: no advance() needed
+                assert all(task.done() for task in tasks)
+                return [task.result() for task in tasks]
+
+        results = run(scenario())
+        assert backend.batches == [topic_queries[:3]]
+        assert [r.query for r in results] == topic_queries[:3]
+
+    def test_window_closes_on_deadline(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:3]
+                ]
+                await settle()
+                # Partial batch: the window is open, nothing resolves.
+                assert not any(task.done() for task in tasks)
+                assert backend.batches == []
+                await clock.advance(WINDOW)
+                assert all(task.done() for task in tasks)
+
+        run(scenario())
+        assert backend.batches == [topic_queries[:3]]
+
+    def test_late_arrivals_join_the_open_window(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                first = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:2]
+                ]
+                await clock.advance(WINDOW / 2)
+                assert not any(task.done() for task in first)
+                late = asyncio.create_task(front.submit(topic_queries[2]))
+                await clock.advance(WINDOW / 2)  # first request's deadline
+                assert all(task.done() for task in first + [late])
+
+        run(scenario())
+        assert backend.batches == [topic_queries[:3]]
+
+    def test_batches_split_at_max_size(self, backend, topic_queries):
+        queries = topic_queries[:5]
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock, max_batch_size=2) as front:
+                tasks = [asyncio.create_task(front.submit(q)) for q in queries]
+                await settle()
+                # Two full batches dispatched eagerly; the odd one out
+                # waits for its window.
+                assert [task.done() for task in tasks] == [True] * 4 + [False]
+                await clock.advance(WINDOW)
+                assert tasks[4].done()
+
+        run(scenario())
+        assert [len(b) for b in backend.batches] == [2, 2, 1]
+        assert backend.served_queries == queries
+
+    def test_zero_wait_is_greedy(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock, max_wait_s=0) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:4]
+                ]
+                await settle()  # no timer exists to wait for
+                assert all(task.done() for task in tasks)
+
+        run(scenario())
+        assert backend.batches == [topic_queries[:4]]
+
+
+class TestIdentity:
+    """The acceptance criterion: any interleaving the harness produces
+    must serve exactly what one direct ``diversify_batch`` call serves."""
+
+    @pytest.fixture(params=["single", "sharded"])
+    def any_backend(self, request, framework_factory):
+        if request.param == "single":
+            return DiversificationService(framework_factory())
+        return ShardedDiversificationService.from_factory(
+            lambda shard: framework_factory(), num_shards=3
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_interleavings_match_direct_batch(
+        self, seed, any_backend, framework_factory, topic_queries
+    ):
+        rng = random.Random(seed)
+        workload = rng.choices(topic_queries, k=24)  # repeats included
+        # Slice the arrival stream into random windows.
+        chunks, rest = [], list(workload)
+        while rest:
+            size = rng.randint(1, 6)
+            chunks.append(rest[:size])
+            rest = rest[size:]
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(any_backend, clock, max_batch_size=4) as front:
+                tasks = []
+                for chunk in chunks:
+                    tasks.extend(
+                        asyncio.create_task(front.submit(q)) for q in chunk
+                    )
+                    await settle()
+                    await clock.advance(WINDOW)
+                return await asyncio.gather(*tasks)
+
+        results = run(scenario())
+        reference = DiversificationService(framework_factory()).diversify_batch(
+            workload
+        )
+        assert [r.query for r in results] == workload
+        for got, want in zip(results, reference):
+            assert got.query == want.query
+            assert got.ranking == want.ranking
+
+    def test_duplicates_in_one_window_share_a_result(
+        self, backend, topic_queries
+    ):
+        query = topic_queries[0]
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(query)) for _ in range(3)
+                ]
+                await clock.advance(WINDOW)
+                return [task.result() for task in tasks]
+
+        first, second, third = run(scenario())
+        assert first is second is third
+        assert backend.batches == [[query, query, query]]
+
+    def test_submit_many_aligns_with_input(self, backend, topic_queries):
+        workload = topic_queries + list(reversed(topic_queries))
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock, max_wait_s=0) as front:
+                return await front.submit_many(workload)
+
+        results = run(scenario())
+        assert [r.query for r in results] == workload
+
+
+class GatedBackend:
+    """Delegate whose dispatch blocks on a controllable event — lets a
+    test hold the batcher mid-dispatch while the queue backs up."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.gate = threading.Event()
+
+    def diversify_batch(self, queries):
+        assert self.gate.wait(timeout=15.0), "test never opened the gate"
+        return self.inner.diversify_batch(queries)
+
+    def warm(self, queries):
+        return self.inner.warm(queries)
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_submit_until_dispatch_drains(self, service):
+        gated = GatedBackend(service)
+        queries = ["q0", "q1", "q2", "q3"]
+
+        async def scenario():
+            front = AsyncDiversificationService(
+                gated, max_batch_size=1, max_wait_s=0, max_pending=2
+            )
+            try:
+                front.start()
+                tasks = [asyncio.create_task(front.submit(q)) for q in queries]
+                await settle()
+                # q0 is stuck in dispatch behind the gate, q1/q2 fill the
+                # queue, q3's submit is blocked on backpressure.
+                assert front._queue.full()
+                assert not any(task.done() for task in tasks)
+                assert front.stats.queue_depth_peak == 2
+                gated.gate.set()
+                await asyncio.gather(*tasks)
+                assert all(task.done() for task in tasks)
+            finally:
+                gated.gate.set()
+                await front.stop()
+
+        run(scenario())
+        assert service.stats.served == len(queries)
+
+    def test_stop_fails_submitters_blocked_on_backpressure(self, service):
+        gated = GatedBackend(service)
+
+        async def scenario():
+            front = AsyncDiversificationService(
+                gated, max_batch_size=1, max_wait_s=0, max_pending=1
+            )
+            try:
+                front.start()
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in ["q0", "q1", "q2"]
+                ]
+                await settle()  # q0 gated, q1 queued, q2 blocked on put
+                stop = asyncio.create_task(front.stop(drain=False))
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                await stop
+                assert all(isinstance(o, ServiceClosed) for o in outcomes)
+                assert not front.running
+            finally:
+                gated.gate.set()
+
+        run(scenario())
+
+
+class TestCancellation:
+    def test_cancelled_request_is_dropped_from_the_batch(
+        self, backend, topic_queries
+    ):
+        keep, drop = topic_queries[0], topic_queries[1]
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                kept = asyncio.create_task(front.submit(keep))
+                doomed = asyncio.create_task(front.submit(drop))
+                await settle()
+                doomed.cancel()
+                await settle()
+                await clock.advance(WINDOW)
+                assert kept.done() and doomed.cancelled()
+                return kept.result()
+
+        result = run(scenario())
+        assert result.query == keep
+        assert backend.batches == [[keep]]  # the cancelled query never ran
+
+    def test_fully_cancelled_window_skips_the_backend(
+        self, backend, topic_queries
+    ):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:2]
+                ]
+                await settle()
+                for task in tasks:
+                    task.cancel()
+                await settle()
+                await clock.advance(WINDOW)
+                assert all(task.cancelled() for task in tasks)
+                # The service survives: a fresh submit still works.
+                follow_up = asyncio.create_task(front.submit(topic_queries[0]))
+                await settle()
+                await clock.advance(WINDOW)
+                return await follow_up
+
+        result = run(scenario())
+        assert result.query == topic_queries[0]
+        assert backend.batches == [[topic_queries[0]]]
+
+    def test_shared_query_survives_one_cancellation(
+        self, backend, topic_queries
+    ):
+        query = topic_queries[0]
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                kept = asyncio.create_task(front.submit(query))
+                doomed = asyncio.create_task(front.submit(query))
+                await settle()
+                doomed.cancel()
+                await clock.advance(WINDOW)
+                return await kept
+
+        result = run(scenario())
+        assert result.query == query
+        assert backend.batches == [[query]]
+
+
+class TestErrors:
+    def test_backend_failure_propagates_to_every_waiter(self, topic_queries):
+        failing = FailingBackend()
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(failing, clock, max_wait_s=0) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:2]
+                ]
+                await settle()
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                assert all(o is failing.exc for o in outcomes)
+                # Failed batches count as formed, never as served.
+                assert front.stats.batch_sizes == {2: 1}
+                assert front.stats.served == 0
+                assert front.stats.batches == 0
+
+        run(scenario())
+        assert failing.calls == 1
+
+    def test_service_survives_a_failing_batch(self, service, topic_queries):
+        query = topic_queries[0]
+
+        class FlakyBackend:
+            def __init__(self):
+                self.calls = 0
+
+            def diversify_batch(self, queries):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("transient")
+                return service.diversify_batch(queries)
+
+        flaky = FlakyBackend()
+
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(flaky, clock, max_wait_s=0) as front:
+                with pytest.raises(RuntimeError, match="transient"):
+                    await front.submit(query)
+                return await front.submit(query)
+
+        result = run(scenario())
+        assert result.query == query
+        assert flaky.calls == 2
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, backend):
+        async def scenario():
+            front = make_front(backend, ManualClock())
+            with pytest.raises(ServiceClosed):
+                await front.submit("anything")
+
+        run(scenario())
+
+    def test_stop_drains_the_open_window_immediately(
+        self, backend, topic_queries
+    ):
+        async def scenario():
+            clock = ManualClock()
+            front = make_front(backend, clock)
+            front.start()
+            tasks = [
+                asyncio.create_task(front.submit(q)) for q in topic_queries[:3]
+            ]
+            await settle()
+            assert not any(task.done() for task in tasks)
+            # No advance(): stop() must flush the window itself.
+            await front.stop(drain=True)
+            assert all(task.done() for task in tasks)
+            with pytest.raises(ServiceClosed):
+                await front.submit(topic_queries[0])
+
+        run(scenario())
+        assert backend.batches == [topic_queries[:3]]
+
+    def test_context_manager_starts_and_stops(self, backend):
+        async def scenario():
+            front = make_front(backend, ManualClock())
+            assert not front.running
+            async with front:
+                assert front.running
+            assert not front.running
+
+        run(scenario())
+
+    def test_restart_after_stop(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            front = make_front(backend, clock, max_wait_s=0)
+            front.start()
+            first = await front.submit(topic_queries[0])
+            await front.stop()
+            front.start()
+            second = await front.submit(topic_queries[1])
+            await front.stop()
+            return first, second
+
+        first, second = run(scenario())
+        assert first.query == topic_queries[0]
+        assert second.query == topic_queries[1]
+
+    def test_stop_without_drain_fails_the_open_window(
+        self, backend, topic_queries
+    ):
+        """Requests already dequeued into an open admission window have
+        left the queue, so a non-draining stop cannot sweep them there —
+        they must still be failed, not abandoned to hang forever."""
+
+        async def scenario():
+            clock = ManualClock()
+            front = make_front(backend, clock)
+            front.start()
+            tasks = [
+                asyncio.create_task(front.submit(q)) for q in topic_queries[:2]
+            ]
+            await settle()  # both requests are inside the open window
+            assert not any(task.done() for task in tasks)
+            await front.stop(drain=False)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(o, ServiceClosed) for o in outcomes)
+
+        run(scenario())
+        assert backend.batches == []  # nothing was ever dispatched
+
+    def test_stop_is_idempotent(self, backend):
+        async def scenario():
+            front = make_front(backend, ManualClock())
+            front.start()
+            await front.stop()
+            await front.stop()
+
+        run(scenario())
+
+    def test_invalid_parameters(self, backend):
+        with pytest.raises(ValueError):
+            AsyncDiversificationService(backend, max_batch_size=0)
+        with pytest.raises(ValueError):
+            AsyncDiversificationService(backend, max_wait_s=-1)
+        with pytest.raises(ValueError):
+            AsyncDiversificationService(backend, max_pending=0)
+
+
+class TestStats:
+    def test_formation_accounting_is_exact_under_the_manual_clock(
+        self, backend, topic_queries
+    ):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                early = asyncio.create_task(front.submit(topic_queries[0]))
+                await clock.advance(0.002)
+                late = asyncio.create_task(front.submit(topic_queries[1]))
+                await clock.advance(0.003)  # the opener's 5ms window ends
+                await asyncio.gather(early, late)
+                stats = front.stats
+                assert stats.batch_sizes == {2: 1}
+                assert stats.mean_batch_size == 2.0
+                # Queue waits, per the manual clock: the opener waited the
+                # whole 5ms window, the late joiner the remaining 3ms.
+                assert sorted(stats.wait_ms) == pytest.approx([3.0, 5.0])
+                assert stats.mean_wait_ms == pytest.approx(4.0)
+                assert stats.wait_percentile_ms(1.0) == pytest.approx(5.0)
+                assert stats.served == 2
+                assert stats.batches == 1
+                assert "batch mean=2.0" in stats.summary()
+                assert "depth peak=" in stats.summary()
+
+        run(scenario())
+
+    def test_queue_depth_peak_tracks_burst_size(self, backend, topic_queries):
+        async def scenario():
+            clock = ManualClock()
+            async with make_front(backend, clock) as front:
+                tasks = [
+                    asyncio.create_task(front.submit(q))
+                    for q in topic_queries[:3]
+                ]
+                await settle()
+                await clock.advance(WINDOW)
+                await asyncio.gather(*tasks)
+                # All three puts landed before the batcher first drained.
+                assert front.stats.queue_depth_peak == 3
+
+        run(scenario())
+
+    def test_backend_stats_accessor(self, service, framework_factory):
+        front = AsyncDiversificationService(service)
+        assert front.backend_stats() is service.stats
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: framework_factory(), num_shards=2
+        )
+        sharded_front = AsyncDiversificationService(cluster)
+        assert sharded_front.backend_stats().name == "cluster"
+
+
+class TestRealClockIntegration:
+    """One end-to-end pass over the real clock + executor path."""
+
+    def test_open_loop_traffic_matches_direct_batch(
+        self, service, framework_factory, topic_queries
+    ):
+        workload = topic_queries * 3
+
+        async def scenario():
+            async with AsyncDiversificationService(
+                service, max_batch_size=4, max_wait_s=0.01
+            ) as front:
+                await front.warm(topic_queries)
+                return await front.submit_many(workload)
+
+        results = run(scenario())
+        reference = DiversificationService(framework_factory()).diversify_batch(
+            workload
+        )
+        for got, want in zip(results, reference):
+            assert got.query == want.query
+            assert got.ranking == want.ranking
+        assert service.stats.served == len(workload)

@@ -4,29 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.framework import DiversificationFramework, FrameworkConfig
-from repro.core.optselect import OptSelect
 from repro.serving import DiversificationService
-
-
-@pytest.fixture()
-def fresh_framework(small_engine, small_miner):
-    return DiversificationFramework(
-        small_engine,
-        small_miner,
-        OptSelect(),
-        FrameworkConfig(k=10, candidates=80, spec_results=10),
-    )
 
 
 @pytest.fixture()
 def service(fresh_framework):
     return DiversificationService(fresh_framework)
-
-
-@pytest.fixture(scope="module")
-def topic_queries(small_corpus):
-    return [topic.query for topic in small_corpus.topics]
 
 
 class TestWarm:
@@ -65,14 +48,9 @@ class TestDiversifyBatch:
         assert service.stats.served == 3
 
     def test_matches_per_query_pipeline(
-        self, service, fresh_framework, small_engine, small_miner, topic_queries
+        self, service, framework_factory, topic_queries
     ):
-        reference = DiversificationFramework(
-            small_engine,
-            small_miner,
-            OptSelect(),
-            FrameworkConfig(k=10, candidates=80, spec_results=10),
-        )
+        reference = framework_factory()
         batch = service.diversify_batch(topic_queries)
         for query, result in zip(topic_queries, batch):
             assert reference.diversify_query(query).ranking == result.ranking

@@ -5,38 +5,28 @@ from __future__ import annotations
 import pytest
 
 from repro.core.cache import CacheStats
-from repro.core.framework import DiversificationFramework, FrameworkConfig
-from repro.core.optselect import OptSelect
 from repro.retrieval.sharding import stable_shard
 from repro.serving import (
     DiversificationService,
     ServiceStats,
     ShardedDiversificationService,
+    WarmReport,
 )
 
 NUM_SHARDS = 3
 
 
-def make_framework(small_engine, small_miner):
-    return DiversificationFramework(
-        small_engine,
-        small_miner,
-        OptSelect(),
-        FrameworkConfig(k=10, candidates=80, spec_results=10),
-    )
-
-
 @pytest.fixture()
-def cluster(small_engine, small_miner):
+def cluster(framework_factory):
     return ShardedDiversificationService.from_factory(
-        lambda shard: make_framework(small_engine, small_miner),
+        lambda shard: framework_factory(),
         num_shards=NUM_SHARDS,
     )
 
 
 @pytest.fixture()
-def single(small_engine, small_miner):
-    return DiversificationService(make_framework(small_engine, small_miner))
+def single(framework_factory):
+    return DiversificationService(framework_factory())
 
 
 @pytest.fixture(scope="module")
@@ -62,9 +52,9 @@ class TestRouting:
         for shard, bucket in enumerate(buckets):
             assert bucket == [q for q in workload if cluster.route(q) == shard]
 
-    def test_router_seed_remaps(self, small_engine, small_miner, workload):
+    def test_router_seed_remaps(self, framework_factory, workload):
         reseeded = ShardedDiversificationService.from_factory(
-            lambda shard: make_framework(small_engine, small_miner),
+            lambda shard: framework_factory(),
             num_shards=NUM_SHARDS,
             router_seed=1,
         )
@@ -83,10 +73,10 @@ class TestIdentity:
             assert a.ranking == b.ranking
 
     def test_identity_with_thread_pool(
-        self, small_engine, small_miner, single, workload
+        self, framework_factory, single, workload
     ):
         cluster = ShardedDiversificationService.from_factory(
-            lambda shard: make_framework(small_engine, small_miner),
+            lambda shard: framework_factory(),
             num_shards=NUM_SHARDS,
             max_workers=NUM_SHARDS,
         )
@@ -185,12 +175,10 @@ class TestConstruction:
             f"shard{i}" for i in range(NUM_SHARDS)
         ]
 
-    def test_explicit_names_kept(self, small_engine, small_miner):
+    def test_explicit_names_kept(self, framework_factory):
         services = [
-            DiversificationService(
-                make_framework(small_engine, small_miner), name="eu-west"
-            ),
-            DiversificationService(make_framework(small_engine, small_miner)),
+            DiversificationService(framework_factory(), name="eu-west"),
+            DiversificationService(framework_factory()),
         ]
         cluster = ShardedDiversificationService(services)
         assert [s.name for s in cluster.services] == ["eu-west", "shard1"]
@@ -199,10 +187,10 @@ class TestConstruction:
         with pytest.raises(ValueError):
             ShardedDiversificationService([])
 
-    def test_from_factory_validates_count(self, small_engine, small_miner):
+    def test_from_factory_validates_count(self, framework_factory):
         with pytest.raises(ValueError):
             ShardedDiversificationService.from_factory(
-                lambda shard: make_framework(small_engine, small_miner), 0
+                lambda shard: framework_factory(), 0
             )
 
     def test_repr(self, cluster):
@@ -238,3 +226,87 @@ class TestStatsMergePrimitives:
         merged = CacheStats.merge([])
         assert merged.hits == merged.misses == merged.size == 0
         assert merged.hit_rate == 0.0
+
+    def test_service_stats_merge_empty_is_valid_zero(self):
+        """Merging nothing must yield a usable zeroed summary, with every
+        derived quantity (rates, percentiles, means) defined."""
+        merged = ServiceStats.merge([])
+        assert merged.served == merged.ranked == merged.batches == 0
+        assert merged.throughput_qps == 0.0
+        assert merged.mean_latency_ms == 0.0
+        assert merged.percentile_ms(0.95) == 0.0
+        assert merged.mean_batch_size == 0.0
+        assert merged.mean_wait_ms == 0.0
+        assert merged.wait_percentile_ms(0.5) == 0.0
+        assert merged.queue_depth_peak == 0
+        assert merged.summary().startswith("[cluster]")
+
+    def test_warm_report_merge_empty_is_valid_zero(self):
+        merged = WarmReport.merge([])
+        assert merged.queries == merged.fetched == 0
+        assert merged.seconds == 0.0
+        assert merged.shards == ()
+        assert "queries=0" in merged.summary()
+
+    def test_merges_accept_generators(self):
+        """A lazily-generated input must not be silently half-consumed
+        (each merge reads its input several times internally)."""
+        def stats():
+            for served in (3, 4):
+                s = ServiceStats(served=served, ranked=served, seconds=0.5)
+                s.latencies_ms.append(float(served))
+                yield s
+
+        merged = ServiceStats.merge(stats())
+        assert merged.served == 7
+        assert merged.ranked == 7
+        assert merged.seconds == 1.0
+        assert sorted(merged.latencies_ms) == [3.0, 4.0]
+
+        reports = (
+            WarmReport(queries=q, ambiguous=1, specializations=2, fetched=2,
+                       seconds=0.1)
+            for q in (5, 6)
+        )
+        warm = WarmReport.merge(reports)
+        assert warm.queries == 11
+        assert warm.fetched == 4
+        assert len(warm.shards) == 2
+
+        caches = (
+            CacheStats(maxsize=4, size=1, hits=h, misses=1, evictions=0)
+            for h in (2, 3)
+        )
+        assert CacheStats.merge(caches).hits == 5
+
+    def test_formation_fields_merge(self):
+        """The async front-end's batch-formation accounting must roll up
+        like every other counter: histograms add, wait samples
+        concatenate, depth peaks take the max."""
+        a = ServiceStats(served=4, batches=2)
+        a.record_formation(2, [1.0, 2.0], queue_depth=3)
+        a.record_formation(2, [0.5, 0.5], queue_depth=1)
+        b = ServiceStats(served=3, batches=1)
+        b.record_formation(3, [4.0, 4.0, 4.0], queue_depth=7)
+        merged = ServiceStats.merge([a, b])
+        assert merged.batch_sizes == {2: 2, 3: 1}
+        assert merged.mean_batch_size == pytest.approx(7 / 3)
+        assert sorted(merged.wait_ms) == [0.5, 0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+        assert merged.queue_depth_peak == 7
+        assert merged.mean_wait_ms == pytest.approx(16.0 / 7)
+        assert "batch mean=" in merged.summary()
+
+    def test_merge_of_merged_reports_nests(self):
+        """Cluster-of-clusters: merging merged reports keeps counters
+        additive and the shard breakdown intact one level down."""
+        leaf = [
+            WarmReport(queries=2, ambiguous=1, specializations=2, fetched=2,
+                       seconds=0.1, name=f"shard{i}")
+            for i in range(2)
+        ]
+        cluster = WarmReport.merge(leaf, name="cluster0")
+        top = WarmReport.merge([cluster, cluster], name="region")
+        assert top.queries == 8
+        assert top.name == "region"
+        assert all(r.name == "cluster0" for r in top.shards)
+        assert all(len(r.shards) == 2 for r in top.shards)
