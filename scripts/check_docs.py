@@ -35,6 +35,8 @@ REQUIRED_SNIPPETS = [
     "python -m repro.experiments.throughput",
     "--shards 4",
     "--mode async",
+    "--backend process",
+    "--save-stats",
     "docs/ARCHITECTURE.md",
     "examples/quickstart.py",
 ]

@@ -107,12 +107,17 @@ from repro.serving import (
     AsyncDiversificationService,
     CacheStats,
     DiversificationService,
+    ExecutionBackend,
+    InlineBackend,
     LRUCache,
     PreparedQuery,
+    ProcessBackend,
     ServiceClosed,
     ServiceStats,
     ShardedDiversificationService,
+    ThreadBackend,
     WarmReport,
+    make_backend,
 )
 
 __version__ = "1.0.0"
@@ -172,12 +177,17 @@ __all__ = [
     "AsyncDiversificationService",
     "CacheStats",
     "DiversificationService",
+    "ExecutionBackend",
+    "InlineBackend",
     "LRUCache",
     "PreparedQuery",
+    "ProcessBackend",
     "ServiceClosed",
     "ServiceStats",
     "ShardedDiversificationService",
+    "ThreadBackend",
     "WarmReport",
+    "make_backend",
     # retrieval
     "Analyzer",
     "BM25",

@@ -83,6 +83,12 @@ class LRUCache(Generic[K, V]):
     mid-``get`` when another thread evicts.  Compound check-then-act
     sequences remain the caller's responsibility to synchronise.
 
+    The cache pickles: entries, recency order and counters round-trip,
+    and the lock is recreated on load.  This is what lets a warmed
+    framework travel across a process boundary (the
+    :class:`~repro.serving.backends.ProcessBackend` worker protocol) or
+    be snapshotted to disk via ``repro.retrieval.persistence``.
+
     >>> cache = LRUCache(2)
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
     >>> "a" in cache, cache.stats().evictions
@@ -126,6 +132,35 @@ class LRUCache(Generic[K, V]):
         """Drop every entry; counters are preserved."""
         with self._lock:
             self._data.clear()
+
+    def snapshot(self) -> list[tuple[K, V]]:
+        """Every ``(key, value)`` pair, least-recently-used first.
+
+        A pure probe like ``__contains__``: neither the counters nor the
+        recency order are touched, so persistence and instrumentation
+        can drain the cache without distorting its statistics.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def __getstate__(self) -> dict:
+        # The lock is process-local; everything else round-trips.
+        with self._lock:
+            return {
+                "maxsize": self.maxsize,
+                "data": list(self._data.items()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.maxsize = state["maxsize"]
+        self._data = OrderedDict(state["data"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+        self._lock = threading.Lock()
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -251,6 +251,38 @@ class DiversificationFramework:
         """Hit/miss/eviction counters of the specialization cache."""
         return self._spec_cache.stats()
 
+    def export_warm_state(self) -> dict:
+        """Snapshot of the warm artifacts, LRU-oldest first.
+
+        Returns ``{spec_query: (ResultList, {doc_id: TermVector})}`` —
+        exactly what the offline phase computed.  The snapshot is a pure
+        probe (cache counters untouched) and is what
+        ``repro.retrieval.persistence.dump_warm_artifacts`` writes to
+        disk so a restarted (or freshly forked) worker can hydrate
+        instead of re-deriving the offline phase.
+        """
+        return dict(self._spec_cache.snapshot())
+
+    def install_warm_state(self, artifacts) -> int:
+        """Load previously exported warm artifacts into the cache.
+
+        Entries already present are left untouched (their recency and
+        the counters are not distorted); returns how many artifacts were
+        actually installed.  The inverse of :meth:`export_warm_state`.
+
+        The cache stays bounded: installing more artifacts than
+        ``spec_cache_size`` evicts the earliest-installed ones, exactly
+        as serving them would.  Size the cache to the saved artifact
+        count (an export never exceeds the donor's bound) when the
+        "re-warm fetches nothing" guarantee must hold in full.
+        """
+        installed = 0
+        for spec_query, cached in dict(artifacts).items():
+            if spec_query not in self._spec_cache:
+                self._spec_cache.put(spec_query, tuple(cached))
+                installed += 1
+        return installed
+
     def build_task(
         self, query: str, specializations: SpecializationSet
     ) -> DiversificationTask | None:

@@ -31,20 +31,39 @@ Before reporting, every result is identity-checked against the
 sequential ``diversify_batch`` path over the same queries.  Combine with
 ``--shards N`` to put the sharded cluster behind the front-end.
 
+With ``--backend {inline,thread,process}`` the harness benchmarks the
+chosen *execution backend* for an N-shard cluster against a baseline
+backend (thread by default — the PR-2 status quo) on the same workload,
+after asserting the chosen backend serves rankings identical to the
+inline reference.  ``process`` fans ``warm()``/``diversify_batch()``
+out over real OS processes; on a multi-core host that is the first
+fan-out the GIL cannot serialise.  The report states the measured core
+count — on a single-core host parity (within timing noise) is the
+expected, documented reading.
+
+``--save-stats PATH`` writes the run's benchmark record (mode, backend,
+shards, qps, latency percentiles, core count) as JSON — the repo's
+``BENCH_*.json`` perf trajectory is a series of these records.
+
 Run as a script::
 
     python -m repro.experiments.throughput [--queries N] [--paper-scale]
     python -m repro.experiments.throughput --shards 4
     python -m repro.experiments.throughput --mode async [--shards N]
+    python -m repro.experiments.throughput --backend process --shards 2
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import os
+import platform
 import random
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.framework import DiversificationFramework, FrameworkConfig
 from repro.experiments.reporting import render_table
@@ -55,6 +74,7 @@ from repro.experiments.workloads import (
     build_trec_workload,
 )
 from repro.serving import (
+    BACKEND_NAMES,
     AsyncDiversificationService,
     CacheStats,
     DiversificationService,
@@ -67,11 +87,15 @@ __all__ = [
     "ThroughputResult",
     "ShardedThroughputResult",
     "AsyncThroughputResult",
+    "BackendThroughputResult",
+    "WorkloadFrameworkFactory",
     "zipf_workload",
     "make_framework",
     "run_throughput",
     "run_sharded_throughput",
     "run_async_throughput",
+    "run_backend_throughput",
+    "save_stats_record",
     "main",
 ]
 
@@ -235,11 +259,32 @@ class ShardedThroughputResult:
         return max(spreads, default=0.0)
 
 
+@dataclass(frozen=True)
+class WorkloadFrameworkFactory:
+    """A picklable per-shard framework factory over a built workload.
+
+    The process backend's workers call this wherever they live: under
+    ``fork`` the whole object (workload included) is inherited for
+    free; under ``spawn`` it is pickled — the entire serving stack
+    (engine, miner, caches) round-trips, which is exactly the
+    "picklable warm state" contract the backend layer relies on.
+    """
+
+    workload: TrecWorkload
+    log_name: str = "AOL"
+
+    def __call__(self, shard: int) -> DiversificationFramework:
+        return make_framework(self.workload, self.log_name)
+
+
 def _build_cluster(
-    workload: TrecWorkload, shards: int, log_name: str
+    workload: TrecWorkload,
+    shards: int,
+    log_name: str,
+    backend: str | None = None,
 ) -> ShardedDiversificationService:
     return ShardedDiversificationService.from_factory(
-        lambda shard: make_framework(workload, log_name), shards
+        WorkloadFrameworkFactory(workload, log_name), shards, backend=backend
     )
 
 
@@ -357,6 +402,201 @@ def summarize_sharded(result: ShardedThroughputResult) -> str:
             f"queries ({result.distinct} distinct)"
         ),
     )
+
+
+@dataclass(frozen=True)
+class BackendThroughputResult:
+    """One execution backend vs a baseline backend, same N-shard cluster."""
+
+    queries: int
+    distinct: int
+    shards: int
+    backend: str               #: the backend under test
+    baseline: str              #: the comparison backend
+    backend_seconds: float     #: best batch time under the tested backend
+    baseline_seconds: float    #: best batch time under the baseline
+    backend_times: tuple[float, ...]
+    baseline_times: tuple[float, ...]
+    backend_warm: WarmReport
+    cluster_stats: ServiceStats
+    cores: int                 #: os.cpu_count() of the measuring host
+    identity_checked: bool
+
+    @property
+    def backend_qps(self) -> float:
+        return self.queries / self.backend_seconds if self.backend_seconds else 0.0
+
+    @property
+    def baseline_qps(self) -> float:
+        return (
+            self.queries / self.baseline_seconds if self.baseline_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Tested-backend throughput over the baseline's (> 1.0 means the
+        tested backend is faster on this host)."""
+        return (
+            self.baseline_seconds / self.backend_seconds
+            if self.backend_seconds
+            else 0.0
+        )
+
+    @property
+    def noise(self) -> float:
+        """Worst relative spread across either arm's timing repeats."""
+        spreads = [
+            (max(times) - min(times)) / min(times)
+            for times in (self.backend_times, self.baseline_times)
+            if times and min(times) > 0
+        ]
+        return max(spreads, default=0.0)
+
+    @property
+    def hardware_limited(self) -> bool:
+        """True when the host has fewer cores than shards, so the full
+        N-way process speedup cannot materialise (a single core allows
+        none at all)."""
+        return self.cores < max(2, self.shards)
+
+
+def run_backend_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    shards: int = 2,
+    backend: str = "process",
+    baseline: str | None = None,
+    seed: int = 13,
+    log_name: str = "AOL",
+    repeats: int = 3,
+) -> BackendThroughputResult:
+    """Benchmark one execution backend against a baseline backend.
+
+    Both arms run the *same* N-shard cluster over the same Zipf
+    workload; only the execution substrate differs.  Before any timing,
+    the tested backend's rankings are asserted identical to the
+    unsharded inline reference — the backends may only change *where*
+    work runs, never *what* is served.  Arms are timed ``repeats`` times
+    on fresh warmed clusters, interleaved, keeping the best time per
+    arm.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if backend not in BACKEND_NAMES:
+        raise ValueError(f"backend must be one of {BACKEND_NAMES}")
+    if baseline is None:
+        baseline = "thread" if backend != "thread" else "inline"
+    if baseline not in BACKEND_NAMES:
+        raise ValueError(f"baseline must be one of {BACKEND_NAMES}")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed)
+
+    # Identity first: the tested backend must not change one ranking.
+    reference = DiversificationService(make_framework(workload, log_name))
+    reference_results = reference.diversify_batch(queries)
+    check_cluster = _build_cluster(workload, shards, log_name, backend=backend)
+    try:
+        for ref, res in zip(
+            reference_results, check_cluster.diversify_batch(queries)
+        ):
+            if ref.ranking != res.ranking:
+                raise AssertionError(
+                    f"{backend} backend changed the ranking of {ref.query!r}"
+                )
+    finally:
+        check_cluster.close()
+
+    def timed_batch(backend_name: str):
+        cluster = _build_cluster(workload, shards, log_name, backend=backend_name)
+        try:
+            warm_report = cluster.warm(queries)
+            start = time.perf_counter()
+            cluster.diversify_batch(queries)
+            seconds = time.perf_counter() - start
+            stats = cluster.cluster_stats()
+            return seconds, stats, warm_report
+        finally:
+            cluster.close()
+
+    backend_times: list[float] = []
+    baseline_times: list[float] = []
+    cluster_stats = backend_warm = None
+    for _ in range(max(1, repeats)):
+        seconds, _, _ = timed_batch(baseline)
+        baseline_times.append(seconds)
+        seconds, cluster_stats, backend_warm = timed_batch(backend)
+        backend_times.append(seconds)
+
+    return BackendThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        shards=shards,
+        backend=backend,
+        baseline=baseline,
+        backend_seconds=min(backend_times),
+        baseline_seconds=min(baseline_times),
+        backend_times=tuple(backend_times),
+        baseline_times=tuple(baseline_times),
+        backend_warm=backend_warm,
+        cluster_stats=cluster_stats,
+        cores=os.cpu_count() or 1,
+        identity_checked=True,
+    )
+
+
+def summarize_backends(result: BackendThroughputResult) -> str:
+    headers = ["backend", "seconds (best)", "qps", "repeats"]
+    rows = [
+        [
+            result.baseline,
+            round(result.baseline_seconds, 3),
+            round(result.baseline_qps, 1),
+            len(result.baseline_times),
+        ],
+        [
+            result.backend,
+            round(result.backend_seconds, 3),
+            round(result.backend_qps, 1),
+            len(result.backend_times),
+        ],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Execution backends — {result.shards} shards, {result.queries} "
+            f"queries ({result.distinct} distinct), {result.cores} core(s)"
+        ),
+    )
+
+
+def save_stats_record(path: str | Path, record: dict) -> Path:
+    """Write one benchmark record as pretty JSON; returns the path.
+
+    Every record carries a schema tag, the host's core count and a
+    timestamp, so a directory of ``BENCH_*.json`` files reads as a perf
+    trajectory across PRs and machines.
+    """
+    path = Path(path)
+    payload = {
+        "schema": "repro.experiments.throughput/v1",
+        "timestamp": time.time(),
+        "cores": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        **record,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def _latency_record(stats: ServiceStats) -> dict:
+    return {
+        "mean_ms": round(stats.mean_latency_ms, 4),
+        "p50_ms": round(stats.percentile_ms(0.50), 4),
+        "p95_ms": round(stats.percentile_ms(0.95), 4),
+        "p99_ms": round(stats.percentile_ms(0.99), 4),
+    }
 
 
 @dataclass(frozen=True)
@@ -540,7 +780,31 @@ def main(argv: list[str] | None = None) -> None:
         default=0,
         metavar="N",
         help="in batch mode: benchmark a 1-shard vs an N-shard cluster; "
-        "in async mode: put an N-shard cluster behind the front-end",
+        "in async mode: put an N-shard cluster behind the front-end; "
+        "with --backend: the cluster size both backend arms run at "
+        "(defaults to 2 when --backend is given without --shards)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="benchmark this execution backend for the N-shard cluster "
+        "against --baseline on the same workload (identity-checked "
+        "against the inline reference first)",
+    )
+    parser.add_argument(
+        "--baseline",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="comparison backend for --backend mode (default: thread, "
+        "or inline when --backend thread)",
+    )
+    parser.add_argument(
+        "--save-stats",
+        metavar="PATH",
+        default=None,
+        help="write this run's benchmark record (backend, shards, qps, "
+        "latency percentiles, cores) as JSON to PATH",
     )
     parser.add_argument(
         "--repeats",
@@ -571,6 +835,69 @@ def main(argv: list[str] | None = None) -> None:
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
     workload = build_trec_workload(scale, logs=(args.log,))
 
+    if args.backend is not None:
+        result = run_backend_throughput(
+            workload,
+            args.queries,
+            shards=args.shards or 2,
+            backend=args.backend,
+            baseline=args.baseline,
+            log_name=args.log,
+            repeats=args.repeats,
+        )
+        print(summarize_backends(result))
+        print()
+        print(
+            f"batch wall-clock (best of {len(result.backend_times)}): "
+            f"{result.baseline} {result.baseline_seconds:.3f}s "
+            f"({result.baseline_qps:.1f} qps)  vs  "
+            f"{result.backend} {result.backend_seconds:.3f}s "
+            f"({result.backend_qps:.1f} qps)  "
+            f"→ {result.speedup:.2f}x (timing noise ±{result.noise:.1%})"
+        )
+        print(f"warm ({result.backend}): {result.backend_warm.summary()}")
+        if result.cores < 2:
+            print(
+                f"note: this host reports {result.cores} core(s) — "
+                "process-level parallelism cannot beat the baseline here; "
+                "parity within noise is the expected reading (the identity "
+                "check is the load-bearing result on single-core hosts)."
+            )
+        elif result.hardware_limited:
+            print(
+                f"note: {result.cores} cores for {result.shards} shards — "
+                f"the ideal {result.shards}x fan-out cannot materialise; "
+                f"expect at most ~{result.cores}x."
+            )
+        print(
+            f"rankings verified identical to the inline reference under "
+            f"the {result.backend} backend before timing."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                {
+                    "mode": "backend",
+                    "backend": result.backend,
+                    "baseline": result.baseline,
+                    "shards": result.shards,
+                    "queries": result.queries,
+                    "distinct": result.distinct,
+                    "qps": round(result.backend_qps, 2),
+                    "baseline_qps": round(result.baseline_qps, 2),
+                    "speedup": round(result.speedup, 3),
+                    "noise": round(result.noise, 3),
+                    "seconds": round(result.backend_seconds, 5),
+                    "baseline_seconds": round(result.baseline_seconds, 5),
+                    "latency": _latency_record(result.cluster_stats),
+                    "hardware_limited": result.hardware_limited,
+                    "identity_checked": result.identity_checked,
+                    "scale": scale.name,
+                },
+            )
+            print(f"benchmark record written to {path}")
+        return
+
     if args.mode == "async":
         result = run_async_throughput(
             workload,
@@ -600,6 +927,25 @@ def main(argv: list[str] | None = None) -> None:
             "identity check: every async result equals the sequential "
             "diversify_batch ranking for the same query stream."
         )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                {
+                    "mode": "async",
+                    "backend": "thread",
+                    "shards": result.shards,
+                    "queries": result.queries,
+                    "distinct": result.distinct,
+                    "qps": round(result.achieved_qps, 2),
+                    "offered_qps": round(result.offered_qps, 2),
+                    "seconds": round(result.seconds, 5),
+                    "mean_batch_size": round(front.mean_batch_size, 3),
+                    "latency": _latency_record(result.backend_stats),
+                    "identity_checked": result.identity_checked,
+                    "scale": scale.name,
+                },
+            )
+            print(f"benchmark record written to {path}")
         return
 
     if args.shards > 0:
@@ -631,6 +977,25 @@ def main(argv: list[str] | None = None) -> None:
             "rankings verified identical to the unsharded "
             "DiversificationService before timing."
         )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                {
+                    "mode": "sharded",
+                    "backend": "thread",
+                    "shards": sharded.shards,
+                    "queries": sharded.queries,
+                    "distinct": sharded.distinct,
+                    "qps": round(sharded.sharded_qps, 2),
+                    "baseline_qps": round(sharded.single_qps, 2),
+                    "speedup": round(sharded.speedup, 3),
+                    "noise": round(sharded.noise, 3),
+                    "seconds": round(sharded.sharded_seconds, 5),
+                    "latency": _latency_record(sharded.cluster_stats),
+                    "scale": scale.name,
+                },
+            )
+            print(f"benchmark record written to {path}")
         return
 
     result = run_throughput(workload, args.queries, log_name=args.log)
@@ -646,6 +1011,25 @@ def main(argv: list[str] | None = None) -> None:
         f"cache hit rates: specialization={result.spec_cache_hit_rate:.0%}, "
         f"result={result.result_cache_hit_rate:.0%}"
     )
+    if args.save_stats:
+        path = save_stats_record(
+            args.save_stats,
+            {
+                "mode": "batch",
+                "backend": "inline",
+                "shards": 0,
+                "queries": result.queries,
+                "distinct": result.distinct,
+                "qps": round(result.batch_qps, 2),
+                "baseline_qps": round(result.loop_qps, 2),
+                "speedup": round(result.speedup, 3),
+                "seconds": round(result.batch_seconds, 5),
+                "warm_seconds": round(result.warm_seconds, 5),
+                "latency": _latency_record(result.service_stats),
+                "scale": scale.name,
+            },
+        )
+        print(f"benchmark record written to {path}")
 
 
 if __name__ == "__main__":

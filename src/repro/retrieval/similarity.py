@@ -62,6 +62,21 @@ class TermVector:
         return cls.from_terms(analyzer.analyze(text))
 
     @classmethod
+    def from_normalized(cls, weights: Mapping[str, float]) -> "TermVector":
+        """Rebuild a vector whose weights are already unit-normalised.
+
+        Re-running the constructor on a saved vector would divide by a
+        norm that is only *approximately* 1.0, perturbing the weights in
+        the last bits — enough to flip floating-point ties downstream.
+        Persistence (``repro.retrieval.persistence``) therefore restores
+        vectors through here, byte-identical to what was saved.
+        """
+        vector = cls.__new__(cls)
+        vector.weights = {t: w for t, w in weights.items() if w != 0}
+        vector.norm = 1.0 if vector.weights else 0.0
+        return vector
+
+    @classmethod
     def from_text_idf(
         cls,
         text: str,

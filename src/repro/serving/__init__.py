@@ -11,10 +11,19 @@ grows it past one worker:
 * :class:`~repro.serving.sharded.ShardedDiversificationService` — N
   hash-routed service shards behind the same API: queries route by the
   process-stable :func:`~repro.retrieval.sharding.stable_shard`, the
-  offline and online phases fan out per-shard over a thread pool, and
-  :class:`ServiceStats` / :class:`~repro.core.cache.CacheStats` /
-  :class:`WarmReport` merge into cluster-level summaries.  The cluster
-  serves rankings identical to the unsharded service;
+  offline and online phases fan out per-shard over a pluggable
+  execution backend, and :class:`ServiceStats` /
+  :class:`~repro.core.cache.CacheStats` / :class:`WarmReport` merge
+  into cluster-level summaries with per-shard breakdowns.  The cluster
+  serves rankings identical to the unsharded service under every
+  backend;
+* :mod:`~repro.serving.backends` — the execution substrates:
+  :class:`InlineBackend` (ordered sweep, the reference),
+  :class:`ThreadBackend` (GIL-bound fan-out; wins once the numpy
+  kernels dominate) and :class:`ProcessBackend` (real OS processes
+  with per-worker warm state — the multi-core path).  Warm artifacts
+  persist via ``save_warm``/``load_warm`` so worker processes hydrate
+  from disk instead of re-deriving the offline phase;
 * :class:`~repro.serving.async_service.AsyncDiversificationService` —
   the asyncio micro-batching front-end: single-query ``await
   submit(query)`` calls coalesce under a size/time admission window
@@ -41,23 +50,40 @@ from repro.serving.async_service import (
     LoopClock,
     ServiceClosed,
 )
+from repro.serving.backends import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.serving.service import (
     DiversificationService,
     PreparedQuery,
     ServiceStats,
     WarmReport,
 )
-from repro.serving.sharded import ShardedDiversificationService
+from repro.serving.sharded import ShardedDiversificationService, ShardServiceFactory
 
 __all__ = [
     "AsyncDiversificationService",
+    "BACKEND_NAMES",
+    "BackendError",
     "CacheStats",
+    "ExecutionBackend",
+    "InlineBackend",
     "LRUCache",
     "LoopClock",
     "DiversificationService",
     "PreparedQuery",
+    "ProcessBackend",
     "ServiceClosed",
     "ServiceStats",
+    "ShardServiceFactory",
     "ShardedDiversificationService",
+    "ThreadBackend",
     "WarmReport",
+    "make_backend",
 ]

@@ -90,9 +90,13 @@ class AsyncDiversificationService:
         Anything with ``diversify_batch(queries) -> list[DiversifiedResult]``
         and ``warm(queries)`` — a
         :class:`~repro.serving.service.DiversificationService` or a
-        :class:`~repro.serving.sharded.ShardedDiversificationService`.
-        The backend's own dedup/caching make results identical to a
-        direct batched call over the same queries.
+        :class:`~repro.serving.sharded.ShardedDiversificationService`
+        (running on any execution backend, including
+        :class:`~repro.serving.backends.ProcessBackend`: its worker
+        protocol is serialized internally, so dispatching from the
+        event loop's executor threads is safe).  The backend's own
+        dedup/caching make results identical to a direct batched call
+        over the same queries.
     max_batch_size:
         Close the window as soon as this many requests have gathered.
     max_wait_s:

@@ -1,0 +1,478 @@
+"""Pluggable execution backends for the sharded serving layer.
+
+PR 2 measured the N-shard cluster at ~1.00x over one shard: the fan-out
+ran on a thread pool, and the pure-Python pipeline is GIL-bound, so N
+shards took turns on one core.  This module makes the *execution
+substrate* a first-class, swappable object so the same
+:class:`~repro.serving.sharded.ShardedDiversificationService` can fan
+out three ways:
+
+* :class:`InlineBackend` — an ordered sweep on the calling thread.  Zero
+  overhead, fully deterministic; the reference the identity tests
+  compare everything against.
+* :class:`ThreadBackend` — the PR-2 behaviour: a lazily created
+  ``ThreadPoolExecutor``.  Pays off once the numpy kernels (which
+  release the GIL) dominate; parity otherwise.
+* :class:`ProcessBackend` — real OS processes, one pipe-driven worker
+  owning one or more shards.  Each worker *builds its own* shard
+  services from a factory (under ``fork`` the factory is inherited, so
+  closures work; under ``spawn``/``forkserver`` it must pickle), then
+  answers addressed calls ``(shard, method, args)`` until stopped.
+  Results, stats snapshots and warm reports travel back as pickles —
+  which is why the core types (``FrameworkConfig``, specialization sets,
+  tasks, ``LRUCache``, the stats dataclasses) all round-trip cleanly.
+
+A backend is a shard-addressed RPC surface, not a pool: ``start()``
+builds the shard services, ``invoke_each()`` runs a list of
+``(shard, method, args)`` calls and returns ``{shard: result}``, and
+``close()`` releases whatever the backend holds.  The sharded service
+owns routing and merging; backends own *where the work runs*.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+]
+
+#: One shard-addressed call: (shard id, service method name, positional args).
+ShardCall = tuple[int, str, tuple]
+
+
+class BackendError(RuntimeError):
+    """A backend-level failure: a worker died, failed to build its
+    services, or was used before ``start()`` / after ``close()``."""
+
+
+class ExecutionBackend(ABC):
+    """Where per-shard service calls execute.
+
+    Lifecycle: ``start(service_factory, num_shards)`` once, any number of
+    ``invoke``/``invoke_each``/``broadcast`` calls, then ``close()``
+    (idempotent; also available as a context manager).  ``service_factory``
+    is called as ``factory(shard) -> DiversificationService`` wherever the
+    backend decides that shard lives.
+    """
+
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._num_shards = 0
+
+    @property
+    def started(self) -> bool:
+        return self._num_shards > 0
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def local_services(self):
+        """The shard services when they live in this process, else ``None``.
+
+        The sharded service uses this to keep its zero-copy paths (and
+        its ``services`` property) on in-process backends; against a
+        :class:`ProcessBackend` every interaction goes through
+        :meth:`invoke_each`.
+        """
+        return None
+
+    @abstractmethod
+    def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
+        """Build *num_shards* shard services via ``service_factory``."""
+
+    @abstractmethod
+    def invoke_each(self, calls: Sequence[ShardCall]) -> dict[int, object]:
+        """Run every ``(shard, method, args)`` call; return ``{shard: result}``.
+
+        At most one call per shard per batch (the sharded service's
+        fan-outs are per-shard already).  Exceptions raised by a shard
+        method propagate to the caller.
+        """
+
+    def invoke(self, shard: int, method: str, *args) -> object:
+        """Run one call on one shard and return its result."""
+        return self.invoke_each([(shard, method, args)])[shard]
+
+    def broadcast(self, method: str, *args) -> dict[int, object]:
+        """Run the same call on every shard."""
+        self._require_started()
+        return self.invoke_each(
+            [(shard, method, args) for shard in range(self._num_shards)]
+        )
+
+    def close(self) -> None:
+        """Release execution resources (idempotent).  In-process backends
+        stay usable afterwards (they fall back to inline sweeps);
+        a closed :class:`ProcessBackend` is gone for good."""
+
+    def _require_started(self) -> None:
+        if not self.started:
+            raise BackendError(f"{type(self).__name__} has not been started")
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"shards={self._num_shards}" if self.started else "unstarted"
+        return f"{type(self).__name__}({state})"
+
+
+class _LocalBackend(ExecutionBackend):
+    """Shared machinery of the backends whose services live in-process."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._services: list = []
+
+    def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.adopt([service_factory(shard) for shard in range(num_shards)])
+
+    def adopt(self, services: Sequence[object]) -> None:
+        """Attach already-built shard services (the pre-backend
+        construction path of ``ShardedDiversificationService``)."""
+        services = list(services)
+        if not services:
+            raise ValueError("at least one shard service is required")
+        if self.started:
+            raise BackendError(f"{type(self).__name__} is already started")
+        self._services = services
+        self._num_shards = len(services)
+
+    @property
+    def local_services(self):
+        return tuple(self._services) if self.started else None
+
+    def _call(self, shard: int, method: str, args: tuple) -> object:
+        return getattr(self._services[shard], method)(*args)
+
+
+class InlineBackend(_LocalBackend):
+    """Ordered sequential sweep on the calling thread — the reference."""
+
+    name = "inline"
+
+    def invoke_each(self, calls: Sequence[ShardCall]) -> dict[int, object]:
+        self._require_started()
+        return {shard: self._call(shard, method, args) for shard, method, args in calls}
+
+
+class ThreadBackend(_LocalBackend):
+    """Thread-pool fan-out over in-process shard services.
+
+    ``max_workers`` defaults to ``min(num_shards, os.cpu_count())`` at
+    start time — on a single-core host the fan-out degenerates to an
+    ordered sweep (no pool overhead), which is the right call for the
+    GIL-bound pure-Python pipeline; the numpy kernels release the GIL
+    inside their matmuls, so wider pools pay off as task sizes grow.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def max_workers(self) -> int:
+        if self._max_workers is not None:
+            return max(1, self._max_workers)
+        shards = self._num_shards or 1
+        return max(1, min(shards, os.cpu_count() or 1))
+
+    def invoke_each(self, calls: Sequence[ShardCall]) -> dict[int, object]:
+        self._require_started()
+        if self.max_workers == 1 or len(calls) <= 1:
+            return {
+                shard: self._call(shard, method, args)
+                for shard, method, args in calls
+            }
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        futures = {
+            shard: self._pool.submit(self._call, shard, method, args)
+            for shard, method, args in calls
+        }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn, service_factory, shard_ids) -> None:
+    """Worker body: build the owned shards, then serve addressed calls.
+
+    Protocol (all over one duplex pipe, strictly request/reply in order):
+
+    * handshake: ``("ready", None)`` or ``("failed", message)``;
+    * request  : ``(shard, method, args)``; ``None`` means stop;
+    * reply    : ``("ok", result)`` or ``("err", (exception, traceback))``.
+    """
+    try:
+        services = {shard: service_factory(shard) for shard in shard_ids}
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        try:
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        shard, method, args = message
+        try:
+            result = getattr(services[shard], method)(*args)
+            conn.send(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - ship it back instead
+            payload = (exc, traceback.format_exc())
+            try:
+                conn.send(("err", payload))
+            except Exception:
+                # The exception itself would not pickle; degrade to repr.
+                conn.send(
+                    ("err", (BackendError(f"{type(exc).__name__}: {exc}"),
+                             traceback.format_exc()))
+                )
+    conn.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard services in real OS processes — the multi-core fan-out.
+
+    ``start()`` spawns ``min(num_shards, max_workers)`` long-lived
+    workers; shards are assigned round-robin, and each worker builds its
+    own services with the factory, so per-shard warm state (spec caches,
+    result LRUs, stats) lives — and stays — in the worker.  Calls are
+    pipelined: one request per addressed worker goes out before any
+    reply is awaited, so a batch fan-out keeps every core busy.
+
+    Parameters
+    ----------
+    max_workers:
+        Cap on worker processes.  Defaults to one worker per shard (the
+        OS scheduler multiplexes them onto the available cores).
+    start_method:
+        ``multiprocessing`` start method.  ``None`` prefers ``fork``
+        when the platform offers it — the factory and its closed-over
+        workload are inherited for free — falling back to the platform
+        default, under which the factory must pickle.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__()
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._workers: list = []          # mp.Process, worker order
+        self._conns: list = []            # parent end of each worker pipe
+        self._worker_of: dict[int, int] = {}  # shard -> worker index
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken = False  # a worker died mid-batch; replies may be lost
+
+    def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
+        import multiprocessing as mp
+
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.started or self._closed:
+            raise BackendError("ProcessBackend cannot be restarted")
+        method = self._start_method
+        if method is None and "fork" in mp.get_all_start_methods():
+            method = "fork"
+        ctx = mp.get_context(method)
+        workers = min(num_shards, max(1, self._max_workers or num_shards))
+        owned: list[list[int]] = [[] for _ in range(workers)]
+        for shard in range(num_shards):
+            owned[shard % workers].append(shard)
+            self._worker_of[shard] = shard % workers
+        for index, shard_ids in enumerate(owned):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, service_factory, shard_ids),
+                name=f"repro-shard-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._conns.append(parent_conn)
+        # Fail fast: a factory that cannot build (or cannot reach) the
+        # worker surfaces here, not on the first real call.
+        for index, conn in enumerate(self._conns):
+            status, detail = self._recv(index, conn)
+            if status != "ready":
+                message = detail if status == "failed" else f"unexpected {status!r}"
+                self.close()
+                raise BackendError(
+                    f"worker {index} failed to build its shard services: {message}"
+                )
+        self._num_shards = num_shards
+
+    def _recv(self, index: int, conn) -> tuple:
+        try:
+            return conn.recv()
+        except (EOFError, OSError) as exc:
+            process = self._workers[index]
+            code = process.exitcode
+            raise BackendError(
+                f"shard worker {index} died (exitcode={code}) — "
+                "its shard state is lost; rebuild the cluster"
+            ) from exc
+
+    def invoke_each(self, calls: Sequence[ShardCall]) -> dict[int, object]:
+        self._require_started()
+        if self._closed:
+            raise BackendError("ProcessBackend is closed")
+        if self._broken:
+            raise BackendError(
+                "ProcessBackend lost a worker mid-batch; rebuild the cluster"
+            )
+        results: dict[int, object] = {}
+        with self._lock:
+            # Pipeline: every worker gets its requests before any reply
+            # is read, so distinct workers run their shards concurrently.
+            per_worker: dict[int, list[ShardCall]] = {}
+            for call in calls:
+                shard = call[0]
+                if shard not in self._worker_of:
+                    raise BackendError(f"unknown shard {shard}")
+                per_worker.setdefault(self._worker_of[shard], []).append(call)
+            # One request outstanding per worker: every worker gets its
+            # first request up front (distinct workers compute
+            # concurrently), and each follow-up is sent only after the
+            # previous reply has been drained.  A worker serves its
+            # shards sequentially anyway, so this loses no parallelism —
+            # and it makes the protocol immune to pipe-buffer deadlock
+            # (send-everything-first can block the parent on a full
+            # request buffer while the worker blocks on a full reply
+            # buffer nobody is reading).
+            for index, worker_calls in per_worker.items():
+                self._conns[index].send(worker_calls[0])
+            # Drain *every* expected reply before surfacing a failure:
+            # leaving a reply buffered would desync the request/reply
+            # protocol and hand the next batch stale data.  Only a dead
+            # worker aborts the drain — its pipe is gone, other pipes
+            # may still hold replies, so the backend poisons itself.
+            failure: tuple[BaseException, BackendError] | None = None
+            for index, worker_calls in per_worker.items():
+                conn = self._conns[index]
+                for position, (shard, method, _args) in enumerate(worker_calls):
+                    try:
+                        status, payload = self._recv(index, conn)
+                    except BackendError:
+                        self._broken = True
+                        raise
+                    if position + 1 < len(worker_calls):
+                        conn.send(worker_calls[position + 1])
+                    if status == "ok":
+                        results[shard] = payload
+                    elif failure is None:
+                        exc, tb = payload
+                        failure = (
+                            exc,
+                            BackendError(
+                                f"shard {shard} ({method}) failed in "
+                                f"worker {index}:\n{tb}"
+                            ),
+                        )
+            if failure is not None:
+                raise failure[0] from failure[1]
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            for conn in self._conns:
+                try:
+                    conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+            for process in self._workers:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5)
+            for conn in self._conns:
+                conn.close()
+            self._workers = []
+            self._conns = []
+
+
+#: The built-in backend names, in "most deterministic first" order.
+BACKEND_NAMES = ("inline", "thread", "process")
+
+
+def make_backend(
+    backend: "str | ExecutionBackend | None",
+    max_workers: int | None = None,
+) -> ExecutionBackend:
+    """Resolve a backend spec — a name, an instance, or ``None``.
+
+    ``None`` yields the default :class:`ThreadBackend` (the PR-2
+    behaviour).  An instance passes through untouched, so callers can
+    hand in a pre-configured :class:`ProcessBackend` (custom start
+    method, worker cap) or anything else satisfying the protocol.
+    """
+    if backend is None:
+        return ThreadBackend(max_workers=max_workers)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        names = {
+            "inline": InlineBackend,
+            "thread": ThreadBackend,
+            "process": ProcessBackend,
+        }
+        try:
+            factory = names[backend.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(names)}"
+            ) from None
+        if factory is InlineBackend:
+            return InlineBackend()
+        return factory(max_workers=max_workers)
+    raise TypeError(f"backend must be a name or ExecutionBackend, got {backend!r}")

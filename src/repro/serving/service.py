@@ -22,6 +22,7 @@ the serving benchmark drive end-to-end.
 
 from __future__ import annotations
 
+import copy
 import time
 from collections import deque
 from collections.abc import Iterable, Sequence
@@ -157,6 +158,11 @@ class ServiceStats:
         default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_SIZE)
     )
     queue_depth_peak: int = 0  #: deepest the admission queue ever ran
+    #: per-shard breakdown of a merged instance (empty on leaf stats).
+    #: Every shard of the merging cluster contributes exactly one entry,
+    #: including shards that served zero queries — their entries are
+    #: well-formed zeroed stats carrying the shard name.
+    shards: tuple["ServiceStats", ...] = ()
 
     def record(self, latency_ms: float, diversified: bool) -> None:
         self.ranked += 1
@@ -218,7 +224,15 @@ class ServiceStats:
         themselves (the sharded service does) should overwrite
         ``seconds`` with the measured wall-clock before deriving
         ``throughput_qps``.  An empty input yields a valid zeroed
-        summary.
+        summary.  Deep copies of the inputs are kept in ``shards`` (like
+        :meth:`WarmReport.merge`, whose reports are immutable) so
+        per-shard breakdowns survive the roll-up as a *snapshot*: a
+        shard serving more traffic after the merge does not mutate an
+        already-taken cluster summary, and a shard that served zero
+        queries still contributes its well-formed zeroed entry.  Like
+        all stats accounting in this module, merging is not
+        synchronised against concurrent writers — read stats between
+        batches (as the harnesses do) for exact numbers.
         """
         stats = list(stats)
         merged = cls(
@@ -229,6 +243,7 @@ class ServiceStats:
             seconds=sum(s.seconds for s in stats),
             name=name,
             queue_depth_peak=max((s.queue_depth_peak for s in stats), default=0),
+            shards=tuple(copy.deepcopy(s) for s in stats),
         )
         for s in stats:
             merged.latencies_ms.extend(s.latencies_ms)
@@ -413,7 +428,36 @@ class DiversificationService:
         self.stats.seconds += time.perf_counter() - start
         return results
 
+    # -- warm-state persistence ---------------------------------------------------
+
+    def save_warm(self, path) -> int:
+        """Write the framework's warm artifacts to *path* (JSON lines).
+
+        Returns how many specialization artifacts were saved.  A fresh
+        service (or a worker process on another host) can
+        :meth:`load_warm` the file and serve identical rankings without
+        re-deriving the offline phase.
+        """
+        from repro.retrieval.persistence import dump_warm_artifacts
+
+        return dump_warm_artifacts(self.framework.export_warm_state(), path)
+
+    def load_warm(self, path) -> int:
+        """Hydrate the framework's warm artifacts from *path*.
+
+        The counterpart of :meth:`save_warm`; returns how many artifacts
+        were installed (already-cached ones are left untouched).
+        """
+        from repro.retrieval.persistence import load_warm_artifacts
+
+        return self.framework.install_warm_state(load_warm_artifacts(path))
+
     # -- maintenance -------------------------------------------------------------
+
+    def get_stats(self) -> ServiceStats:
+        """The live :class:`ServiceStats` — as a *method* so execution
+        backends can fetch a snapshot over a process boundary."""
+        return self.stats
 
     def invalidate(self) -> None:
         """Drop cached results and detections (e.g. after reconfiguring

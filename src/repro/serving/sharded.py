@@ -12,8 +12,9 @@ seeded, process-stable hash the retrieval layer uses to place documents
 — so a given query *always* lands on the same shard, and each shard's
 specialization cache, detection cache and result LRU hold exactly its
 partition of the query space.  The offline phase (``warm``) and the
-online phase (``diversify_batch``) fan out per-shard over a thread pool
-and merge:
+online phase (``diversify_batch``) fan out per-shard over a pluggable
+:class:`~repro.serving.backends.ExecutionBackend` — an ordered inline
+sweep, a thread pool, or real OS processes — and merge:
 
 * results re-assemble in request order (routing is per-query, the batch
   contract is unchanged);
@@ -21,27 +22,29 @@ and merge:
   :class:`~repro.core.cache.CacheStats` /
   :class:`~repro.serving.service.WarmReport` roll up through their
   ``merge`` classmethods into cluster-level summaries that keep the
-  per-shard breakdown.
+  per-shard breakdown — every shard contributes an entry, including
+  shards that served zero queries.
 
 Because every shard runs the same framework over the same corpus (the
 index itself may be document-partitioned via
 :class:`~repro.retrieval.sharding.PartitionedSearchEngine`, which is
 ranking-identical), the cluster serves **exactly** the rankings the
-unsharded service serves — asserted by the test suite and re-checked by
-``python -m repro.experiments.throughput --shards N``.
+unsharded service serves — under *any* backend — asserted by the test
+suite and re-checked by ``python -m repro.experiments.throughput
+--shards N [--backend process]``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
 import time
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.core.cache import CacheStats
 from repro.core.framework import DiversificationFramework, DiversifiedResult
 from repro.retrieval.sharding import stable_shard
+from repro.serving.backends import ExecutionBackend, make_backend
 from repro.serving.service import (
     DiversificationService,
     PreparedQuery,
@@ -49,7 +52,45 @@ from repro.serving.service import (
     WarmReport,
 )
 
-__all__ = ["ShardedDiversificationService"]
+__all__ = ["ShardedDiversificationService", "ShardServiceFactory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardServiceFactory:
+    """Build one shard's :class:`DiversificationService` from a framework
+    factory — the per-process construction protocol.
+
+    An instance travels to wherever the execution backend places the
+    shard: in-process backends just call it; a
+    :class:`~repro.serving.backends.ProcessBackend` worker calls it
+    after fork (or unpickles it first, under spawn — then
+    ``framework_factory`` itself must pickle).  ``warm_artifacts_dir``
+    optionally points at a directory written by
+    :meth:`ShardedDiversificationService.save_warm`: the freshly built
+    shard hydrates its offline artifacts from disk instead of
+    re-deriving them.
+    """
+
+    framework_factory: Callable[[int], DiversificationFramework]
+    result_cache_size: int = 2048
+    warm_artifacts_dir: str | None = None
+
+    def __call__(self, shard: int) -> DiversificationService:
+        service = DiversificationService(
+            self.framework_factory(shard),
+            result_cache_size=self.result_cache_size,
+            name=f"shard{shard}",
+        )
+        if self.warm_artifacts_dir is not None:
+            path = _warm_path(self.warm_artifacts_dir, shard)
+            if path.is_file():
+                service.load_warm(path)
+        return service
+
+
+def _warm_path(directory: str | Path, shard: int) -> Path:
+    """Where shard *shard*'s warm artifacts live under *directory*."""
+    return Path(directory) / f"warm-shard{shard}.jsonl"
 
 
 class ShardedDiversificationService:
@@ -58,26 +99,34 @@ class ShardedDiversificationService:
     Parameters
     ----------
     services:
-        The shard services, in shard order.  Shards without a ``name``
-        are labelled ``shard0 … shardN-1`` so their stats stay
-        attributable in merged reports.
+        The shard services, in shard order, when they are built by the
+        caller (the in-process path).  Shards without a ``name`` are
+        labelled ``shard0 … shardN-1`` so their stats stay attributable
+        in merged reports.  Pass ``None`` (and use :meth:`from_factory`)
+        for backends that build the services themselves — a
+        :class:`~repro.serving.backends.ProcessBackend` constructs each
+        shard inside its worker process.
     max_workers:
-        Thread-pool width for the per-shard fan-out.  Defaults to
-        ``min(num_shards, os.cpu_count())`` — on a single-core host the
-        fan-out degenerates to an ordered sweep, which is the right call
-        for the GIL-bound pure-Python pipeline; the numpy kernels
-        release the GIL inside their matmuls, so wider pools pay off as
-        task sizes grow.
+        Fan-out width hint for backends built from a name/default.  The
+        default :class:`~repro.serving.backends.ThreadBackend` resolves
+        ``None`` to ``min(num_shards, os.cpu_count())``.
     router_seed:
         Seed of the :func:`~repro.retrieval.sharding.stable_shard`
         router.  Must be kept constant for the lifetime of the cluster's
         caches: changing it remaps queries to different shards (cold
         caches), though results stay correct because every shard can
         answer any query.
+    backend:
+        Where per-shard calls execute: a name (``"inline"``,
+        ``"thread"``, ``"process"``), an
+        :class:`~repro.serving.backends.ExecutionBackend` instance, or
+        ``None`` for the default thread pool.  Rankings are identical
+        under every backend; only the parallelism substrate changes.
 
     >>> cluster = ShardedDiversificationService.from_factory(  # doctest: +SKIP
     ...     lambda shard: DiversificationFramework(engine, miner),
     ...     num_shards=4,
+    ...     backend="process",
     ... )
     >>> cluster.warm(expected_queries)                         # doctest: +SKIP
     >>> results = cluster.diversify_batch(traffic)             # doctest: +SKIP
@@ -86,23 +135,38 @@ class ShardedDiversificationService:
 
     def __init__(
         self,
-        services: Sequence[DiversificationService],
+        services: Sequence[DiversificationService] | None = None,
         max_workers: int | None = None,
         router_seed: int = 0,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
-        services = list(services)
-        if not services:
-            raise ValueError("at least one shard service is required")
-        for i, service in enumerate(services):
-            if not service.name:
-                service.name = f"shard{i}"
-                service.stats.name = service.name
-        self._services = services
+        backend = make_backend(backend, max_workers=max_workers)
+        if services is not None:
+            services = list(services)
+            if not services:
+                raise ValueError("at least one shard service is required")
+            for i, service in enumerate(services):
+                if not service.name:
+                    service.name = f"shard{i}"
+                    service.stats.name = service.name
+            if backend.started:
+                raise ValueError(
+                    "pass either pre-built services or a started backend, "
+                    "not both"
+                )
+            if not hasattr(backend, "adopt"):
+                raise ValueError(
+                    f"{type(backend).__name__} builds its own services; "
+                    "construct the cluster via from_factory()"
+                )
+            backend.adopt(services)
+        elif not backend.started:
+            raise ValueError(
+                "no services given and the backend is not started; "
+                "use from_factory()"
+            )
+        self._backend = backend
         self.router_seed = router_seed
-        if max_workers is None:
-            max_workers = min(len(services), os.cpu_count() or 1)
-        self._max_workers = max(1, max_workers)
-        self._pool: ThreadPoolExecutor | None = None
         self._online_seconds = 0.0
 
     @classmethod
@@ -113,45 +177,80 @@ class ShardedDiversificationService:
         result_cache_size: int = 2048,
         max_workers: int | None = None,
         router_seed: int = 0,
+        backend: "str | ExecutionBackend | None" = None,
+        warm_artifacts_dir: "str | Path | None" = None,
     ) -> "ShardedDiversificationService":
         """Build *num_shards* shards from ``framework_factory(shard_id)``.
 
-        The factory is called once per shard; frameworks may share a
-        (read-only) engine and detector, or carry per-shard replicas /
-        a :class:`~repro.retrieval.sharding.PartitionedSearchEngine` —
+        The factory is called once per shard, *wherever the backend
+        places that shard* — in this process for ``inline``/``thread``,
+        inside a worker process for ``process`` (inherited under fork;
+        must pickle under spawn).  Frameworks may share a (read-only)
+        engine and detector, or carry per-shard replicas / a
+        :class:`~repro.retrieval.sharding.PartitionedSearchEngine` —
         anything ranking-identical keeps the cluster's identity
-        guarantee.
+        guarantee.  With ``warm_artifacts_dir`` (a directory written by
+        :meth:`save_warm`), every shard hydrates its offline artifacts
+        from disk as it is built.
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        services = [
-            DiversificationService(
-                framework_factory(shard),
+        backend = make_backend(backend, max_workers=max_workers)
+        backend.start(
+            ShardServiceFactory(
+                framework_factory,
                 result_cache_size=result_cache_size,
-                name=f"shard{shard}",
-            )
-            for shard in range(num_shards)
-        ]
-        return cls(services, max_workers=max_workers, router_seed=router_seed)
+                warm_artifacts_dir=(
+                    str(warm_artifacts_dir)
+                    if warm_artifacts_dir is not None
+                    else None
+                ),
+            ),
+            num_shards,
+        )
+        return cls(backend=backend, router_seed=router_seed)
 
     # -- routing -----------------------------------------------------------------
 
     @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend running the per-shard calls."""
+        return self._backend
+
+    @property
     def num_shards(self) -> int:
-        return len(self._services)
+        return self._backend.num_shards
 
     @property
     def services(self) -> tuple[DiversificationService, ...]:
-        """The shard services, in shard order (read-only view)."""
-        return tuple(self._services)
+        """The shard services, in shard order (read-only view).
+
+        Only available on in-process backends; shards driven by a
+        :class:`~repro.serving.backends.ProcessBackend` live in worker
+        processes — use :meth:`shard_stats` / :meth:`cluster_stats` /
+        the cache-info methods, which fetch snapshots over the boundary.
+        """
+        local = self._backend.local_services
+        if local is None:
+            raise RuntimeError(
+                "shard services live in worker processes; use shard_stats()"
+                " / cluster_stats() / spec_cache_info() for snapshots"
+            )
+        return local
+
+    def _shard_names(self) -> list[str]:
+        local = self._backend.local_services
+        if local is not None:
+            return [service.name for service in local]
+        return [f"shard{i}" for i in range(self.num_shards)]
 
     def route(self, query: str) -> int:
         """Shard id owning *query* — stable across processes/restarts."""
-        return stable_shard(query, len(self._services), self.router_seed)
+        return stable_shard(query, self.num_shards, self.router_seed)
 
     def shard_for(self, query: str) -> DiversificationService:
-        """The shard service that owns *query*."""
-        return self._services[self.route(query)]
+        """The (in-process) shard service that owns *query*."""
+        return self.services[self.route(query)]
 
     def partition(self, queries: Iterable[str]) -> list[list[str]]:
         """Split *queries* into per-shard buckets, preserving order.
@@ -166,7 +265,7 @@ class ShardedDiversificationService:
         self, queries: Iterable[str]
     ) -> tuple[list[list[str]], dict[str, int]]:
         """Per-shard buckets plus the ``{query: shard}`` memo behind them."""
-        buckets: list[list[str]] = [[] for _ in self._services]
+        buckets: list[list[str]] = [[] for _ in range(self.num_shards)]
         shard_of: dict[str, int] = {}
         for query in queries:
             shard = shard_of.get(query)
@@ -175,31 +274,11 @@ class ShardedDiversificationService:
             buckets[shard].append(query)
         return buckets, shard_of
 
-    # -- fan-out machinery -------------------------------------------------------
-
-    def _run_per_shard(self, calls: list[tuple[int, Callable[[], object]]]):
-        """Run ``(shard, thunk)`` pairs, concurrently when the pool allows.
-
-        Returns ``{shard: result}``.  With one worker (or one call) the
-        sweep stays on the calling thread — no pool overhead, same
-        ordering semantics.
-        """
-        if self._max_workers == 1 or len(calls) <= 1:
-            return {shard: thunk() for shard, thunk in calls}
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-shard",
-            )
-        futures = {shard: self._pool.submit(thunk) for shard, thunk in calls}
-        return {shard: future.result() for shard, future in futures.items()}
-
     def close(self) -> None:
-        """Shut the fan-out pool down (idempotent; cluster stays usable
-        inline afterwards)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the backend's execution resources (idempotent; with
+        in-process backends the cluster stays usable inline afterwards,
+        a process backend is shut down for good)."""
+        self._backend.close()
 
     # -- offline phase -----------------------------------------------------------
 
@@ -216,31 +295,65 @@ class ShardedDiversificationService:
         """
         start = time.perf_counter()
         buckets = self.partition(queries)
-        done = self._run_per_shard(
+        done = self._backend.invoke_each(
             [
-                (shard, lambda s=self._services[shard], b=bucket: s.warm(b))
+                (shard, "warm", (bucket,))
                 for shard, bucket in enumerate(buckets)
                 if bucket
             ]
         )
+        names = self._shard_names()
         reports = [
-            done.get(shard)
-            or WarmReport(0, 0, 0, 0, 0.0, name=self._services[shard].name)
-            for shard in range(len(self._services))
+            done.get(shard) or WarmReport(0, 0, 0, 0, 0.0, name=names[shard])
+            for shard in range(self.num_shards)
         ]
         return dataclasses.replace(
             WarmReport.merge(reports), seconds=time.perf_counter() - start
         )
 
+    def save_warm(self, directory: str | Path) -> int:
+        """Persist every shard's warm artifacts under *directory*.
+
+        One JSON-lines file per shard (``warm-shard<i>.jsonl``), written
+        wherever the shard lives — a process-backed shard writes from
+        its own worker.  Returns the total number of specialization
+        artifacts saved.  A later cluster (same corpus, same shard
+        count, same router seed) hydrates via
+        ``from_factory(..., warm_artifacts_dir=directory)`` or
+        :meth:`load_warm`.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        done = self._backend.invoke_each(
+            [
+                (shard, "save_warm", (str(_warm_path(directory, shard)),))
+                for shard in range(self.num_shards)
+            ]
+        )
+        return sum(done.values())
+
+    def load_warm(self, directory: str | Path) -> int:
+        """Hydrate shards from a :meth:`save_warm` directory.
+
+        Shards whose file is missing are skipped.  Returns the total
+        number of artifacts installed across shards.
+        """
+        directory = Path(directory)
+        calls = [
+            (shard, "load_warm", (str(_warm_path(directory, shard)),))
+            for shard in range(self.num_shards)
+            if _warm_path(directory, shard).is_file()
+        ]
+        if not calls:
+            return 0
+        return sum(self._backend.invoke_each(calls).values())
+
     def prepare_batch(self, queries: Iterable[str]) -> dict[str, PreparedQuery]:
         """Detection + task construction, fanned out per-shard."""
         buckets = self.partition(queries)
-        done = self._run_per_shard(
+        done = self._backend.invoke_each(
             [
-                (
-                    shard,
-                    lambda s=self._services[shard], b=bucket: s.prepare_batch(b),
-                )
+                (shard, "prepare_batch", (bucket,))
                 for shard, bucket in enumerate(buckets)
                 if bucket
             ]
@@ -255,7 +368,7 @@ class ShardedDiversificationService:
     def diversify(self, query: str) -> DiversifiedResult:
         """Serve one query on its owning shard."""
         start = time.perf_counter()
-        result = self.shard_for(query).diversify(query)
+        result = self._backend.invoke(self.route(query), "diversify", query)
         self._online_seconds += time.perf_counter() - start
         return result
 
@@ -273,12 +386,9 @@ class ShardedDiversificationService:
             return []
         start = time.perf_counter()
         buckets, shard_of = self._partition_with_routes(queries)
-        done = self._run_per_shard(
+        done = self._backend.invoke_each(
             [
-                (
-                    shard,
-                    lambda s=self._services[shard], b=bucket: s.diversify_batch(b),
-                )
+                (shard, "diversify_batch", (bucket,))
                 for shard, bucket in enumerate(buckets)
                 if bucket
             ]
@@ -295,12 +405,26 @@ class ShardedDiversificationService:
 
     def invalidate(self) -> None:
         """Drop every shard's cached results and detections."""
-        for service in self._services:
-            service.invalidate()
+        local = self._backend.local_services
+        if local is not None:
+            for service in local:
+                service.invalidate()
+        else:
+            self._backend.broadcast("invalidate")
 
     def shard_stats(self) -> list[ServiceStats]:
-        """Per-shard online stats, in shard order."""
-        return [service.stats for service in self._services]
+        """Per-shard online stats, in shard order.
+
+        In-process shards return their live objects; process-backed
+        shards ship snapshots over the boundary.  Every shard appears —
+        one that served zero queries contributes a well-formed zeroed
+        entry carrying its name.
+        """
+        local = self._backend.local_services
+        if local is not None:
+            return [service.stats for service in local]
+        done = self._backend.broadcast("get_stats")
+        return [done[shard] for shard in range(self.num_shards)]
 
     def cluster_stats(self) -> ServiceStats:
         """Merged online stats with *cluster* wall-clock.
@@ -308,22 +432,32 @@ class ShardedDiversificationService:
         Counters and latency samples merge across shards; ``seconds``
         is the wall-clock this object measured around its fan-outs —
         overlapping shard work is not double-counted, so
-        ``throughput_qps`` is the cluster's actual serving rate.
+        ``throughput_qps`` is the cluster's actual serving rate.  The
+        per-shard breakdown (one entry per shard, zero-query shards
+        included) is kept in the merged instance's ``shards`` tuple.
         """
         merged = ServiceStats.merge(self.shard_stats())
         merged.seconds = self._online_seconds
         return merged
 
+    def _merged_cache_info(self, method: str) -> CacheStats:
+        """Merge one cache-info getter across shards — directly for
+        in-process shards, over the backend for process-backed ones."""
+        local = self._backend.local_services
+        if local is not None:
+            return CacheStats.merge(getattr(s, method)() for s in local)
+        return CacheStats.merge(self._backend.broadcast(method).values())
+
     def spec_cache_info(self) -> CacheStats:
         """Cluster-merged specialization-cache counters."""
-        return CacheStats.merge(s.spec_cache_info() for s in self._services)
+        return self._merged_cache_info("spec_cache_info")
 
     def result_cache_info(self) -> CacheStats:
         """Cluster-merged result-LRU counters."""
-        return CacheStats.merge(s.result_cache_info() for s in self._services)
+        return self._merged_cache_info("result_cache_info")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ShardedDiversificationService(shards={self.num_shards}, "
-            f"workers={self._max_workers}, seed={self.router_seed})"
+            f"backend={self._backend.name}, seed={self.router_seed})"
         )

@@ -213,3 +213,65 @@ class TestAblations:
         selected = PureTopK().diversify(task, 10)
         utilities = [task.overall_utility(d) for d in selected]
         assert utilities == sorted(utilities, reverse=True)
+
+
+class TestThroughputBackendsAndRecords:
+    def test_backend_throughput_inline_vs_thread(self, workload, tmp_path):
+        from repro.experiments.throughput import (
+            run_backend_throughput,
+            save_stats_record,
+        )
+
+        result = run_backend_throughput(
+            workload, num_queries=20, shards=2, backend="inline", repeats=1
+        )
+        assert result.identity_checked
+        assert result.baseline == "thread"
+        assert result.queries == 20
+        assert result.backend_qps > 0
+        assert 0 < result.speedup
+
+        path = save_stats_record(
+            tmp_path / "BENCH_test.json",
+            {
+                "mode": "backend",
+                "backend": result.backend,
+                "shards": result.shards,
+                "qps": result.backend_qps,
+            },
+        )
+        import json
+
+        record = json.loads(path.read_text())
+        assert record["schema"].startswith("repro.experiments.throughput/")
+        assert record["backend"] == "inline"
+        assert record["shards"] == 2
+        assert record["cores"] >= 1
+        assert record["qps"] > 0
+
+    def test_backend_throughput_validates_arguments(self, workload):
+        from repro.experiments.throughput import run_backend_throughput
+
+        with pytest.raises(ValueError):
+            run_backend_throughput(workload, shards=0)
+        with pytest.raises(ValueError):
+            run_backend_throughput(workload, backend="gpu")
+        with pytest.raises(ValueError):
+            run_backend_throughput(workload, baseline="gpu")
+
+    def test_workload_framework_factory_pickles(self, workload):
+        """The harness's per-shard factory must pickle whole (workload
+        included) — the spawn-safe half of the process-backend contract."""
+        import pickle
+
+        from repro.experiments.throughput import WorkloadFrameworkFactory
+
+        factory = pickle.loads(
+            pickle.dumps(WorkloadFrameworkFactory(workload, "AOL"))
+        )
+        framework = factory(0)
+        queries = [t.query for t in workload.testbed.topics]
+        want = WorkloadFrameworkFactory(workload, "AOL")(0)
+        assert [
+            framework.diversify_query(q).ranking for q in queries[:2]
+        ] == [want.diversify_query(q).ranking for q in queries[:2]]

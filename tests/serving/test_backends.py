@@ -1,0 +1,335 @@
+"""Tests for the pluggable execution backends (inline/thread/process).
+
+The load-bearing property is the acceptance criterion of the backend
+refactor: the sharded cluster serves **byte-identical rankings under
+every backend** — the backends may change where the work runs, never
+what is served.  The process backend additionally gets its worker
+protocol exercised: stats snapshots over the boundary, error
+propagation, per-shard breakdowns with idle shards, warm-artifact
+hydration from disk, and lifecycle edges.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.serving import (
+    BACKEND_NAMES,
+    BackendError,
+    DiversificationService,
+    InlineBackend,
+    ProcessBackend,
+    ShardedDiversificationService,
+    ThreadBackend,
+    make_backend,
+)
+
+NUM_SHARDS = 3
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend tests rely on fork inheriting the test fixtures",
+)
+
+
+@pytest.fixture(scope="module")
+def workload(small_corpus):
+    queries = [topic.query for topic in small_corpus.topics]
+    return queries * 2 + list(reversed(queries))
+
+
+@pytest.fixture(scope="module")
+def reference(framework_factory, workload):
+    """Unsharded rankings — what every backend must reproduce."""
+    service = DiversificationService(framework_factory())
+    return [r.ranking for r in service.diversify_batch(workload)]
+
+
+def build_cluster(framework_factory, backend, num_shards=NUM_SHARDS, **kwargs):
+    return ShardedDiversificationService.from_factory(
+        lambda shard: framework_factory(),
+        num_shards=num_shards,
+        backend=backend,
+        **kwargs,
+    )
+
+
+class TestIdentityAcrossBackends:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_rankings_identical_to_unsharded(
+        self, framework_factory, workload, reference, backend
+    ):
+        if backend == "process" and "fork" not in (
+            multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("no fork on this platform")
+        cluster = build_cluster(framework_factory, backend)
+        try:
+            got = cluster.diversify_batch(workload)
+            assert [r.query for r in got] == workload
+            assert [r.ranking for r in got] == reference
+        finally:
+            cluster.close()
+
+    @needs_fork
+    def test_warmed_process_cluster_matches(
+        self, framework_factory, workload, reference
+    ):
+        cluster = build_cluster(framework_factory, "process")
+        try:
+            report = cluster.warm(workload)
+            assert report.queries == len(set(workload))
+            assert len(report.shards) == NUM_SHARDS
+            got = cluster.diversify_batch(workload)
+            assert [r.ranking for r in got] == reference
+        finally:
+            cluster.close()
+
+
+@needs_fork
+class TestProcessBackendProtocol:
+    @pytest.fixture()
+    def cluster(self, framework_factory):
+        cluster = build_cluster(framework_factory, "process")
+        yield cluster
+        cluster.close()
+
+    def test_services_not_reachable_in_parent(self, cluster):
+        with pytest.raises(RuntimeError, match="worker processes"):
+            cluster.services
+
+    def test_duplicates_share_one_result(self, cluster, workload):
+        query = workload[0]
+        results = cluster.diversify_batch([query, query, query])
+        # One shard, one pickle payload: the pickle memo preserves
+        # object identity within the batch, like the in-process dedup.
+        assert results[0] is results[1] is results[2]
+
+    def test_stats_snapshots_cross_the_boundary(self, cluster, workload):
+        cluster.diversify_batch(workload)
+        stats = cluster.shard_stats()
+        assert [s.name for s in stats] == [f"shard{i}" for i in range(NUM_SHARDS)]
+        assert sum(s.served for s in stats) == len(workload)
+        merged = cluster.cluster_stats()
+        assert merged.served == len(workload)
+        assert merged.seconds > 0
+        assert len(merged.shards) == NUM_SHARDS
+
+    def test_cache_info_merges_across_workers(self, cluster, workload):
+        cluster.warm(workload)
+        cluster.diversify_batch(workload)
+        spec = cluster.spec_cache_info()
+        assert spec.size > 0
+        result_cache = cluster.result_cache_info()
+        assert result_cache.misses > 0
+
+    def test_invalidate_reaches_workers(self, cluster, workload):
+        query = workload[0]
+        cluster.diversify(query)
+        cluster.invalidate()
+        cluster.diversify(query)
+        assert cluster.cluster_stats().ranked == 2
+
+    def test_worker_exception_propagates(self, cluster, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            # Raises inside the worker; the backend must re-raise the
+            # original exception type in the parent.
+            cluster.backend.invoke(0, "load_warm", str(tmp_path / "missing.jsonl"))
+
+    def test_protocol_survives_mixed_failure_batch(
+        self, cluster, workload, tmp_path
+    ):
+        """A batch where one shard fails while others succeed must drain
+        every pipelined reply: the next call has to see fresh, correctly
+        typed data, not a stale reply left in a pipe (regression for the
+        request/reply desync)."""
+        from repro.serving.service import ServiceStats
+
+        cluster.diversify_batch(workload)  # replies that could go stale
+        missing = str(tmp_path / "missing.jsonl")
+        with pytest.raises(FileNotFoundError):
+            cluster.backend.invoke_each(
+                [(s, "load_warm" if s == 0 else "get_stats", (missing,) if s == 0 else ())
+                 for s in range(NUM_SHARDS)]
+            )
+        # The backend is still usable and in sync.
+        done = cluster.backend.broadcast("get_stats")
+        assert set(done) == set(range(NUM_SHARDS))
+        assert all(isinstance(s, ServiceStats) for s in done.values())
+        assert sum(s.served for s in done.values()) == len(workload)
+        got = cluster.diversify_batch(workload[:3])
+        assert [r.query for r in got] == workload[:3]
+
+    def test_unknown_method_propagates_attribute_error(self, cluster):
+        with pytest.raises(AttributeError):
+            cluster.backend.invoke(0, "no_such_method")
+
+    def test_close_is_idempotent_and_final(self, cluster, workload):
+        cluster.close()
+        cluster.close()
+        with pytest.raises(BackendError):
+            cluster.diversify_batch(workload)
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_worker_cap_round_robins_shards(self, framework_factory, workload,
+                                            reference, max_workers):
+        """Fewer workers than shards: one worker owns several shards and
+        its pipe carries several requests per batch — the interleaved
+        send/recv must stay deadlock-free and order-correct."""
+        backend = ProcessBackend(max_workers=max_workers)
+        cluster = build_cluster(framework_factory, backend)
+        try:
+            cluster.warm(workload)
+            got = cluster.diversify_batch(workload)
+            assert [r.ranking for r in got] == reference
+            stats = cluster.shard_stats()
+            assert sum(s.served for s in stats) == len(workload)
+        finally:
+            cluster.close()
+
+    def test_factory_failure_fails_fast(self):
+        def broken(shard):
+            raise RuntimeError("no corpus here")
+
+        backend = ProcessBackend()
+        with pytest.raises(BackendError, match="failed to build"):
+            ShardedDiversificationService.from_factory(
+                broken, num_shards=2, backend=backend
+            )
+
+
+@needs_fork
+class TestWarmPersistenceAcrossProcesses:
+    def test_cluster_save_then_hydrate_from_factory(
+        self, framework_factory, workload, reference, tmp_path
+    ):
+        donor = build_cluster(framework_factory, "process")
+        try:
+            donor.warm(workload)
+            saved = donor.save_warm(tmp_path)
+            assert saved > 0
+            assert sorted(p.name for p in tmp_path.iterdir()) == [
+                f"warm-shard{i}.jsonl" for i in range(NUM_SHARDS)
+            ]
+        finally:
+            donor.close()
+
+        hydrated = build_cluster(
+            framework_factory, "process", warm_artifacts_dir=tmp_path
+        )
+        try:
+            # The offline phase is already on disk: warming fetches nothing.
+            report = hydrated.warm(workload)
+            assert report.fetched == 0
+            got = hydrated.diversify_batch(workload)
+            assert [r.ranking for r in got] == reference
+        finally:
+            hydrated.close()
+
+    def test_load_warm_into_running_cluster(
+        self, framework_factory, workload, tmp_path
+    ):
+        donor = build_cluster(framework_factory, "inline")
+        donor.warm(workload)
+        donor.save_warm(tmp_path)
+        fresh = build_cluster(framework_factory, "process")
+        try:
+            assert fresh.load_warm(tmp_path) > 0
+            assert fresh.warm(workload).fetched == 0
+        finally:
+            fresh.close()
+
+    def test_load_warm_missing_directory_is_noop(self, framework_factory, tmp_path):
+        cluster = build_cluster(framework_factory, "inline")
+        assert cluster.load_warm(tmp_path / "nowhere") == 0
+
+
+class TestIdleShardBreakdowns:
+    def test_zero_query_shard_contributes_wellformed_entries(
+        self, framework_factory, workload
+    ):
+        """A shard that receives zero queries must still appear — named,
+        zeroed, with every derived quantity defined — in the merged
+        per-shard breakdowns of both stats and warm reports."""
+        cluster = build_cluster(framework_factory, "inline")
+        query = workload[0]
+        idle = [s for s in range(NUM_SHARDS) if s != cluster.route(query)]
+        cluster.warm([query])
+        cluster.diversify_batch([query, query])
+
+        merged = cluster.cluster_stats()
+        assert len(merged.shards) == NUM_SHARDS
+        for shard in idle:
+            entry = merged.shards[shard]
+            assert entry.name == f"shard{shard}"
+            assert entry.served == entry.ranked == 0
+            assert entry.throughput_qps == 0.0
+            assert entry.percentile_ms(0.95) == 0.0
+            assert entry.summary().startswith(f"[shard{shard}]")
+
+        report = cluster.warm([query])
+        assert len(report.shards) == NUM_SHARDS
+        for shard in idle:
+            assert report.shards[shard].queries == 0
+            assert report.shards[shard].name == f"shard{shard}"
+
+    @needs_fork
+    def test_idle_shards_over_process_boundary(self, framework_factory, workload):
+        cluster = build_cluster(framework_factory, "process")
+        try:
+            query = workload[0]
+            cluster.diversify_batch([query])
+            merged = cluster.cluster_stats()
+            assert len(merged.shards) == NUM_SHARDS
+            assert sum(s.served for s in merged.shards) == 1
+            assert all(s.name == f"shard{i}"
+                       for i, s in enumerate(merged.shards))
+        finally:
+            cluster.close()
+
+
+class TestBackendConstruction:
+    def test_make_backend_names(self):
+        assert isinstance(make_backend("inline"), InlineBackend)
+        assert isinstance(make_backend("thread"), ThreadBackend)
+        assert isinstance(make_backend("process"), ProcessBackend)
+        assert isinstance(make_backend(None), ThreadBackend)
+        passthrough = InlineBackend()
+        assert make_backend(passthrough) is passthrough
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+        with pytest.raises(TypeError):
+            make_backend(42)
+
+    def test_process_backend_requires_from_factory(self, framework_factory):
+        services = [DiversificationService(framework_factory())]
+        with pytest.raises(ValueError, match="from_factory"):
+            ShardedDiversificationService(services, backend="process")
+
+    def test_local_backend_cannot_adopt_twice(self, framework_factory):
+        backend = InlineBackend()
+        backend.adopt([DiversificationService(framework_factory())])
+        with pytest.raises(BackendError):
+            backend.adopt([DiversificationService(framework_factory())])
+
+    def test_unstarted_backend_without_services_rejected(self):
+        with pytest.raises(ValueError, match="not started"):
+            ShardedDiversificationService(backend="inline")
+
+    def test_invoke_before_start_raises(self):
+        with pytest.raises(BackendError):
+            InlineBackend().invoke(0, "get_stats")
+
+    def test_thread_backend_defaults_match_old_fanout(self, framework_factory):
+        cluster = build_cluster(framework_factory, None)
+        assert cluster.backend.name == "thread"
+        assert cluster.backend.max_workers >= 1
+
+    def test_repr_names_backend(self, framework_factory):
+        cluster = build_cluster(framework_factory, "inline")
+        assert "backend=inline" in repr(cluster)
+        assert f"shards={NUM_SHARDS}" in repr(cluster)

@@ -279,6 +279,20 @@ class TestStatsMergePrimitives:
         )
         assert CacheStats.merge(caches).hits == 5
 
+    def test_merge_breakdown_is_a_snapshot(self):
+        """The merged ``shards`` breakdown must not alias the live
+        inputs: serving more traffic after the merge may not mutate an
+        already-taken cluster snapshot."""
+        live = ServiceStats(served=2, ranked=2, seconds=0.1, name="shard0")
+        live.latencies_ms.append(1.0)
+        merged = ServiceStats.merge([live, ServiceStats(name="shard1")])
+        assert merged.shards[0].served == 2
+        live.served += 5
+        live.latencies_ms.append(9.0)
+        assert merged.shards[0].served == 2
+        assert list(merged.shards[0].latencies_ms) == [1.0]
+        assert sum(s.served for s in merged.shards) == merged.served
+
     def test_formation_fields_merge(self):
         """The async front-end's batch-formation accounting must roll up
         like every other counter: histograms add, wait samples
