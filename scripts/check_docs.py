@@ -33,10 +33,14 @@ SRC = ROOT / "src"
 REQUIRED_SNIPPETS = [
     "python -m pytest -x -q",
     "python -m repro.experiments.throughput",
+    "python -m repro.experiments.offline",
     "--shards 4",
     "--mode async",
     "--backend process",
+    "--partitions 4",
+    "--start-method spawn",
     "--save-stats",
+    "REPRO_SPAWN_LANE=1",
     "docs/ARCHITECTURE.md",
     "examples/quickstart.py",
 ]

@@ -117,6 +117,7 @@ from repro.serving import (
     ShardedDiversificationService,
     ThreadBackend,
     WarmReport,
+    build_partitioned_engine,
     make_backend,
 )
 
@@ -196,6 +197,7 @@ __all__ = [
     "DocumentCollection",
     "InvertedIndex",
     "PartitionedSearchEngine",
+    "build_partitioned_engine",
     "PorterStemmer",
     "ResultList",
     "SearchEngine",

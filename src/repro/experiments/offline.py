@@ -1,0 +1,490 @@
+"""Offline pipeline benchmark — serial vs partition-parallel build + warm.
+
+The online path has had its scale-out story since PR 2 (sharded serving,
+execution backends); this harness measures the *offline* phase the
+paper's feasibility argument rests on, end to end:
+
+1. **Index build** — a synthetic corpus at the chosen scale is built
+   into a :class:`~repro.retrieval.sharding.PartitionedSearchEngine`
+   twice: serially (the plain constructor, one core) and
+   partition-parallel
+   (:func:`~repro.serving.offline.build_partitioned_engine` over the
+   chosen execution backend).  Before any number is reported, both
+   engines — and a single undivided reference engine — are asserted to
+   return **identical rankings and scores** over every topic query.
+   The parallel arm reports per-partition build time and estimated
+   resident memory (postings, vocabulary, document tables) through a
+   merged :class:`~repro.retrieval.sharding.BuildReport` that carries
+   both the scatter/gather wall-clock and the summed per-partition busy
+   time.
+
+2. **Warm** — a sharded cluster over the parallel-built engine runs the
+   paper's offline phase per-shard on the same backend, reporting
+   wall-clock *and* summed shard-busy time
+   (:class:`~repro.serving.service.WarmReport`), plus an estimated
+   warm-artifact footprint (snippet vectors, per-specialization result
+   lists) summed across shards.  Cluster rankings are asserted
+   identical to an unsharded service over the serially built engine.
+
+3. **Persistence round-trip** (``--warm-dir``) — the warmed cluster
+   saves one JSONL artifact file per shard, and a *restarted* cluster
+   hydrates them in parallel through the backend; re-warming the
+   hydrated cluster must fetch **zero** artifacts.
+
+On a single-core host the parallel arms read as parity (the identity
+check is the load-bearing result there); on an N-core host the process
+backend is the arm that scales.  ``--save-stats`` writes the run as a
+JSON benchmark record in the repo's ``BENCH_*.json`` trajectory.
+
+Run as a script::
+
+    python -m repro.experiments.offline
+    python -m repro.experiments.offline --partitions 4 --backend process
+    python -m repro.experiments.offline --paper-scale --save-stats BENCH_offline.json
+    python -m repro.experiments.offline --backend process --start-method spawn
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from dataclasses import dataclass
+
+from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.throughput import save_stats_record, zipf_workload
+from repro.experiments.workloads import (
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TrecWorkload,
+    build_trec_workload,
+)
+from repro.querylog.specializations import SpecializationMiner
+from repro.retrieval.engine import SearchEngine
+from repro.retrieval.sharding import BuildReport, PartitionedSearchEngine
+from repro.serving import (
+    BACKEND_NAMES,
+    DiversificationService,
+    ShardedDiversificationService,
+    WarmReport,
+    build_partitioned_engine,
+    make_backend,
+)
+
+__all__ = [
+    "OfflineBuildResult",
+    "PartitionedFrameworkFactory",
+    "run_offline_build",
+    "summarize_build",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class PartitionedFrameworkFactory:
+    """Per-shard framework factory over a shared (partitioned) engine.
+
+    Frozen, closure-free, and built from picklable parts, so it travels
+    to process-backend workers under ``fork`` *and* ``spawn`` — the
+    spawn-safe counterpart of building frameworks inline.
+    """
+
+    engine: SearchEngine
+    miner: SpecializationMiner
+    config: FrameworkConfig
+
+    def __call__(self, shard: int) -> DiversificationFramework:
+        return DiversificationFramework(
+            self.engine, self.miner, config=self.config
+        )
+
+
+@dataclass(frozen=True)
+class OfflineBuildResult:
+    """Everything one offline-pipeline run measured."""
+
+    partitions: int
+    shards: int
+    backend: str
+    start_method: str | None
+    queries: int
+    distinct: int
+    serial_build_seconds: float
+    build_report: BuildReport      #: merged; per-partition in ``.shards``
+    serial_warm: WarmReport        #: unsharded service over the serial engine
+    cluster_warm: WarmReport       #: merged cluster warm (wall + busy)
+    warm_memory: dict              #: cluster-summed warm-artifact estimate
+    hydrate_fetched: int | None    #: re-warm fetches after hydration (0 = hit)
+    hydrate_installed: int | None  #: artifacts installed from disk
+    cores: int
+    identity_checked: bool
+
+    @property
+    def parallel_build_seconds(self) -> float:
+        return self.build_report.seconds
+
+    @property
+    def build_speedup(self) -> float:
+        """Serial build time over parallel build wall-clock."""
+        return (
+            self.serial_build_seconds / self.build_report.seconds
+            if self.build_report.seconds
+            else 0.0
+        )
+
+    @property
+    def hardware_limited(self) -> bool:
+        """True when the host cannot express the full N-way build fan-out."""
+        return self.cores < max(2, self.partitions)
+
+
+def _assert_engines_identical(
+    reference: SearchEngine,
+    candidates: dict[str, SearchEngine],
+    queries: list[str],
+    k: int,
+) -> None:
+    for query in queries:
+        want = reference.search(query, k)
+        for label, engine in candidates.items():
+            got = engine.search(query, k)
+            if want.doc_ids != got.doc_ids or want.scores != got.scores:
+                raise AssertionError(
+                    f"{label} engine changed ranking/scores of {query!r}"
+                )
+
+
+def run_offline_build(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 60,
+    partitions: int = 4,
+    shards: int = 2,
+    backend: str = "thread",
+    start_method: str | None = None,
+    seed: int = 13,
+    log_name: str = "AOL",
+    warm_dir=None,
+) -> OfflineBuildResult:
+    """Run the offline pipeline serial-vs-parallel at the given sizes.
+
+    The identity checks run before any timing is trusted: the parallel-
+    built partitioned engine must equal the serially built one *and*
+    the single undivided engine (rankings and scores), and the sharded
+    cluster's served rankings must equal the unsharded service's.  With
+    *warm_dir* the warmed cluster additionally persists its artifacts
+    and a restarted cluster re-warms from disk (``hydrate_fetched`` is
+    the number of artifacts the re-warm still had to fetch — zero when
+    hydration hit in full).
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if backend not in BACKEND_NAMES:
+        raise ValueError(f"backend must be one of {BACKEND_NAMES}")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    scale = workload.scale
+    collection = workload.corpus.collection
+    queries = zipf_workload(workload, num_queries, seed)
+    topic_queries = [topic.query for topic in workload.testbed.topics]
+    config = FrameworkConfig(
+        k=scale.k, candidates=scale.candidates, spec_results=scale.spec_results
+    )
+    miner = workload.miner(log_name)
+
+    # Arm 1: the serial build (the pre-PR-5 path, one core by design).
+    start = time.perf_counter()
+    serial_engine = PartitionedSearchEngine(collection, partitions)
+    serial_build_seconds = time.perf_counter() - start
+
+    # Arm 2: the partition-parallel build on the chosen backend.
+    parallel_engine, build_report = build_partitioned_engine(
+        collection,
+        partitions,
+        backend=backend,
+        start_method=start_method,
+    )
+
+    # Identity before any timing is trusted — both partitioned engines
+    # against the undivided single-index reference.
+    _assert_engines_identical(
+        workload.engine,
+        {"serial partitioned": serial_engine,
+         "parallel partitioned": parallel_engine},
+        topic_queries,
+        scale.k,
+    )
+
+    # Warm reference: unsharded service over the serially built engine.
+    reference = DiversificationService(
+        DiversificationFramework(serial_engine, miner, config=config)
+    )
+    serial_warm = reference.warm(queries)
+    reference_results = reference.diversify_batch(queries)
+
+    # The cluster: per-shard warm over the parallel-built engine, fanned
+    # out on a fresh backend of the same kind (a process backend is
+    # consumed by the build and cannot restart).
+    factory = PartitionedFrameworkFactory(parallel_engine, miner, config)
+    cluster = ShardedDiversificationService.from_factory(
+        factory,
+        shards,
+        backend=make_backend(backend, start_method=start_method),
+    )
+    hydrate_fetched = hydrate_installed = None
+    try:
+        cluster_warm = cluster.warm(queries)
+        got = cluster.diversify_batch(queries)
+        for want, result in zip(reference_results, got):
+            if want.ranking != result.ranking:
+                raise AssertionError(
+                    f"cluster changed the ranking of {want.query!r}"
+                )
+        warm_memory = cluster.warm_memory_estimate()
+        if warm_dir is not None:
+            cluster.save_warm(warm_dir)
+    finally:
+        cluster.close()
+
+    if warm_dir is not None:
+        restarted = ShardedDiversificationService.from_factory(
+            factory,
+            shards,
+            backend=make_backend(backend, start_method=start_method),
+        )
+        try:
+            # Explicit parallel hydration (fans out per shard through
+            # the backend); re-warming after it must fetch nothing.
+            hydrate_installed = restarted.load_warm(warm_dir)
+            hydrate_fetched = restarted.warm(queries).fetched
+        finally:
+            restarted.close()
+
+    return OfflineBuildResult(
+        partitions=partitions,
+        shards=shards,
+        backend=backend,
+        start_method=start_method,
+        queries=len(queries),
+        distinct=len(set(queries)),
+        serial_build_seconds=serial_build_seconds,
+        build_report=build_report,
+        serial_warm=serial_warm,
+        cluster_warm=cluster_warm,
+        warm_memory=warm_memory,
+        hydrate_fetched=hydrate_fetched,
+        hydrate_installed=hydrate_installed,
+        cores=os.cpu_count() or 1,
+        identity_checked=True,
+    )
+
+
+def summarize_build(result: OfflineBuildResult) -> str:
+    headers = [
+        "partition", "docs", "terms", "postings", "build s", "est. MB",
+    ]
+    rows = []
+    for report in result.build_report.shards:
+        rows.append(
+            [
+                report.name,
+                report.documents,
+                report.terms,
+                report.postings,
+                round(report.seconds, 3),
+                round(report.total_bytes / 1e6, 2),
+            ]
+        )
+    total = result.build_report
+    rows.append(
+        [
+            total.name,
+            total.documents,
+            total.terms,
+            total.postings,
+            # The column holds per-partition busy time, so the total row
+            # shows the *summed* busy time (the column's own sum); the
+            # scatter/gather wall-clock is reported separately below —
+            # never in a column whose other rows mean something else.
+            round(total.busy_seconds, 3),
+            round(total.total_bytes / 1e6, 2),
+        ]
+    )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Partition-parallel build — {result.partitions} partitions "
+            f"over the {result.backend} backend, {result.cores} core(s)"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--queries", type=int, default=60)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="50 topics / larger corpus (slower)",
+    )
+    parser.add_argument("--log", default="AOL", choices=("AOL", "MSN"))
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        metavar="N",
+        help="index partitions to build (serially vs on the backend)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="M",
+        help="serving shards warming over the parallel-built engine",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="thread",
+        help="execution backend for the parallel build and the warm fan-out",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --backend process "
+        "(default: the platform's own default)",
+    )
+    parser.add_argument(
+        "--warm-dir",
+        metavar="DIR",
+        default=None,
+        help="persist per-shard warm artifacts here and verify a "
+        "restarted cluster hydrates them (re-warm must fetch 0)",
+    )
+    parser.add_argument(
+        "--save-stats",
+        metavar="PATH",
+        default=None,
+        help="write this run's benchmark record (build + warm timings, "
+        "per-partition memory) as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+    workload = build_trec_workload(scale, logs=(args.log,))
+
+    result = run_offline_build(
+        workload,
+        args.queries,
+        partitions=args.partitions,
+        shards=args.shards,
+        backend=args.backend,
+        start_method=args.start_method,
+        log_name=args.log,
+        warm_dir=args.warm_dir,
+    )
+
+    print(summarize_build(result))
+    print()
+    build = result.build_report
+    print(
+        f"index build: serial {result.serial_build_seconds:.3f}s  vs  "
+        f"{result.backend} {build.seconds:.3f}s wall "
+        f"(busy {build.busy_seconds:.3f}s across partitions)  "
+        f"→ {result.build_speedup:.2f}x"
+    )
+    if result.cores < 2:
+        print(
+            f"note: this host reports {result.cores} core(s) — build "
+            "parallelism cannot beat the serial arm here; parity within "
+            "noise is the expected reading (the identity check is the "
+            "load-bearing result on single-core hosts)."
+        )
+    elif result.hardware_limited:
+        print(
+            f"note: {result.cores} cores for {result.partitions} "
+            f"partitions — expect at most ~{result.cores}x."
+        )
+    warm = result.cluster_warm
+    print(
+        f"warm: unsharded {result.serial_warm.seconds:.3f}s  vs  "
+        f"{result.shards}-shard cluster {warm.seconds:.3f}s wall "
+        f"(busy {warm.busy_seconds:.3f}s, fetched {warm.fetched})"
+    )
+    memory = result.warm_memory
+    print(
+        f"memory: index {build.total_bytes / 1e6:.2f}MB estimated across "
+        f"{result.partitions} partitions; warm artifacts "
+        f"{memory['total_bytes'] / 1e6:.2f}MB "
+        f"({memory['specializations']} specializations, "
+        f"{memory['vectors']} snippet vectors) across {result.shards} "
+        f"shards"
+    )
+    if result.hydrate_fetched is not None:
+        print(
+            f"hydrate: restarted cluster installed "
+            f"{result.hydrate_installed} artifacts from {args.warm_dir!r} "
+            f"and re-warm fetched {result.hydrate_fetched} "
+            f"({'hit in full' if result.hydrate_fetched == 0 else 'partial'})"
+        )
+    print(
+        "rankings and scores verified identical: single engine == serial "
+        "partitioned == parallel partitioned; unsharded service == "
+        f"{result.shards}-shard cluster ({result.backend} backend)."
+    )
+    if args.save_stats:
+        path = save_stats_record(
+            args.save_stats,
+            {
+                "mode": "offline",
+                "backend": result.backend,
+                "start_method": result.start_method,
+                "partitions": result.partitions,
+                "shards": result.shards,
+                "queries": result.queries,
+                "distinct": result.distinct,
+                "serial_build_seconds": round(result.serial_build_seconds, 5),
+                "build_seconds": round(build.seconds, 5),
+                "build_busy_seconds": round(build.busy_seconds, 5),
+                "build_speedup": round(result.build_speedup, 3),
+                "warm_seconds": round(warm.seconds, 5),
+                "warm_busy_seconds": round(warm.busy_seconds, 5),
+                "serial_warm_seconds": round(result.serial_warm.seconds, 5),
+                "warm_fetched": warm.fetched,
+                "memory": {
+                    "index_total_bytes": build.total_bytes,
+                    "postings_bytes": build.postings_bytes,
+                    "vocabulary_bytes": build.vocabulary_bytes,
+                    "documents_bytes": build.documents_bytes,
+                    "warm_total_bytes": memory["total_bytes"],
+                    "warm_vector_bytes": memory["vector_bytes"],
+                    "warm_specializations": memory["specializations"],
+                    "warm_vectors": memory["vectors"],
+                },
+                "per_partition": [
+                    {
+                        "name": r.name,
+                        "documents": r.documents,
+                        "terms": r.terms,
+                        "postings": r.postings,
+                        "seconds": round(r.seconds, 5),
+                        "total_bytes": r.total_bytes,
+                    }
+                    for r in build.shards
+                ],
+                "hydrate_fetched": result.hydrate_fetched,
+                "hardware_limited": result.hardware_limited,
+                "identity_checked": result.identity_checked,
+                "scale": scale.name,
+            },
+        )
+        print(f"benchmark record written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -768,11 +768,14 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--mode",
         default="batch",
-        choices=("batch", "async"),
+        choices=("batch", "async", "offline"),
         help="'batch': pre-formed batches (loop-vs-batch, or 1-vs-N "
         "shards with --shards); 'async': the asyncio micro-batching "
         "front-end under open-loop Zipf arrivals, identity-checked "
-        "against the sequential path",
+        "against the sequential path; 'offline': delegate to the "
+        "offline-pipeline benchmark (serial vs partition-parallel "
+        "index build + warm — python -m repro.experiments.offline "
+        "has the full knob set)",
     )
     parser.add_argument(
         "--shards",
@@ -832,6 +835,26 @@ def main(argv: list[str] | None = None) -> None:
         help="async mode: open-loop arrival rate of the Zipf stream",
     )
     args = parser.parse_args(argv)
+
+    if args.mode == "offline":
+        # The offline pipeline has its own harness (and extra knobs:
+        # --partitions, --start-method, --warm-dir); forward the shared
+        # ones so `throughput --mode offline` keeps working as the
+        # single benchmarking entry point.
+        from repro.experiments import offline as offline_experiment
+
+        forwarded = ["--queries", str(args.queries), "--log", args.log]
+        if args.paper_scale:
+            forwarded.append("--paper-scale")
+        if args.backend is not None:
+            forwarded += ["--backend", args.backend]
+        if args.shards > 0:
+            forwarded += ["--shards", str(args.shards)]
+        if args.save_stats:
+            forwarded += ["--save-stats", args.save_stats]
+        offline_experiment.main(forwarded)
+        return
+
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
     workload = build_trec_workload(scale, logs=(args.log,))
 

@@ -24,6 +24,7 @@ from repro.retrieval.persistence import (
     load_query_log,
 )
 from repro.retrieval.sharding import (
+    BuildReport,
     PartitionedSearchEngine,
     partition_collection,
     stable_shard,
@@ -53,6 +54,7 @@ __all__ = [
     "dump_query_log",
     "load_collection",
     "load_query_log",
+    "BuildReport",
     "PartitionedSearchEngine",
     "partition_collection",
     "stable_shard",

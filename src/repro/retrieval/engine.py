@@ -261,6 +261,19 @@ class SearchEngine:
             for query, results in batch.items()
         }
 
+    # -- accounting -------------------------------------------------------------
+
+    def memory_estimate(self) -> dict[str, int]:
+        """Estimated resident bytes of the engine's index, by component.
+
+        Delegates to
+        :meth:`~repro.retrieval.index.InvertedIndex.memory_estimate`;
+        :class:`~repro.retrieval.sharding.PartitionedSearchEngine`
+        overrides this to sum its partitions, so the offline pipeline's
+        memory accounting reads the same for both layouts.
+        """
+        return self.index.memory_estimate()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SearchEngine(docs={self.index.num_documents}, "

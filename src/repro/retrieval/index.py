@@ -16,6 +16,7 @@ hundred thousand documents.
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -24,6 +25,11 @@ from repro.retrieval.analysis import Analyzer
 from repro.retrieval.documents import Document, DocumentCollection
 
 __all__ = ["Posting", "PostingList", "InvertedIndex"]
+
+#: Estimated bytes of one boxed CPython ``int`` (64-bit build).  Small
+#: interned ints are cheaper in reality; the estimate deliberately prices
+#: every element so partition footprints stay comparable.
+_INT_BYTES = 28
 
 
 @dataclass(frozen=True)
@@ -164,6 +170,50 @@ class InvertedIndex:
 
     def vocabulary(self) -> Iterable[str]:
         return self._postings.keys()
+
+    @property
+    def num_postings(self) -> int:
+        """Total posting entries across all terms (Σ_t df_t)."""
+        return sum(len(p) for p in self._postings.values())
+
+    def memory_estimate(self) -> dict[str, int]:
+        """Estimated resident bytes of this index, by component.
+
+        Sums ``sys.getsizeof`` of the actual containers (dicts, lists,
+        term strings) plus a flat per-element price for the boxed ints
+        inside posting lists and length tables — an *estimate* of the
+        CPython heap footprint, not an exact accounting (small interned
+        ints are shared, dict load factors vary), but computed the same
+        way for every partition, which is what the partition-parallel
+        build's per-partition memory report needs.
+
+        Returns ``{"postings_bytes", "vocabulary_bytes",
+        "documents_bytes", "total_bytes"}``.
+        """
+        postings_bytes = 0
+        vocabulary_bytes = sys.getsizeof(self._postings)
+        for term, postings in self._postings.items():
+            vocabulary_bytes += sys.getsizeof(term)
+            n = len(postings.ordinals)
+            postings_bytes += (
+                sys.getsizeof(postings.ordinals)
+                + sys.getsizeof(postings.tfs)
+                + 2 * n * _INT_BYTES
+                + 64  # PostingList object + its collection_frequency int
+            )
+        documents_bytes = (
+            sys.getsizeof(self._doc_ids)
+            + sys.getsizeof(self._doc_lengths)
+            + sys.getsizeof(self._ordinal_by_id)
+            + sum(sys.getsizeof(doc_id) for doc_id in self._doc_ids)
+            + 2 * len(self._doc_ids) * _INT_BYTES
+        )
+        return {
+            "postings_bytes": postings_bytes,
+            "vocabulary_bytes": vocabulary_bytes,
+            "documents_bytes": documents_bytes,
+            "total_bytes": postings_bytes + vocabulary_bytes + documents_bytes,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

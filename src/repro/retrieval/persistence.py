@@ -22,6 +22,7 @@ are restored without renormalisation
 from __future__ import annotations
 
 import json
+import sys
 from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
 
@@ -37,6 +38,7 @@ __all__ = [
     "load_query_log",
     "dump_warm_artifacts",
     "load_warm_artifacts",
+    "estimate_warm_memory",
 ]
 
 
@@ -180,6 +182,54 @@ def load_warm_artifacts(
             ) from exc
         artifacts[spec_query] = (results, vectors)
     return artifacts
+
+
+#: Estimated bytes of one boxed CPython float (64-bit build).
+_FLOAT_BYTES = 24
+
+
+def estimate_warm_memory(
+    artifacts: Mapping[str, tuple[ResultList, Mapping[str, TermVector]]],
+) -> dict[str, int]:
+    """Estimated resident bytes of warm artifacts, plus their counts.
+
+    *artifacts* is an
+    :meth:`~repro.core.framework.DiversificationFramework.export_warm_state`
+    snapshot: ``{spec_query: (ResultList, {doc_id: TermVector})}``.  Sums
+    ``sys.getsizeof`` of the real strings/dicts plus flat per-element
+    prices for boxed floats — the same estimation discipline as
+    :meth:`~repro.retrieval.index.InvertedIndex.memory_estimate`, so the
+    offline pipeline's per-partition index footprints and per-shard warm
+    footprints are directly comparable.  Returns ``{"specializations",
+    "results", "vectors", "result_bytes", "vector_bytes", "total_bytes"}``.
+    """
+    specializations = 0
+    results_count = 0
+    vectors_count = 0
+    result_bytes = 0
+    vector_bytes = 0
+    for spec_query, (results, vectors) in dict(artifacts).items():
+        specializations += 1
+        results_count += len(results)
+        result_bytes += sys.getsizeof(spec_query)
+        for result in results:
+            # SearchResult object + its doc_id string + score float.
+            result_bytes += 64 + sys.getsizeof(result.doc_id) + _FLOAT_BYTES
+        for doc_id, vector in vectors.items():
+            vectors_count += 1
+            vector_bytes += sys.getsizeof(doc_id) + sys.getsizeof(
+                vector.weights
+            )
+            for term in vector.weights:
+                vector_bytes += sys.getsizeof(term) + _FLOAT_BYTES
+    return {
+        "specializations": specializations,
+        "results": results_count,
+        "vectors": vectors_count,
+        "result_bytes": result_bytes,
+        "vector_bytes": vector_bytes,
+        "total_bytes": result_bytes + vector_bytes,
+    }
 
 
 def load_query_log(path: str | Path, name: str = "") -> QueryLog:

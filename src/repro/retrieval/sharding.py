@@ -22,13 +22,23 @@ results that merge back losslessly.  This module provides both halves:
   is what lets the index be partitioned underneath the diversification
   pipeline without changing a single served ranking; the test suite
   asserts it exactly.
+* :class:`BuildReport` — the accounting record of building one index
+  partition (documents, vocabulary, postings, build wall-clock and an
+  estimated resident-memory footprint), with a ``merge()`` that rolls
+  per-partition reports into a collection-level summary the same way
+  :class:`~repro.serving.service.WarmReport` rolls up warm passes.  The
+  partition-parallel offline pipeline
+  (:func:`repro.serving.offline.build_partitioned_engine`) emits one per
+  partition, wherever that partition was built.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import heapq
 from collections import Counter
+from collections.abc import Iterable, Sequence
 
 from repro.core.cache import LRUCache
 from repro.retrieval.analysis import Analyzer
@@ -41,6 +51,7 @@ from repro.retrieval.snippets import SnippetExtractor
 __all__ = [
     "stable_shard",
     "partition_collection",
+    "BuildReport",
     "PartitionedSearchEngine",
 ]
 
@@ -86,6 +97,114 @@ def partition_collection(
     return [DocumentCollection(docs) for docs in partitions]
 
 
+@dataclasses.dataclass(frozen=True)
+class BuildReport:
+    """What building one index partition produced and what it costs to hold.
+
+    ``seconds`` is the build wall-clock of this partition (of the whole
+    scatter/gather, on a merged report — then ``busy_seconds`` keeps the
+    summed per-partition build time, which can exceed the wall-clock
+    when partitions build concurrently).  The byte fields are the
+    *estimated* resident footprint of the partition's index
+    (:meth:`~repro.retrieval.index.InvertedIndex.memory_estimate`);
+    ``vector_count``/``vector_bytes`` account the snippet-vector warm
+    artifacts once the offline pipeline's warm stage has run (zero at
+    build time).  A zero-document partition — the degenerate
+    ``num_partitions > len(collection)`` regime — contributes a
+    well-formed all-zero report carrying its name, exactly like a
+    zero-query shard in a merged :class:`ServiceStats`.
+    """
+
+    documents: int
+    terms: int
+    postings: int
+    tokens: int
+    seconds: float
+    postings_bytes: int = 0
+    vocabulary_bytes: int = 0
+    documents_bytes: int = 0
+    vector_count: int = 0
+    vector_bytes: int = 0
+    name: str = ""
+    busy_seconds: float = 0.0
+    shards: tuple["BuildReport", ...] = ()
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated resident bytes: index components plus warm vectors."""
+        return (
+            self.postings_bytes
+            + self.vocabulary_bytes
+            + self.documents_bytes
+            + self.vector_bytes
+        )
+
+    @classmethod
+    def from_index(
+        cls, index: InvertedIndex, seconds: float, name: str = ""
+    ) -> "BuildReport":
+        """Report for one freshly built partition index."""
+        memory = index.memory_estimate()
+        return cls(
+            documents=index.num_documents,
+            terms=index.num_terms,
+            postings=index.num_postings,
+            tokens=index.total_tokens,
+            seconds=seconds,
+            postings_bytes=memory["postings_bytes"],
+            vocabulary_bytes=memory["vocabulary_bytes"],
+            documents_bytes=memory["documents_bytes"],
+            name=name,
+        )
+
+    @classmethod
+    def merge(
+        cls, reports: Iterable["BuildReport"], name: str = "total"
+    ) -> "BuildReport":
+        """Collection-level view of per-partition builds.
+
+        Counters and byte estimates sum (partitions hold disjoint
+        documents; overlapping vocabularies are priced per partition,
+        which is what each one actually holds resident).  ``seconds``
+        sums to total build-busy time and ``busy_seconds`` records the
+        same sum explicitly — a caller that measured the scatter/gather
+        wall-clock (the parallel build pipeline does) overwrites
+        ``seconds`` with it, so both times stay readable.  The inputs
+        are kept in ``shards`` for per-partition reporting; an empty
+        input yields a valid zeroed report.
+        """
+        reports = list(reports)
+        busy = sum(r.busy_seconds or r.seconds for r in reports)
+        return cls(
+            documents=sum(r.documents for r in reports),
+            terms=sum(r.terms for r in reports),
+            postings=sum(r.postings for r in reports),
+            tokens=sum(r.tokens for r in reports),
+            seconds=sum(r.seconds for r in reports),
+            postings_bytes=sum(r.postings_bytes for r in reports),
+            vocabulary_bytes=sum(r.vocabulary_bytes for r in reports),
+            documents_bytes=sum(r.documents_bytes for r in reports),
+            vector_count=sum(r.vector_count for r in reports),
+            vector_bytes=sum(r.vector_bytes for r in reports),
+            name=name,
+            busy_seconds=busy,
+            shards=tuple(reports),
+        )
+
+    def summary(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        text = (
+            f"{label}documents={self.documents} terms={self.terms} "
+            f"postings={self.postings} seconds={self.seconds:.3f}"
+        )
+        if self.busy_seconds and abs(self.busy_seconds - self.seconds) > 1e-9:
+            text += f" busy={self.busy_seconds:.3f}"
+        text += f" est_memory={self.total_bytes / 1e6:.2f}MB"
+        if self.vector_count:
+            text += f" vectors={self.vector_count}"
+        return text
+
+
 class PartitionedSearchEngine(SearchEngine):
     """A :class:`SearchEngine` whose inverted index is split into shards.
 
@@ -103,6 +222,15 @@ class PartitionedSearchEngine(SearchEngine):
     Snippet extraction and surrogate vectorisation are inherited
     unchanged: they read the full collection, which every shard of the
     serving layer can reach.
+
+    ``partition_indexes`` (keyword-only, together with
+    ``partition_collections``) injects *pre-built* partition indexes —
+    the partition-parallel offline pipeline
+    (:func:`repro.serving.offline.build_partitioned_engine`) builds them
+    on an execution backend and assembles the engine here.  The injected
+    indexes are validated document-for-document against their partition
+    collections, so an assembled engine is exactly the engine the serial
+    constructor would have built.
     """
 
     def __init__(
@@ -114,6 +242,9 @@ class PartitionedSearchEngine(SearchEngine):
         snippet_extractor=None,
         vector_cache_size: int = 0,
         seed: int = 0,
+        *,
+        partition_collections: Sequence[DocumentCollection] | None = None,
+        partition_indexes: Sequence[InvertedIndex] | None = None,
     ) -> None:
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
@@ -124,13 +255,58 @@ class PartitionedSearchEngine(SearchEngine):
         self.collection = collection
         self.analyzer = analyzer or Analyzer()
         self.model = model or DPH()
-        self.partition_collections = partition_collection(
-            collection, num_partitions, seed
-        )
-        self.partitions = [
-            InvertedIndex.from_collection(part, self.analyzer)
-            for part in self.partition_collections
-        ]
+        if partition_collections is None:
+            partition_collections = partition_collection(
+                collection, num_partitions, seed
+            )
+        else:
+            partition_collections = list(partition_collections)
+            if len(partition_collections) != num_partitions:
+                raise ValueError(
+                    f"expected {num_partitions} partition collections, "
+                    f"got {len(partition_collections)}"
+                )
+            # Global statistics are summed from the partitions, so an
+            # injection that does not cover the collection exactly once
+            # (stale snapshot, subset, duplicate placement) would serve
+            # silently wrong scores — refuse it here instead.
+            covered = [
+                document.doc_id
+                for part in partition_collections
+                for document in part
+            ]
+            if len(covered) != len(collection) or set(covered) != set(
+                collection.doc_ids
+            ):
+                raise ValueError(
+                    "partition collections do not cover the collection "
+                    "exactly once (missing, extra or duplicated documents)"
+                )
+        self.partition_collections = partition_collections
+        if partition_indexes is None:
+            self.partitions = [
+                InvertedIndex.from_collection(part, self.analyzer)
+                for part in self.partition_collections
+            ]
+        else:
+            partition_indexes = list(partition_indexes)
+            if len(partition_indexes) != num_partitions:
+                raise ValueError(
+                    f"expected {num_partitions} partition indexes, "
+                    f"got {len(partition_indexes)}"
+                )
+            for shard, (part, index) in enumerate(
+                zip(self.partition_collections, partition_indexes)
+            ):
+                if [
+                    index.doc_id(o) for o in range(index.num_documents)
+                ] != part.doc_ids:
+                    raise ValueError(
+                        f"partition index {shard} does not match its "
+                        "partition collection (documents or their order "
+                        "differ)"
+                    )
+            self.partitions = partition_indexes
         #: partition-local ordinal → collection-global ordinal, per shard.
         self._global_ordinals = [
             [collection.ordinal(index.doc_id(o)) for o in range(index.num_documents)]
@@ -202,6 +378,38 @@ class PartitionedSearchEngine(SearchEngine):
         return ResultList(
             query, [(by_ordinal(ordinal).doc_id, score) for ordinal, score in top]
         )
+
+    def memory_estimate(self) -> dict[str, int]:
+        """Estimated resident bytes summed across the partition indexes.
+
+        Component-wise sums of each partition's
+        :meth:`~repro.retrieval.index.InvertedIndex.memory_estimate` —
+        terms indexed in several partitions are priced once per
+        partition, because each partition really holds its own posting
+        lists and vocabulary entry for them.
+        """
+        totals = {
+            "postings_bytes": 0,
+            "vocabulary_bytes": 0,
+            "documents_bytes": 0,
+            "total_bytes": 0,
+        }
+        for partition in self.partitions:
+            for key, value in partition.memory_estimate().items():
+                totals[key] += value
+        return totals
+
+    def build_reports(self) -> list[BuildReport]:
+        """Per-partition :class:`BuildReport` snapshots of the held indexes.
+
+        Build *seconds* are zero — this probes an already-built engine;
+        the parallel build pipeline times each partition where it builds
+        and reports through the same type.
+        """
+        return [
+            BuildReport.from_index(index, 0.0, name=f"partition{shard}")
+            for shard, index in enumerate(self.partitions)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = "+".join(str(p.num_documents) for p in self.partitions)

@@ -24,6 +24,13 @@ grows it past one worker:
   with per-worker warm state — the multi-core path).  Warm artifacts
   persist via ``save_warm``/``load_warm`` so worker processes hydrate
   from disk instead of re-deriving the offline phase;
+* :mod:`~repro.serving.offline` — the partition-parallel offline
+  pipeline: :func:`build_partitioned_engine` builds the N inverted-index
+  partitions of a
+  :class:`~repro.retrieval.sharding.PartitionedSearchEngine` on any of
+  the execution backends (ranking- and score-identical to the serial
+  build) with per-partition build-time and memory accounting in a
+  mergeable :class:`~repro.retrieval.sharding.BuildReport`;
 * :class:`~repro.serving.async_service.AsyncDiversificationService` —
   the asyncio micro-batching front-end: single-query ``await
   submit(query)`` calls coalesce under a size/time admission window
@@ -59,6 +66,7 @@ from repro.serving.backends import (
     ThreadBackend,
     make_backend,
 )
+from repro.serving.offline import PartitionBuildFactory, build_partitioned_engine
 from repro.serving.service import (
     DiversificationService,
     PreparedQuery,
@@ -77,8 +85,10 @@ __all__ = [
     "LRUCache",
     "LoopClock",
     "DiversificationService",
+    "PartitionBuildFactory",
     "PreparedQuery",
     "ProcessBackend",
+    "build_partitioned_engine",
     "ServiceClosed",
     "ServiceStats",
     "ShardServiceFactory",

@@ -286,10 +286,19 @@ class ProcessBackend(ExecutionBackend):
         Cap on worker processes.  Defaults to one worker per shard (the
         OS scheduler multiplexes them onto the available cores).
     start_method:
-        ``multiprocessing`` start method.  ``None`` prefers ``fork``
-        when the platform offers it — the factory and its closed-over
-        workload are inherited for free — falling back to the platform
-        default, under which the factory must pickle.
+        ``multiprocessing`` start method, honoured exactly when given
+        (``"fork"``, ``"spawn"``, ``"forkserver"``; a method the
+        platform does not offer fails at :meth:`start`).  ``None`` uses
+        the *platform default* — ``fork`` on Linux, ``spawn`` on macOS
+        and Windows — instead of forcing ``fork`` wherever it exists:
+        forking a multi-threaded parent is unsafe and emits
+        ``DeprecationWarning`` on Python 3.12+, so the platform's own
+        judgement is the sane default.  Under ``fork`` the factory and
+        its closed-over workload are inherited for free; under
+        ``spawn``/``forkserver`` the factory must pickle, which
+        :meth:`start` verifies *before* spawning anything so a closure
+        factory fails fast with a clear message instead of a raw pickle
+        traceback out of a half-started worker.
     """
 
     name = "process"
@@ -302,12 +311,62 @@ class ProcessBackend(ExecutionBackend):
         super().__init__()
         self._max_workers = max_workers
         self._start_method = start_method
+        self._resolved_start_method: str | None = None
         self._workers: list = []          # mp.Process, worker order
         self._conns: list = []            # parent end of each worker pipe
         self._worker_of: dict[int, int] = {}  # shard -> worker index
         self._lock = threading.Lock()
         self._closed = False
         self._broken = False  # a worker died mid-batch; replies may be lost
+
+    @property
+    def start_method(self) -> str | None:
+        """The effective start method: the explicit one before
+        :meth:`start`, the resolved one (platform default when ``None``
+        was given) afterwards."""
+        return self._resolved_start_method or self._start_method
+
+    def _check_factory_pickles(self, service_factory, method: str) -> None:
+        """Fail fast when *method* needs a picklable factory and this one
+        is not — naming the factory protocol instead of letting a raw
+        ``PicklingError`` traceback surface from inside a worker.
+
+        The probe walks the whole object graph (that is what makes it
+        reliable — multiprocessing will pickle the same graph into each
+        worker moments later) but streams into a discarding sink, so a
+        factory closing over a large workload costs one CPU pass, not a
+        resident copy of its serialized bytes.
+        """
+        import pickle
+
+        class _NullSink:
+            def write(self, data) -> int:
+                return len(data)
+
+        try:
+            pickle.Pickler(_NullSink(), pickle.HIGHEST_PROTOCOL).dump(
+                service_factory
+            )
+        except Exception as exc:
+            if type(service_factory).__name__ == "ShardServiceFactory":
+                detail = (
+                    "the ShardServiceFactory's framework_factory must "
+                    "itself pickle (a module-level callable or a "
+                    "picklable dataclass, not a closure/lambda)"
+                )
+            else:
+                detail = (
+                    "pass a picklable factory — e.g. a "
+                    "ShardServiceFactory wrapping a module-level "
+                    "framework factory"
+                )
+            raise BackendError(
+                f"service factory {service_factory!r} does not pickle, "
+                f"but start method {method!r} builds each worker in a "
+                f"fresh interpreter; {detail}, or use "
+                f"start_method='fork' where the platform offers it "
+                f"(pickle error: {exc})"
+            ) from exc
 
     def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
         import multiprocessing as mp
@@ -316,10 +375,21 @@ class ProcessBackend(ExecutionBackend):
             raise ValueError("num_shards must be positive")
         if self.started or self._closed:
             raise BackendError("ProcessBackend cannot be restarted")
-        method = self._start_method
-        if method is None and "fork" in mp.get_all_start_methods():
-            method = "fork"
-        ctx = mp.get_context(method)
+        if self._start_method is not None:
+            if self._start_method not in mp.get_all_start_methods():
+                raise BackendError(
+                    f"start method {self._start_method!r} is not available "
+                    f"on this platform (offers: "
+                    f"{mp.get_all_start_methods()})"
+                )
+            ctx = mp.get_context(self._start_method)
+        else:
+            ctx = mp.get_context()  # the platform default, not forced fork
+        self._resolved_start_method = ctx.get_start_method()
+        if self._resolved_start_method != "fork":
+            self._check_factory_pickles(
+                service_factory, self._resolved_start_method
+            )
         workers = min(num_shards, max(1, self._max_workers or num_shards))
         owned: list[list[int]] = [[] for _ in range(workers)]
         for shard in range(num_shards):
@@ -448,6 +518,7 @@ BACKEND_NAMES = ("inline", "thread", "process")
 def make_backend(
     backend: "str | ExecutionBackend | None",
     max_workers: int | None = None,
+    start_method: str | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec — a name, an instance, or ``None``.
 
@@ -455,7 +526,15 @@ def make_backend(
     behaviour).  An instance passes through untouched, so callers can
     hand in a pre-configured :class:`ProcessBackend` (custom start
     method, worker cap) or anything else satisfying the protocol.
+    ``start_method`` configures a :class:`ProcessBackend` built here by
+    name; combining it with any other spec is an error rather than a
+    silent no-op.
     """
+    if start_method is not None and backend != "process":
+        raise ValueError(
+            f"start_method={start_method!r} only applies to the "
+            f"'process' backend, not {backend!r}"
+        )
     if backend is None:
         return ThreadBackend(max_workers=max_workers)
     if isinstance(backend, ExecutionBackend):
@@ -474,5 +553,9 @@ def make_backend(
             ) from None
         if factory is InlineBackend:
             return InlineBackend()
+        if factory is ProcessBackend:
+            return ProcessBackend(
+                max_workers=max_workers, start_method=start_method
+            )
         return factory(max_workers=max_workers)
     raise TypeError(f"backend must be a name or ExecutionBackend, got {backend!r}")

@@ -67,6 +67,15 @@ class WarmReport:
     service is embedded in a
     :class:`~repro.serving.sharded.ShardedDiversificationService`);
     a merged cluster report carries its per-shard reports in ``shards``.
+
+    Two clocks, labelled apart so neither masquerades as the other:
+    ``seconds`` is the wall-clock of the pass a reader would time with a
+    stopwatch (per-shard busy time on a leaf report; the measured
+    fan-out wall-clock on a merged cluster report), while
+    ``busy_seconds`` on a merged report is the *sum* of per-shard busy
+    times — larger than the wall-clock when shards warmed concurrently
+    (thread/process backends), smaller when the fan-out added routing or
+    merge overhead around sequential shards (inline backend).
     """
 
     queries: int
@@ -76,14 +85,18 @@ class WarmReport:
     seconds: float
     name: str = ""
     shards: tuple["WarmReport", ...] = ()
+    busy_seconds: float = 0.0
 
     def summary(self) -> str:
         label = f"[{self.name}] " if self.name else ""
-        return (
+        text = (
             f"{label}queries={self.queries} ambiguous={self.ambiguous} "
             f"specializations={self.specializations} "
             f"fetched={self.fetched} seconds={self.seconds:.3f}"
         )
+        if self.busy_seconds:
+            text += f" busy={self.busy_seconds:.3f}"
+        return text
 
     @classmethod
     def merge(
@@ -91,14 +104,18 @@ class WarmReport:
     ) -> "WarmReport":
         """Cluster-level view of per-shard warm passes.
 
-        Counters sum (shards warm disjoint query partitions);
-        ``seconds`` sums too, i.e. total shard-busy time — the driving
-        wall-clock is whatever the caller measured around the fan-out.
-        The inputs are kept in ``shards`` for per-shard reporting.
-        Accepts any iterable (including a generator); an empty input
-        yields a valid zeroed report.
+        Counters sum (shards warm disjoint query partitions).
+        ``seconds`` sums too — total shard-busy time — and
+        ``busy_seconds`` records that same sum explicitly, so a caller
+        that measured the fan-out (the sharded service does) can
+        overwrite ``seconds`` with the wall-clock while the summed
+        per-shard time stays readable next to it.  The inputs are kept
+        in ``shards`` for per-shard reporting.  Accepts any iterable
+        (including a generator); an empty input yields a valid zeroed
+        report.
         """
         reports = list(reports)
+        busy = sum(r.busy_seconds or r.seconds for r in reports)
         return cls(
             queries=sum(r.queries for r in reports),
             ambiguous=sum(r.ambiguous for r in reports),
@@ -107,6 +124,7 @@ class WarmReport:
             seconds=sum(r.seconds for r in reports),
             name=name,
             shards=tuple(reports),
+            busy_seconds=busy,
         )
 
 
@@ -147,6 +165,10 @@ class ServiceStats:
     diversified: int = 0   #: ranked queries where Algorithm 1 fired
     batches: int = 0
     seconds: float = 0.0   #: wall-clock spent inside the service
+    #: merged instances only: summed per-shard busy seconds, kept next to
+    #: the cluster wall-clock the merging caller writes into ``seconds``
+    #: (can exceed it when shards overlap; zero on leaf stats).
+    busy_seconds: float = 0.0
     latencies_ms: deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_SIZE)
     )
@@ -241,6 +263,7 @@ class ServiceStats:
             diversified=sum(s.diversified for s in stats),
             batches=sum(s.batches for s in stats),
             seconds=sum(s.seconds for s in stats),
+            busy_seconds=sum(s.busy_seconds or s.seconds for s in stats),
             name=name,
             queue_depth_peak=max((s.queue_depth_peak for s in stats), default=0),
             shards=tuple(copy.deepcopy(s) for s in stats),
@@ -262,6 +285,8 @@ class ServiceStats:
             f"p50={self.percentile_ms(0.50):.2f}ms "
             f"p95={self.percentile_ms(0.95):.2f}ms"
         )
+        if self.busy_seconds and abs(self.busy_seconds - self.seconds) > 1e-9:
+            text += f" busy={self.busy_seconds:.3f}s"
         if self.batch_sizes:
             text += (
                 f" batch mean={self.mean_batch_size:.1f} "
@@ -451,6 +476,22 @@ class DiversificationService:
         from repro.retrieval.persistence import load_warm_artifacts
 
         return self.framework.install_warm_state(load_warm_artifacts(path))
+
+    def warm_memory_estimate(self) -> dict[str, int]:
+        """Estimated resident bytes of the held warm artifacts.
+
+        Counts and prices the per-specialization result lists and
+        snippet-surrogate vectors currently in the framework's spec
+        cache (:func:`repro.retrieval.persistence.estimate_warm_memory`)
+        — the snippet-vector half of the offline pipeline's per-shard
+        memory accounting, next to the per-partition index footprints in
+        :class:`~repro.retrieval.sharding.BuildReport`.  A *method* (not
+        a property) so execution backends can fetch the snapshot over a
+        process boundary.
+        """
+        from repro.retrieval.persistence import estimate_warm_memory
+
+        return estimate_warm_memory(self.framework.export_warm_state())
 
     # -- maintenance -------------------------------------------------------------
 

@@ -288,10 +288,14 @@ class ShardedDiversificationService:
         Each shard warms only the queries it will later serve, so the
         specialization artifacts land exactly where the online path
         reads them.  The merged report's ``shards`` tuple keeps one
-        (possibly empty) report per shard, in shard order; its
-        ``seconds`` is the cluster wall-clock measured around the
-        fan-out (the per-shard reports keep shard-busy time, which can
-        sum past it when shards overlap).
+        (possibly empty) report per shard, in shard order, and it
+        carries *both* clocks, labelled: ``seconds`` is the cluster
+        wall-clock measured here around routing + fan-out + merge, and
+        ``busy_seconds`` is the summed per-shard busy time — which
+        exceeds the wall-clock when shards overlap (thread/process
+        backends) and falls short of it under the inline backend, where
+        the wall-clock additionally pays for routing and merging.
+        Neither number is ever silently substituted for the other.
         """
         start = time.perf_counter()
         buckets = self.partition(queries)
@@ -336,7 +340,10 @@ class ShardedDiversificationService:
         """Hydrate shards from a :meth:`save_warm` directory.
 
         Shards whose file is missing are skipped.  Returns the total
-        number of artifacts installed across shards.
+        number of artifacts installed across shards.  The loads fan out
+        through the execution backend like every other per-shard call,
+        so a restarted cluster on a thread/process backend hydrates its
+        partitions *in parallel* from disk.
         """
         directory = Path(directory)
         calls = [
@@ -432,13 +439,32 @@ class ShardedDiversificationService:
         Counters and latency samples merge across shards; ``seconds``
         is the wall-clock this object measured around its fan-outs —
         overlapping shard work is not double-counted, so
-        ``throughput_qps`` is the cluster's actual serving rate.  The
-        per-shard breakdown (one entry per shard, zero-query shards
-        included) is kept in the merged instance's ``shards`` tuple.
+        ``throughput_qps`` is the cluster's actual serving rate — while
+        ``busy_seconds`` keeps the summed per-shard busy time next to
+        it.  The per-shard breakdown (one entry per shard, zero-query
+        shards included) is kept in the merged instance's ``shards``
+        tuple.
         """
         merged = ServiceStats.merge(self.shard_stats())
         merged.seconds = self._online_seconds
         return merged
+
+    def warm_memory_estimate(self) -> dict[str, int]:
+        """Cluster-summed warm-artifact memory estimate.
+
+        Fans :meth:`DiversificationService.warm_memory_estimate` out to
+        every shard (snapshots cross the process boundary on a process
+        backend) and sums component-wise — the snippet-vector half of
+        the offline pipeline's memory accounting, complementing the
+        per-partition index footprints in
+        :class:`~repro.retrieval.sharding.BuildReport`.
+        """
+        done = self._backend.broadcast("warm_memory_estimate")
+        totals: dict[str, int] = {}
+        for shard in range(self.num_shards):
+            for key, value in done[shard].items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def _merged_cache_info(self, method: str) -> CacheStats:
         """Merge one cache-info getter across shards — directly for

@@ -142,7 +142,55 @@ class TestStatsDataclasses:
         merged = WarmReport.merge(leaf)
         loaded = roundtrip(merged)
         assert loaded == merged
+        assert loaded.busy_seconds == pytest.approx(0.2)
         assert [r.name for r in loaded.shards] == ["shard0", "shard1"]
+
+    def test_build_report_nested(self):
+        """Build reports travel back from process-backend build workers
+        exactly like warm reports travel back from serving workers."""
+        from repro.retrieval.sharding import BuildReport
+
+        leaf = [
+            BuildReport(
+                documents=5, terms=9, postings=12, tokens=30, seconds=0.2,
+                postings_bytes=1024, vocabulary_bytes=512,
+                documents_bytes=256, name=f"partition{i}",
+            )
+            for i in range(2)
+        ]
+        merged = BuildReport.merge(leaf)
+        loaded = roundtrip(merged)
+        assert loaded == merged
+        assert loaded.busy_seconds == pytest.approx(0.4)
+        assert loaded.total_bytes == merged.total_bytes
+        assert [r.name for r in loaded.shards] == ["partition0", "partition1"]
+
+    def test_inverted_index_roundtrip_scores_identically(self, small_corpus):
+        """The parallel build ships whole partition indexes across the
+        process boundary; an unpickled index must score byte-identically
+        (postings, lengths, statistics all intact)."""
+        import pickle
+
+        from repro.retrieval.engine import SearchEngine
+        from repro.retrieval.index import InvertedIndex
+
+        index = InvertedIndex.from_collection(small_corpus.collection)
+        loaded = pickle.loads(pickle.dumps(index))
+        assert loaded.num_documents == index.num_documents
+        assert loaded.num_terms == index.num_terms
+        assert loaded.total_tokens == index.total_tokens
+        # The estimate prices the actual containers, and unpickled lists
+        # carry no append-growth slack — so the clone reads slightly
+        # *smaller*, never structurally different.
+        assert loaded.memory_estimate()["total_bytes"] == pytest.approx(
+            index.memory_estimate()["total_bytes"], rel=0.1
+        )
+        engine = SearchEngine(small_corpus.collection)
+        donor_results = engine.search(small_corpus.topics[0].query, 20)
+        engine.index = loaded
+        clone_results = engine.search(small_corpus.topics[0].query, 20)
+        assert donor_results.doc_ids == clone_results.doc_ids
+        assert donor_results.scores == clone_results.scores
 
 
 class TestServingObjects:

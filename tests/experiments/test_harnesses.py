@@ -259,6 +259,48 @@ class TestThroughputBackendsAndRecords:
         with pytest.raises(ValueError):
             run_backend_throughput(workload, baseline="gpu")
 
+
+class TestOfflinePipelineHarness:
+    def test_offline_build_end_to_end(self, workload, tmp_path):
+        from repro.experiments.offline import (
+            run_offline_build,
+            summarize_build,
+        )
+
+        result = run_offline_build(
+            workload,
+            num_queries=15,
+            partitions=3,
+            shards=2,
+            backend="inline",
+            warm_dir=tmp_path / "warm",
+        )
+        assert result.identity_checked
+        assert result.serial_build_seconds > 0
+        build = result.build_report
+        assert len(build.shards) == 3
+        assert build.documents == len(workload.corpus.collection)
+        assert build.seconds > 0
+        assert build.busy_seconds > 0
+        assert build.total_bytes > 0
+        assert result.cluster_warm.busy_seconds > 0
+        assert result.warm_memory["total_bytes"] > 0
+        # Hydration from the persisted artifacts hit in full.
+        assert result.hydrate_installed > 0
+        assert result.hydrate_fetched == 0
+        table = summarize_build(result)
+        assert "partition0" in table and "total" in table
+
+    def test_offline_build_validates_arguments(self, workload):
+        from repro.experiments.offline import run_offline_build
+
+        with pytest.raises(ValueError):
+            run_offline_build(workload, partitions=0)
+        with pytest.raises(ValueError):
+            run_offline_build(workload, shards=0)
+        with pytest.raises(ValueError):
+            run_offline_build(workload, backend="gpu")
+
     def test_workload_framework_factory_pickles(self, workload):
         """The harness's per-shard factory must pickle whole (workload
         included) — the spawn-safe half of the process-backend contract."""

@@ -1,5 +1,7 @@
 """Tests for index partitioning: the hash router, collection
-partitioning, and the ranking-identity of the partitioned engine."""
+partitioning, the ranking-identity of the partitioned engine, and the
+build accounting (`BuildReport`, memory estimates, pre-built partition
+injection) behind the partition-parallel offline pipeline."""
 
 from __future__ import annotations
 
@@ -7,7 +9,9 @@ import pytest
 
 from repro.retrieval.documents import Document, DocumentCollection
 from repro.retrieval.engine import SearchEngine
+from repro.retrieval.index import InvertedIndex
 from repro.retrieval.sharding import (
+    BuildReport,
     PartitionedSearchEngine,
     partition_collection,
     stable_shard,
@@ -123,3 +127,229 @@ class TestPartitionedSearchEngine:
     def test_invalid_partition_count(self, small_corpus):
         with pytest.raises(ValueError):
             PartitionedSearchEngine(small_corpus.collection, num_partitions=0)
+
+
+class TestDegeneratePartitioning:
+    """num_shards > len(collection): empty partitions must stay
+    well-formed and collection-global statistics must still match the
+    single-engine reference — the index-level analogue of the
+    zero-query-shard stats guarantee of the serving layer."""
+
+    def test_partition_collection_more_shards_than_documents(
+        self, tiny_collection
+    ):
+        num_shards = len(tiny_collection) + 3
+        parts = partition_collection(tiny_collection, num_shards)
+        assert len(parts) == num_shards
+        assert sum(len(p) for p in parts) == len(tiny_collection)
+        assert any(len(p) == 0 for p in parts)
+        for part in parts:
+            # Empty partitions are real, iterable, indexable collections.
+            assert list(part) == [part[d] for d in part.doc_ids]
+
+    def test_engine_identity_with_more_partitions_than_documents(
+        self, tiny_collection
+    ):
+        single = SearchEngine(tiny_collection)
+        engine = PartitionedSearchEngine(
+            tiny_collection, num_partitions=len(tiny_collection) + 4
+        )
+        for query in ("apple", "apple fruit", "banana tropical", "computer"):
+            want = single.search(query, 10)
+            got = engine.search(query, 10)
+            assert want.doc_ids == got.doc_ids
+            assert want.scores == got.scores
+
+    def test_global_statistics_match_single_index(self, tiny_collection):
+        single = SearchEngine(tiny_collection)
+        engine = PartitionedSearchEngine(
+            tiny_collection, num_partitions=len(tiny_collection) + 4
+        )
+        assert engine._num_documents == single.index.num_documents
+        assert engine._average_document_length == pytest.approx(
+            single.index.average_document_length
+        )
+        total_tokens = sum(p.total_tokens for p in engine.partitions)
+        assert total_tokens == single.index.total_tokens
+
+    def test_empty_partition_indexes_are_wellformed(self, tiny_collection):
+        engine = PartitionedSearchEngine(
+            tiny_collection, num_partitions=len(tiny_collection) + 4
+        )
+        empties = [p for p in engine.partitions if p.num_documents == 0]
+        assert empties
+        for index in empties:
+            assert index.num_terms == 0
+            assert index.total_tokens == 0
+            assert index.average_document_length == 0.0
+            assert index.memory_estimate()["postings_bytes"] == 0
+
+    def test_empty_collection_searches_empty(self):
+        engine = PartitionedSearchEngine(DocumentCollection(), num_partitions=3)
+        assert len(engine.search("anything", 5)) == 0
+
+    def test_degenerate_build_reports_merge_wellformed(self, tiny_collection):
+        engine = PartitionedSearchEngine(
+            tiny_collection, num_partitions=len(tiny_collection) + 4
+        )
+        reports = engine.build_reports()
+        merged = BuildReport.merge(reports)
+        assert merged.documents == len(tiny_collection)
+        assert len(merged.shards) == engine.num_partitions
+        for report in merged.shards:
+            if report.documents == 0:
+                assert report.terms == report.postings == report.tokens == 0
+                assert report.postings_bytes == 0
+                assert report.summary().startswith(f"[{report.name}]")
+
+
+class TestPrebuiltPartitionIndexes:
+    """The injection path the partition-parallel build assembles through."""
+
+    def _parts_and_indexes(self, collection, num_partitions, analyzer):
+        parts = partition_collection(collection, num_partitions)
+        indexes = [
+            InvertedIndex.from_collection(part, analyzer) for part in parts
+        ]
+        return parts, indexes
+
+    def test_assembled_engine_identical_to_serial(self, small_corpus):
+        collection = small_corpus.collection
+        serial = PartitionedSearchEngine(collection, num_partitions=3)
+        parts, indexes = self._parts_and_indexes(
+            collection, 3, serial.analyzer
+        )
+        assembled = PartitionedSearchEngine(
+            collection,
+            3,
+            analyzer=serial.analyzer,
+            partition_collections=parts,
+            partition_indexes=indexes,
+        )
+        for topic in small_corpus.topics:
+            want = serial.search(topic.query, 30)
+            got = assembled.search(topic.query, 30)
+            assert want.doc_ids == got.doc_ids
+            assert want.scores == got.scores
+
+    def test_partition_count_mismatch_rejected(self, tiny_collection):
+        parts, indexes = self._parts_and_indexes(tiny_collection, 2, None)
+        with pytest.raises(ValueError, match="partition collections"):
+            PartitionedSearchEngine(
+                tiny_collection, 3, partition_collections=parts,
+                partition_indexes=indexes,
+            )
+        with pytest.raises(ValueError, match="partition indexes"):
+            PartitionedSearchEngine(
+                tiny_collection, 2,
+                partition_collections=parts,
+                partition_indexes=indexes[:1],
+            )
+
+    def test_partitions_not_covering_collection_rejected(
+        self, tiny_collection
+    ):
+        """A subset injection must fail loudly: global statistics are
+        summed from the partitions, so a partial cover would silently
+        rank over a partial corpus."""
+        parts = partition_collection(tiny_collection, 2)
+        victim = max(range(2), key=lambda i: len(parts[i]))
+        partial = DocumentCollection(list(parts[victim])[:-1])
+        parts[victim] = partial
+        indexes = [
+            InvertedIndex.from_collection(part, None) for part in parts
+        ]
+        with pytest.raises(ValueError, match="cover the collection"):
+            PartitionedSearchEngine(
+                tiny_collection, 2,
+                partition_collections=parts,
+                partition_indexes=indexes,
+            )
+
+    def test_mismatched_index_contents_rejected(self, tiny_collection):
+        parts = partition_collection(tiny_collection, 2)
+        # Swap the two indexes: documents no longer match their partition.
+        indexes = [
+            InvertedIndex.from_collection(part, None) for part in parts
+        ]
+        if not all(len(p) for p in parts):
+            pytest.skip("hash split left a partition empty")
+        with pytest.raises(ValueError, match="does not match"):
+            PartitionedSearchEngine(
+                tiny_collection, 2,
+                partition_collections=parts,
+                partition_indexes=list(reversed(indexes)),
+            )
+
+
+class TestBuildReport:
+    def test_from_index_counts(self, tiny_collection):
+        index = InvertedIndex.from_collection(tiny_collection)
+        report = BuildReport.from_index(index, 0.5, name="partition0")
+        assert report.documents == len(tiny_collection)
+        assert report.terms == index.num_terms
+        assert report.postings == index.num_postings
+        assert report.tokens == index.total_tokens
+        assert report.seconds == 0.5
+        memory = index.memory_estimate()
+        assert report.postings_bytes == memory["postings_bytes"]
+        assert report.vocabulary_bytes == memory["vocabulary_bytes"]
+        assert report.total_bytes == memory["total_bytes"]
+
+    def test_merge_sums_and_keeps_shards(self, tiny_collection):
+        parts = partition_collection(tiny_collection, 3)
+        reports = [
+            BuildReport.from_index(
+                InvertedIndex.from_collection(part), 0.25, name=f"partition{i}"
+            )
+            for i, part in enumerate(parts)
+        ]
+        merged = BuildReport.merge(reports)
+        assert merged.documents == len(tiny_collection)
+        assert merged.postings == sum(r.postings for r in reports)
+        assert merged.seconds == pytest.approx(0.75)
+        assert merged.busy_seconds == pytest.approx(0.75)
+        assert merged.total_bytes == sum(r.total_bytes for r in reports)
+        assert merged.shards == tuple(reports)
+        assert merged.name == "total"
+
+    def test_merge_empty_input(self):
+        merged = BuildReport.merge([])
+        assert merged.documents == 0
+        assert merged.total_bytes == 0
+        assert merged.shards == ()
+        assert merged.summary()  # renders without dividing by anything
+
+    def test_summary_labels_wall_and_busy(self):
+        leaf = BuildReport(10, 5, 20, 40, 0.5, name="partition0")
+        assert "busy=" not in leaf.summary()
+        import dataclasses
+
+        merged = dataclasses.replace(
+            BuildReport.merge([leaf, leaf]), seconds=0.6
+        )
+        text = merged.summary()
+        assert "seconds=0.600" in text
+        assert "busy=1.000" in text
+
+    def test_memory_estimate_components_sum(self, tiny_collection):
+        index = InvertedIndex.from_collection(tiny_collection)
+        memory = index.memory_estimate()
+        assert memory["total_bytes"] == (
+            memory["postings_bytes"]
+            + memory["vocabulary_bytes"]
+            + memory["documents_bytes"]
+        )
+        assert memory["postings_bytes"] > 0
+        assert memory["vocabulary_bytes"] > 0
+
+    def test_partitioned_engine_memory_sums_partitions(self, small_corpus):
+        engine = PartitionedSearchEngine(
+            small_corpus.collection, num_partitions=3
+        )
+        totals = engine.memory_estimate()
+        by_hand = {
+            key: sum(p.memory_estimate()[key] for p in engine.partitions)
+            for key in totals
+        }
+        assert totals == by_hand

@@ -33,6 +33,28 @@ needs_fork = pytest.mark.skipif(
     reason="process backend tests rely on fork inheriting the test fixtures",
 )
 
+needs_spawn = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform does not offer the spawn start method",
+)
+
+
+class _EchoService:
+    """Minimal shard service for start-method tests: no corpus, no
+    framework — just something addressable that proves the worker built
+    and answers in a fresh interpreter."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+
+    def ping(self, value: int) -> tuple[int, int]:
+        return (self.shard, value * 2)
+
+
+def _echo_factory(shard: int) -> _EchoService:
+    """Module-level (hence picklable) factory for spawn-mode workers."""
+    return _EchoService(shard)
+
 
 @pytest.fixture(scope="module")
 def workload(small_corpus):
@@ -288,6 +310,92 @@ class TestIdleShardBreakdowns:
                        for i, s in enumerate(merged.shards))
         finally:
             cluster.close()
+
+
+class TestStartMethods:
+    """The start-method contract: explicit methods are honoured, the
+    default is the platform's own, and a non-picklable factory meeting
+    spawn/forkserver fails fast at start() with a message naming the
+    factory protocol — not a raw pickle traceback out of a worker."""
+
+    def test_default_is_platform_default(self):
+        backend = ProcessBackend()
+        assert backend.start_method is None  # unresolved until start()
+        backend.start(_echo_factory, 2)
+        try:
+            assert backend.start_method == multiprocessing.get_start_method()
+        finally:
+            backend.close()
+
+    @needs_spawn
+    def test_explicit_spawn_is_honoured_end_to_end(self):
+        backend = ProcessBackend(start_method="spawn")
+        backend.start(_echo_factory, 2)
+        try:
+            assert backend.start_method == "spawn"
+            assert backend.invoke(1, "ping", 21) == (1, 42)
+            done = backend.broadcast("ping", 3)
+            assert done == {0: (0, 6), 1: (1, 6)}
+        finally:
+            backend.close()
+
+    @needs_spawn
+    def test_spawn_with_closure_factory_fails_fast(self):
+        captured = object()
+        backend = ProcessBackend(start_method="spawn")
+        with pytest.raises(BackendError, match="does not pickle"):
+            backend.start(lambda shard: captured, 2)
+        # Failed fast: no worker was ever spawned.
+        assert backend._workers == []
+        assert not backend.started
+
+    @needs_spawn
+    def test_spawn_error_names_shard_service_factory(self, framework_factory):
+        from repro.serving.sharded import ShardServiceFactory
+
+        factory = ShardServiceFactory(lambda shard: framework_factory())
+        backend = ProcessBackend(start_method="spawn")
+        with pytest.raises(BackendError) as excinfo:
+            backend.start(factory, 2)
+        message = str(excinfo.value)
+        assert "ShardServiceFactory" in message
+        assert "framework_factory" in message
+        assert "pickle" in message
+
+    def test_unavailable_start_method_rejected(self):
+        backend = ProcessBackend(start_method="wormhole")
+        with pytest.raises(BackendError, match="not available"):
+            backend.start(_echo_factory, 1)
+
+    @needs_fork
+    def test_explicit_fork_accepts_closures(self):
+        captured = {"value": 7}
+        backend = ProcessBackend(start_method="fork")
+
+        class Closed:
+            def __init__(self, shard):
+                self.shard = shard
+
+            def peek(self):
+                return captured["value"]
+
+        backend.start(lambda shard: Closed(shard), 1)
+        try:
+            assert backend.start_method == "fork"
+            assert backend.invoke(0, "peek") == 7
+        finally:
+            backend.close()
+
+    def test_make_backend_threads_start_method_through(self):
+        backend = make_backend("process", start_method="spawn")
+        assert isinstance(backend, ProcessBackend)
+        assert backend.start_method == "spawn"
+
+    def test_make_backend_rejects_start_method_elsewhere(self):
+        with pytest.raises(ValueError, match="start_method"):
+            make_backend("thread", start_method="spawn")
+        with pytest.raises(ValueError, match="start_method"):
+            make_backend(None, start_method="spawn")
 
 
 class TestBackendConstruction:

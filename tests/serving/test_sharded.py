@@ -145,6 +145,44 @@ class TestMergedStats:
         ]
         assert "cluster" in report.summary()
 
+    def test_warm_report_labels_wall_and_busy(self, cluster, workload):
+        """The merged warm report must carry both clocks: ``seconds`` is
+        the measured fan-out wall-clock, ``busy_seconds`` the summed
+        per-shard busy time — neither substituted for the other
+        (regression for the cluster warm timing that used to report only
+        one number with mixed semantics)."""
+        report = cluster.warm(workload)
+        busy = sum(r.seconds for r in report.shards)
+        assert report.busy_seconds == pytest.approx(busy)
+        assert report.seconds > 0
+        assert f"busy={report.busy_seconds:.3f}" in report.summary()
+        for shard_report in report.shards:
+            assert shard_report.busy_seconds == 0.0
+            assert "busy=" not in shard_report.summary()
+
+    def test_inline_warm_wall_covers_busy(self, framework_factory, workload):
+        """Only under the *inline* backend do shards provably run inside
+        the measured window, so wall >= summed busy is an invariant
+        there (a thread-pool cluster on a multi-core host legitimately
+        shows busy > wall — that is the point of keeping both)."""
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: framework_factory(),
+            num_shards=NUM_SHARDS,
+            backend="inline",
+        )
+        report = cluster.warm(workload)
+        assert report.seconds >= report.busy_seconds > 0
+
+    def test_cluster_stats_labels_wall_and_busy(self, cluster, workload):
+        cluster.diversify_batch(workload)
+        merged = cluster.cluster_stats()
+        assert merged.busy_seconds == pytest.approx(
+            sum(s.seconds for s in merged.shards)
+        )
+        assert merged.seconds > 0
+        for leaf in merged.shards:
+            assert leaf.busy_seconds == 0.0
+
     def test_spec_cache_merge(self, cluster, workload):
         cluster.warm(workload)
         merged = cluster.spec_cache_info()
