@@ -20,6 +20,7 @@ from repro.experiments.throughput import (
     make_framework,
     run_async_throughput,
     run_backend_throughput,
+    run_fused_throughput,
     run_sharded_throughput,
     run_throughput,
     zipf_workload,
@@ -101,6 +102,26 @@ def test_async_front_end_open_loop_identity(trec_workload):
     )
     assert result.backend_stats.served == result.queries
     assert result.backend_stats.ranked == result.distinct
+
+
+def test_fused_kernel_identity_and_accounting(trec_workload):
+    """The cross-query fused path on a real workload: the harness first
+    asserts every fused result equals the looped service's field for
+    field, then times both arms.  Speedup is *reported*, not asserted —
+    at this scale the pipeline is dominated by task building, which
+    fusion does not touch; the kernel-level win is measured by the
+    paper-scale ``throughput --mode batch --fused`` record."""
+    result = run_fused_throughput(
+        trec_workload, num_queries=60, repeats=1, profile=True
+    )
+    assert result.identity_checked
+    stats = result.fused_stats
+    assert stats.ranked == result.distinct
+    assert stats.fused_queries + stats.fallback_queries == stats.diversified
+    assert 0.0 < result.pad_fill_ratio <= 1.0
+    if stats.fusion_groups:
+        # --profile threaded a StageTimer through the kernels
+        assert "select" in result.stage_profile
 
 
 def test_hot_query_latency(benchmark, trec_workload):

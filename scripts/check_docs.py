@@ -37,6 +37,7 @@ REQUIRED_SNIPPETS = [
     "--shards 4",
     "--mode async",
     "--backend process",
+    "--fused",
     "--partitions 4",
     "--start-method spawn",
     "--save-stats",

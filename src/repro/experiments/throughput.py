@@ -62,10 +62,11 @@ import os
 import platform
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.framework import DiversificationFramework, FrameworkConfig
+from repro.core.profiling import StageTimer
 from repro.experiments.reporting import render_table
 from repro.experiments.workloads import (
     PAPER_SCALE,
@@ -88,6 +89,7 @@ __all__ = [
     "ShardedThroughputResult",
     "AsyncThroughputResult",
     "BackendThroughputResult",
+    "FusedThroughputResult",
     "WorkloadFrameworkFactory",
     "zipf_workload",
     "make_framework",
@@ -95,6 +97,7 @@ __all__ = [
     "run_sharded_throughput",
     "run_async_throughput",
     "run_backend_throughput",
+    "run_fused_throughput",
     "save_stats_record",
     "main",
 ]
@@ -112,6 +115,9 @@ class ThroughputResult:
     service_stats: ServiceStats
     spec_cache_hit_rate: float
     result_cache_hit_rate: float
+    #: per-stage fused-kernel timings ({} unless profiling was on and
+    #: the fused path ran) — see repro.core.profiling.StageTimer
+    stage_profile: dict = field(default_factory=dict)
 
     @property
     def loop_qps(self) -> float:
@@ -164,8 +170,15 @@ def run_throughput(
     num_queries: int = 100,
     seed: int = 13,
     log_name: str = "AOL",
+    fused: bool | None = None,
+    profile: bool = False,
 ) -> ThroughputResult:
-    """Time the per-query loop vs the warmed batched service."""
+    """Time the per-query loop vs the warmed batched service.
+
+    ``fused`` is the service's fused-kernel policy (None = auto);
+    ``profile`` attaches a :class:`~repro.core.profiling.StageTimer` so
+    the result carries per-stage fused-kernel timings.
+    """
     workload = workload or build_trec_workload(SMALL_SCALE)
     queries = zipf_workload(workload, num_queries, seed)
 
@@ -177,7 +190,11 @@ def run_throughput(
     loop_seconds = time.perf_counter() - start
 
     # Serving layer: offline warm, then one batch.
-    service = DiversificationService(make_framework(workload, log_name))
+    service = DiversificationService(
+        make_framework(workload, log_name), fused=fused
+    )
+    if profile:
+        service.profiler = StageTimer()
     start = time.perf_counter()
     service.warm(queries)
     warm_seconds = time.perf_counter() - start
@@ -202,6 +219,7 @@ def run_throughput(
         service_stats=service.stats,
         spec_cache_hit_rate=service.spec_cache_info().hit_rate,
         result_cache_hit_rate=service.result_cache_info().hit_rate,
+        stage_profile=service.profiler.snapshot(),
     )
 
 
@@ -570,6 +588,178 @@ def summarize_backends(result: BackendThroughputResult) -> str:
     )
 
 
+@dataclass(frozen=True)
+class FusedThroughputResult:
+    """Fused cross-query kernels vs the per-query kernel loop — the same
+    warmed service, the same Zipf workload, only the execution strategy
+    inside ``diversify_batch`` differs."""
+
+    queries: int
+    distinct: int
+    fused_seconds: float       #: best fused-arm batch time
+    looped_seconds: float      #: best per-query-loop batch time
+    fused_times: tuple[float, ...]
+    looped_times: tuple[float, ...]
+    warm_seconds: float
+    fused_stats: ServiceStats  #: stats of the best fused run (accounting)
+    stage_profile: dict        #: per-stage timings ({} unless profiled)
+    identity_checked: bool
+
+    @property
+    def fused_qps(self) -> float:
+        return self.queries / self.fused_seconds if self.fused_seconds else 0.0
+
+    @property
+    def looped_qps(self) -> float:
+        return (
+            self.queries / self.looped_seconds if self.looped_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Fused throughput over looped (> 1.0 means fusion pays)."""
+        return (
+            self.looped_seconds / self.fused_seconds
+            if self.fused_seconds
+            else 0.0
+        )
+
+    @property
+    def noise(self) -> float:
+        """Worst relative spread across either arm's timing repeats."""
+        spreads = [
+            (max(times) - min(times)) / min(times)
+            for times in (self.fused_times, self.looped_times)
+            if times and min(times) > 0
+        ]
+        return max(spreads, default=0.0)
+
+    @property
+    def pad_fill_ratio(self) -> float:
+        return self.fused_stats.pad_fill_ratio
+
+
+def run_fused_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    seed: int = 13,
+    log_name: str = "AOL",
+    repeats: int = 5,
+    profile: bool = False,
+) -> FusedThroughputResult:
+    """Benchmark the fused batch path against the per-query kernel loop.
+
+    Both arms are the *same* ``DiversificationService`` (warmed, cold
+    result cache per repeat) — only the ``fused`` flag differs.  The
+    fused kernels are selection-identical by contract, and this harness
+    re-asserts it end-to-end before timing: every served
+    :class:`DiversifiedResult` must match field-for-field.  Arms are
+    timed ``repeats`` times on fresh services, interleaved so drift
+    cannot systematically favour either, keeping the best time per arm.
+    """
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed)
+
+    # Identity first: fused and looped must serve the same results.
+    fused_check = DiversificationService(
+        make_framework(workload, log_name), fused=True
+    )
+    looped_check = DiversificationService(
+        make_framework(workload, log_name), fused=False
+    )
+    fused_check.warm(queries)
+    looped_check.warm(queries)
+    for got, want in zip(
+        fused_check.diversify_batch(queries),
+        looped_check.diversify_batch(queries),
+    ):
+        if (
+            got.ranking != want.ranking
+            or got.diversified != want.diversified
+            or got.algorithm != want.algorithm
+            or got.baseline.doc_ids != want.baseline.doc_ids
+        ):
+            raise AssertionError(
+                f"fused path changed the result of {want.query!r}"
+            )
+
+    def timed(fused: bool):
+        service = DiversificationService(
+            make_framework(workload, log_name), fused=fused
+        )
+        if profile and fused:
+            service.profiler = StageTimer()
+        warm_start = time.perf_counter()
+        service.warm(queries)
+        warm_seconds = time.perf_counter() - warm_start
+        start = time.perf_counter()
+        service.diversify_batch(queries)
+        return time.perf_counter() - start, service, warm_seconds
+
+    fused_runs: list[tuple[float, DiversificationService]] = []
+    looped_times: list[float] = []
+    warm_seconds = 0.0
+    for _ in range(max(1, repeats)):
+        seconds, _, _ = timed(False)
+        looped_times.append(seconds)
+        seconds, service, warm_seconds = timed(True)
+        fused_runs.append((seconds, service))
+    best_seconds, best_service = min(fused_runs, key=lambda run: run[0])
+
+    return FusedThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        fused_seconds=best_seconds,
+        looped_seconds=min(looped_times),
+        fused_times=tuple(seconds for seconds, _ in fused_runs),
+        looped_times=tuple(looped_times),
+        warm_seconds=warm_seconds,
+        fused_stats=best_service.stats,
+        stage_profile=best_service.profiler.snapshot(),
+        identity_checked=True,
+    )
+
+
+def summarize_fused(result: FusedThroughputResult) -> str:
+    stats = result.fused_stats
+    headers = ["strategy", "seconds (best)", "qps", "p50 ms", "p95 ms"]
+    rows = [
+        [
+            "per-query kernels",
+            round(result.looped_seconds, 3),
+            round(result.looped_qps, 1),
+            "-",
+            "-",
+        ],
+        [
+            "fused batch kernels",
+            round(result.fused_seconds, 3),
+            round(result.fused_qps, 1),
+            round(stats.percentile_ms(0.50), 2),
+            round(stats.percentile_ms(0.95), 2),
+        ],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Fused batch kernels — {result.queries} queries "
+            f"({result.distinct} distinct)"
+        ),
+    )
+
+
+def _stage_profile_lines(stage_profile: dict) -> str:
+    grand = sum(entry["seconds"] for entry in stage_profile.values()) or 1.0
+    return "\n".join(
+        f"  {name:<10} {entry['seconds'] * 1000.0:9.2f} ms "
+        f"({entry['seconds'] / grand:5.1%}, {entry['entries']} entries)"
+        for name, entry in sorted(
+            stage_profile.items(), key=lambda item: -item[1]["seconds"]
+        )
+    )
+
+
 def save_stats_record(path: str | Path, record: dict) -> Path:
     """Write one benchmark record as pretty JSON; returns the path.
 
@@ -810,10 +1000,26 @@ def main(argv: list[str] | None = None) -> None:
         "latency percentiles, cores) as JSON to PATH",
     )
     parser.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="--fused: benchmark the cross-query fused batch kernels "
+        "against the per-query kernel loop (batch mode, identity-checked "
+        "field-for-field before timing); --no-fused: pin the service's "
+        "per-query loop; default: the service fuses automatically when "
+        "numpy and a kernel-backed diversifier are available",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-stage fused-kernel time (densify, score, "
+        "select, map-back) via repro.core.profiling.StageTimer",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=5,
-        help="timing repeats per arm in --shards mode (best-of)",
+        help="timing repeats per arm in --shards / --fused mode (best-of)",
     )
     parser.add_argument(
         "--max-batch-size",
@@ -1021,7 +1227,77 @@ def main(argv: list[str] | None = None) -> None:
             print(f"benchmark record written to {path}")
         return
 
-    result = run_throughput(workload, args.queries, log_name=args.log)
+    if args.fused:
+        fused_result = run_fused_throughput(
+            workload,
+            args.queries,
+            log_name=args.log,
+            repeats=args.repeats,
+            profile=args.profile,
+        )
+        stats = fused_result.fused_stats
+        print(summarize_fused(fused_result))
+        print()
+        print(
+            f"batch wall-clock (best of {len(fused_result.fused_times)}): "
+            f"looped {fused_result.looped_seconds:.3f}s "
+            f"({fused_result.looped_qps:.1f} qps)  vs  "
+            f"fused {fused_result.fused_seconds:.3f}s "
+            f"({fused_result.fused_qps:.1f} qps)  "
+            f"→ {fused_result.speedup:.2f}x "
+            f"(timing noise ±{fused_result.noise:.1%})"
+        )
+        print(
+            f"fusion: groups={stats.fusion_groups} "
+            f"fused={stats.fused_queries} "
+            f"fallback={stats.fallback_queries} "
+            f"pad fill={stats.pad_fill_ratio:.2f}"
+        )
+        if fused_result.stage_profile:
+            print("stage profile (best fused run):")
+            print(_stage_profile_lines(fused_result.stage_profile))
+        print(
+            "identity check: every fused result equals the per-query "
+            "loop's, field-for-field, before timing."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                {
+                    "mode": "fused",
+                    "backend": "inline",
+                    "shards": 0,
+                    "queries": fused_result.queries,
+                    "distinct": fused_result.distinct,
+                    "qps": round(fused_result.fused_qps, 2),
+                    "baseline_qps": round(fused_result.looped_qps, 2),
+                    "speedup": round(fused_result.speedup, 3),
+                    "noise": round(fused_result.noise, 3),
+                    "seconds": round(fused_result.fused_seconds, 5),
+                    "baseline_seconds": round(
+                        fused_result.looped_seconds, 5
+                    ),
+                    "warm_seconds": round(fused_result.warm_seconds, 5),
+                    "pad_fill_ratio": round(fused_result.pad_fill_ratio, 4),
+                    "fusion_groups": stats.fusion_groups,
+                    "fused_queries": stats.fused_queries,
+                    "fallback_queries": stats.fallback_queries,
+                    "latency": _latency_record(stats),
+                    "stage_profile": fused_result.stage_profile,
+                    "identity_checked": fused_result.identity_checked,
+                    "scale": scale.name,
+                },
+            )
+            print(f"benchmark record written to {path}")
+        return
+
+    result = run_throughput(
+        workload,
+        args.queries,
+        log_name=args.log,
+        fused=args.fused,
+        profile=args.profile,
+    )
     print(summarize(result))
     print()
     print(
@@ -1034,6 +1310,9 @@ def main(argv: list[str] | None = None) -> None:
         f"cache hit rates: specialization={result.spec_cache_hit_rate:.0%}, "
         f"result={result.result_cache_hit_rate:.0%}"
     )
+    if result.stage_profile:
+        print("stage profile (fused kernels):")
+        print(_stage_profile_lines(result.stage_profile))
     if args.save_stats:
         path = save_stats_record(
             args.save_stats,

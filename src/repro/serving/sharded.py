@@ -68,18 +68,22 @@ class ShardServiceFactory:
     optionally points at a directory written by
     :meth:`ShardedDiversificationService.save_warm`: the freshly built
     shard hydrates its offline artifacts from disk instead of
-    re-deriving them.
+    re-deriving them.  ``fused`` is the shard services' fused-kernel
+    policy (see :class:`DiversificationService`); rankings are identical
+    either way.
     """
 
     framework_factory: Callable[[int], DiversificationFramework]
     result_cache_size: int = 2048
     warm_artifacts_dir: str | None = None
+    fused: bool | None = None
 
     def __call__(self, shard: int) -> DiversificationService:
         service = DiversificationService(
             self.framework_factory(shard),
             result_cache_size=self.result_cache_size,
             name=f"shard{shard}",
+            fused=self.fused,
         )
         if self.warm_artifacts_dir is not None:
             path = _warm_path(self.warm_artifacts_dir, shard)
@@ -179,6 +183,7 @@ class ShardedDiversificationService:
         router_seed: int = 0,
         backend: "str | ExecutionBackend | None" = None,
         warm_artifacts_dir: "str | Path | None" = None,
+        fused: bool | None = None,
     ) -> "ShardedDiversificationService":
         """Build *num_shards* shards from ``framework_factory(shard_id)``.
 
@@ -191,7 +196,8 @@ class ShardedDiversificationService:
         anything ranking-identical keeps the cluster's identity
         guarantee.  With ``warm_artifacts_dir`` (a directory written by
         :meth:`save_warm`), every shard hydrates its offline artifacts
-        from disk as it is built.
+        from disk as it is built.  ``fused`` sets every shard's
+        fused-kernel policy (default: auto).
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -205,6 +211,7 @@ class ShardedDiversificationService:
                     if warm_artifacts_dir is not None
                     else None
                 ),
+                fused=fused,
             ),
             num_shards,
         )

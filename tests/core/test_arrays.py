@@ -5,10 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.arrays import TaskArrays
+from repro.core.arrays import BatchArrays, TaskArrays, stacked_similarity
 from repro.experiments.workloads import synthetic_task
+from repro.retrieval.similarity import TermVector
 
-from .helpers import two_intent_task
+from .helpers import random_task, two_intent_task
 
 
 class TestFromTask:
@@ -111,3 +112,115 @@ class TestSimilarityMatrix:
         assert arrays.similarity_matrix(task.vectors) is arrays.similarity_matrix(
             task.vectors
         )
+
+    def test_memo_survives_rebuilt_mapping(self):
+        """A new dict around the same TermVector objects hits the memo."""
+        task = synthetic_task(8, num_specs=2, seed=6, with_vectors=True)
+        arrays = task.arrays()
+        first = arrays.similarity_matrix(task.vectors)
+        rebuilt = dict(task.vectors)
+        assert rebuilt is not task.vectors
+        assert arrays.similarity_matrix(rebuilt) is first
+
+    def test_memo_detects_swapped_vector(self):
+        """Replacing one candidate's vector in-place must rebuild."""
+        task = synthetic_task(8, num_specs=2, seed=6, with_vectors=True)
+        arrays = task.arrays()
+        first = arrays.similarity_matrix(task.vectors)
+        victim = arrays.doc_ids[0]
+        task.vectors[victim] = TermVector({"entirely-new-term": 1.0})
+        second = arrays.similarity_matrix(task.vectors)
+        assert second is not first
+        assert not np.array_equal(second[0], first[0])
+
+
+class TestBatchArrays:
+    def test_padded_shapes_and_masks(self):
+        tasks = [
+            synthetic_task(10, num_specs=2, seed=1),
+            synthetic_task(25, num_specs=6, seed=2),
+            synthetic_task(4, num_specs=4, seed=3),
+        ]
+        batch = BatchArrays([task.arrays() for task in tasks])
+        assert batch.batch == 3
+        assert batch.n_pad == 25 and batch.m_pad == 6
+        assert batch.utilities.shape == (3, 25, 6)
+        assert batch.probabilities.shape == (3, 6)
+        assert batch.relevance.shape == (3, 25)
+        assert batch.ns.tolist() == [10, 25, 4]
+        assert batch.ms.tolist() == [2, 6, 4]
+        for b, task in enumerate(tasks):
+            arrays = task.arrays()
+            assert np.array_equal(
+                batch.utilities[b, : arrays.n, : arrays.m], arrays.utilities
+            )
+            assert batch.valid[b, : arrays.n].all()
+            assert not batch.valid[b, arrays.n :].any()
+            # padding must be arithmetically inert: exact zeros everywhere
+            assert not batch.utilities[b, arrays.n :, :].any()
+            assert not batch.utilities[b, :, arrays.m :].any()
+            assert not batch.probabilities[b, arrays.m :].any()
+            assert not batch.relevance[b, arrays.n :].any()
+
+    def test_fill_accounting(self):
+        tasks = [
+            synthetic_task(10, num_specs=2, seed=1),
+            synthetic_task(25, num_specs=6, seed=2),
+        ]
+        batch = BatchArrays([task.arrays() for task in tasks])
+        assert batch.filled_cells == 10 * 2 + 25 * 6
+        assert batch.padded_cells == 2 * 25 * 6
+        assert batch.fill_ratio == pytest.approx(170 / 300)
+
+    def test_identical_shapes_have_no_padding(self):
+        arrays = [
+            synthetic_task(12, num_specs=3, seed=s).arrays() for s in (1, 2)
+        ]
+        batch = BatchArrays.stack(arrays)
+        assert batch.fill_ratio == 1.0
+        assert batch.valid.all()
+
+    def test_zero_spec_member_pads_to_one_column(self):
+        ambiguous = synthetic_task(6, num_specs=2, seed=4).arrays()
+        lone = TaskArrays(
+            doc_ids=["d1", "d2"],
+            spec_queries=[],
+            probabilities=[],
+            utilities=np.zeros((2, 0)),
+            relevance=np.array([1.0, 0.5]),
+        )
+        batch = BatchArrays([lone, ambiguous])
+        assert batch.m_pad == 2
+        assert batch.ms.tolist() == [0, 2]
+        assert not batch.probabilities[0].any()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            BatchArrays([])
+
+
+class TestStackedSimilarity:
+    def test_matches_per_task_matrices(self):
+        draws = [random_task(100 + j) for j in range(3)]
+        tasks = [task for task, _ in draws]
+        arrays_list = [task.arrays() for task in tasks]
+        batch = BatchArrays(arrays_list)
+        stacked = stacked_similarity(
+            batch, [task.vectors for task in tasks]
+        )
+        assert stacked.shape == (3, batch.n_pad, batch.n_pad)
+        for b, (task, arrays) in enumerate(zip(tasks, arrays_list)):
+            single = arrays.similarity_matrix(task.vectors)
+            # One shared term index reorders the cosine dot products, so
+            # values agree to ULP precision, not bitwise.
+            assert np.allclose(
+                stacked[b, : arrays.n, : arrays.n], single, atol=1e-12
+            )
+            assert not stacked[b, arrays.n :, :].any()
+            assert not stacked[b, :, arrays.n :].any()
+
+    def test_misaligned_vectors_rejected(self):
+        task, _ = random_task(5)
+        batch = BatchArrays([task.arrays()])
+        with pytest.raises(ValueError, match="align"):
+            stacked_similarity(batch, [task.vectors, task.vectors])

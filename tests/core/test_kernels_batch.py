@@ -1,0 +1,310 @@
+"""Identity tests for the cross-query fused batch kernels.
+
+The fused path (``BatchArrays`` stacking + one-matmul scoring + batched
+greedy selection) carries the same contract as every kernel in
+``repro.core.kernels``: for each query in a stacked group, the fused
+ranking must equal the per-query kernel's ranking *exactly*, including
+tie breaks.  The sweep here extends ``test_fast``'s randomized identity
+suite to ragged groups — mixed sizes, duplicate queries, empty
+specialization sets, k > n, and the exact-arithmetic tie regime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.arrays import BatchArrays
+from repro.core.fast import (
+    FastIASelect,
+    FastMMR,
+    FastOptSelect,
+    FastXQuAD,
+    diversify_fused,
+    fused_capable,
+    fused_shape,
+)
+from repro.core.heaps import BoundedMaxHeap
+from repro.core.iaselect import IASelect
+from repro.core.mmr import MMR
+from repro.core.optselect import OptSelect
+from repro.core.profiling import StageTimer
+from repro.core.xquad import XQuAD
+from repro.experiments.workloads import synthetic_task
+from repro.retrieval.similarity import TermVector
+
+from .helpers import build_task, random_task
+
+#: Each base seed draws one ragged group of independently-random tasks.
+GROUP_SEEDS = range(40)
+
+#: Tasks stacked per group — enough for real padding without slowing CI.
+GROUP_SIZE = 4
+
+PAIRS = [
+    (FastOptSelect, OptSelect),
+    (FastXQuAD, XQuAD),
+    (FastIASelect, IASelect),
+    (FastMMR, MMR),
+]
+
+FAST_CLASSES = [fast for fast, _ in PAIRS]
+
+
+def _exactness_safe(task, k: int) -> bool:
+    """Whether *task* keeps the exact-arithmetic tie guarantee under *k*.
+
+    ``random_task``'s binary regime guarantees bitwise-reproducible ties
+    only while every u·p term stays exactly representable.  Truncating
+    the specialization set (when ``min(k, n)`` < |S_q|) renormalizes the
+    uniform powers-of-two probabilities to values like 1/7, after which
+    mathematically tied scores are summation-order noise — a regime no
+    two reduction orders can agree on (see the contract note in
+    ``repro.core.kernels``).  Groups share one k, so a member drawn for a
+    smaller k may cross that line; such members are redrawn.
+    """
+    arrays = task.arrays()
+    binary = set(np.unique(arrays.utilities)) <= {0.0, 0.5}
+    return not binary or arrays.m <= min(k, arrays.n)
+
+
+def _group(base_seed: int, size: int = GROUP_SIZE):
+    """A ragged group: *size* independent random tasks, one shared k."""
+    draws = [random_task(1000 * base_seed + j) for j in range(size)]
+    k = max(k for _, k in draws)
+    tasks = []
+    for j, (task, _) in enumerate(draws):
+        bump = 0
+        while not _exactness_safe(task, k):
+            bump += 1
+            task, _ = random_task(1000 * base_seed + j + 101 * bump)
+        tasks.append(task)
+    return tasks, k
+
+
+def _empty_spec_task(n: int = 8):
+    """A task whose specialization set is empty (unambiguous query)."""
+    scores = [(f"d{i:03d}", 1.0 / (i + 1)) for i in range(n)]
+    task = build_task({}, {}, scores)
+    task.vectors = {
+        doc_id: TermVector({"t0": 1.0, f"t{i % 3}": 0.5})
+        for i, (doc_id, _) in enumerate(scores)
+    }
+    return task
+
+
+class TestFusedRandomizedEquivalence:
+    """Fused group rankings must equal the per-query kernel rankings."""
+
+    @pytest.mark.parametrize("seed", GROUP_SEEDS)
+    def test_fused_matches_per_query_kernels(self, seed):
+        tasks, k = _group(seed)
+        for fast_cls in FAST_CLASSES:
+            diversifier = fast_cls()
+            fused = diversify_fused(diversifier, tasks, k)
+            looped = [fast_cls().diversify(task, k) for task in tasks]
+            assert fused == looped, (
+                f"{fast_cls.__name__} diverged on group seed {seed}, k={k}, "
+                f"ns={[len(t.candidates) for t in tasks]}"
+            )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fused_matches_pure_python_references(self, seed):
+        tasks, k = _group(seed + 500)
+        for fast_cls, reference_cls in PAIRS:
+            fused = diversify_fused(fast_cls(), tasks, k)
+            reference = [reference_cls().diversify(task, k) for task in tasks]
+            assert fused == reference, (
+                f"fused {fast_cls.__name__} diverged from "
+                f"{reference_cls.__name__} on group seed {seed + 500}"
+            )
+
+    def test_duplicate_queries_in_one_group(self):
+        task, k = random_task(7)
+        for fast_cls in FAST_CLASSES:
+            single = fast_cls().diversify(task, k)
+            fused = diversify_fused(fast_cls(), [task, task, task], k)
+            assert fused == [single, single, single]
+
+    def test_group_with_empty_specialization_sets(self):
+        empty, (full, k) = _empty_spec_task(), random_task(3)
+        for fast_cls in FAST_CLASSES:
+            fused = diversify_fused(fast_cls(), [empty, full, empty], k)
+            looped = [
+                fast_cls().diversify(task, k) for task in (empty, full, empty)
+            ]
+            assert fused == looped
+
+    def test_k_exceeding_every_group_member(self):
+        tasks = [
+            synthetic_task(6, num_specs=2, seed=s, with_vectors=True)
+            for s in (1, 2, 3)
+        ]
+        for fast_cls in FAST_CLASSES:
+            fused = diversify_fused(fast_cls(), tasks, 50)
+            looped = [fast_cls().diversify(task, 50) for task in tasks]
+            assert fused == looped
+
+    def test_exact_tie_group(self):
+        """Hand-built exact-arithmetic ties: broken by baseline rank only."""
+        scores = [(f"d{i}", float(8 - i)) for i in range(8)]
+        utilities = {
+            "q s0": {"d0": 0.5, "d2": 0.5, "d4": 0.5},
+            "q s1": {"d1": 0.5, "d3": 0.5, "d5": 0.5},
+        }
+        probabilities = {"q s0": 1.0, "q s1": 1.0}
+        tied = build_task(utilities, probabilities, scores, lambda_=0.5)
+        tied.vectors = {
+            doc_id: TermVector({"shared": 1.0}) for doc_id, _ in scores
+        }
+        other, _ = random_task(11)
+        for fast_cls in FAST_CLASSES:
+            fused = diversify_fused(fast_cls(), [tied, other, tied], 6)
+            looped = [
+                fast_cls().diversify(task, 6) for task in (tied, other, tied)
+            ]
+            assert fused == looped
+
+
+class TestFusedDispatch:
+    """Capability probing, shape planning and error paths."""
+
+    def test_fused_capable_for_kernel_backed_classes(self):
+        for fast_cls in FAST_CLASSES:
+            assert fused_capable(fast_cls())
+
+    def test_pure_python_references_are_not_capable(self):
+        for _, reference_cls in PAIRS:
+            assert not fused_capable(reference_cls())
+
+    def test_subclasses_fall_back_to_per_query(self):
+        class TweakedXQuAD(FastXQuAD):
+            pass
+
+        assert not fused_capable(TweakedXQuAD())
+
+    def test_diversify_fused_rejects_uncapable(self):
+        task, k = random_task(0)
+        with pytest.raises(ValueError, match="no fused executor"):
+            diversify_fused(OptSelect(), [task], k)
+
+    def test_empty_group_returns_empty(self):
+        for fast_cls in FAST_CLASSES:
+            assert diversify_fused(fast_cls(), [], 5) == []
+
+    def test_mmr_requires_surrogate_vectors(self):
+        task, k = random_task(4)
+        task.vectors = {}
+        with pytest.raises(ValueError, match="surrogate vectors"):
+            diversify_fused(FastMMR(), [task], k)
+
+    def test_fused_shape_per_algorithm(self):
+        task = synthetic_task(20, num_specs=6, seed=5)
+        assert fused_shape(FastXQuAD(), task, 4) == (20, 4)
+        assert fused_shape(FastIASelect(), task, 4) == (20, 4)
+        assert fused_shape(FastOptSelect(), task, 4) == (20, 6)
+        assert fused_shape(FastMMR(), task, 4) == (20, 20)
+
+    def test_stage_timer_records_executor_stages(self):
+        tasks, k = _group(21, size=2)
+        expected = {
+            FastOptSelect: {"densify", "score", "select"},
+            FastXQuAD: {"densify", "select", "map-back"},
+            FastIASelect: {"densify", "select", "map-back"},
+            FastMMR: {"densify", "select", "map-back"},
+        }
+        for fast_cls, stages in expected.items():
+            timer = StageTimer()
+            diversify_fused(fast_cls(), tasks, k, timer=timer)
+            assert set(timer.totals) == stages
+            assert all(timer.counts[name] == 1 for name in stages)
+
+    def test_fused_path_maintains_stats(self):
+        tasks, k = _group(9, size=2)
+        diversifier = FastOptSelect()
+        fused = diversify_fused(diversifier, tasks, k)
+        assert diversifier.last_stats.selected == len(fused[-1])
+        assert diversifier.last_stats.marginal_updates > 0
+
+
+class TestOverallUtilitiesBatch:
+    """One-matmul Eq. 9 scoring over a stacked batch."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_per_query_scoring(self, seed):
+        tasks, _ = _group(seed + 100, size=3)
+        arrays_list = [task.arrays() for task in tasks]
+        batch = BatchArrays(arrays_list)
+        lambdas = np.array([task.lambda_ for task in tasks])
+        batched = kernels.overall_utilities_batch(batch, lambdas)
+        assert batched.shape == (batch.batch, batch.n_pad)
+        for b, (task, arrays) in enumerate(zip(tasks, arrays_list)):
+            single = kernels.overall_utilities(arrays, task.lambda_)
+            # The stacked matmul reduces in a different order than the
+            # per-query mat-vec, so values agree to ULP precision; the
+            # *selection* identity (exact, incl. ties) is asserted by the
+            # diversify-level sweep above.
+            assert np.allclose(batched[b, : arrays.n], single, atol=1e-12)
+
+    def test_scalar_and_vector_lambda_agree(self):
+        tasks, _ = _group(42, size=3)
+        batch = BatchArrays([task.arrays() for task in tasks])
+        scalar = kernels.overall_utilities_batch(batch, 0.25)
+        vector = kernels.overall_utilities_batch(
+            batch, np.full(batch.batch, 0.25)
+        )
+        assert np.array_equal(scalar, vector)
+
+    def test_padding_is_inert(self):
+        """Padded candidate rows score as if relevance and coverage were 0."""
+        tasks, _ = _group(17, size=3)
+        batch = BatchArrays([task.arrays() for task in tasks])
+        scored = kernels.overall_utilities_batch(batch, 0.5)
+        assert np.array_equal(scored[~batch.valid], np.zeros((~batch.valid).sum()))
+
+
+def _heap_retained(values, capacity, offered=None):
+    """What a BoundedMaxHeap keeps, as ascending indices."""
+    heap: BoundedMaxHeap[int] = BoundedMaxHeap(capacity)
+    indices = range(len(values)) if offered is None else offered
+    for i in indices:
+        heap.push(int(i), float(values[i]))
+    return sorted(item for item, _ in heap.drain())
+
+
+class TestBoundedRetention:
+    """The argpartition partial top-k must equal the heap, ties included."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("capacity", [1, 5, 16])
+    def test_partial_topk_matches_heap_on_ties(self, seed, capacity):
+        rng = random.Random(seed)
+        levels = [0.0, 0.25, 0.5, 0.75, 1.0]
+        values = np.array([rng.choice(levels) for _ in range(64)])
+        assert len(values) >= kernels.PARTIAL_TOPK_FACTOR * capacity
+        retained = kernels.bounded_retention(values, capacity)
+        assert retained.tolist() == _heap_retained(values, capacity)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_stable_sort_path_matches_heap(self, seed):
+        rng = random.Random(seed + 300)
+        values = np.array([rng.choice((0.5, 1.0)) for _ in range(64)])
+        capacity = 20  # 64 < 4 * 20: takes the stable-argsort branch
+        assert len(values) < kernels.PARTIAL_TOPK_FACTOR * capacity
+        retained = kernels.bounded_retention(values, capacity)
+        assert retained.tolist() == _heap_retained(values, capacity)
+
+    def test_offered_subset(self):
+        values = np.array([0.1, 0.9, 0.9, 0.2, 0.9, 0.3, 0.9, 0.4])
+        offered = np.array([0, 2, 4, 6])
+        retained = kernels.bounded_retention(values, 2, offered)
+        assert retained.tolist() == _heap_retained(values, 2, offered)
+
+    def test_degenerate_capacities(self):
+        values = np.array([0.3, 0.1, 0.2])
+        assert kernels.bounded_retention(values, 0).tolist() == []
+        assert kernels.bounded_retention(values, 3).tolist() == [0, 1, 2]
+        assert kernels.bounded_retention(values, 10).tolist() == [0, 1, 2]

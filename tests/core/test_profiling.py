@@ -1,0 +1,79 @@
+"""StageTimer / NullTimer behaviour for the serving-stage profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiling import NULL_TIMER, NullTimer, StageTimer
+
+
+class TestStageTimer:
+    def test_accumulates_repeated_entries(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("densify"):
+                pass
+        assert timer.counts["densify"] == 3
+        assert timer.seconds("densify") >= 0.0
+
+    def test_snapshot_shape(self):
+        timer = StageTimer()
+        with timer.stage("score"):
+            pass
+        with timer.stage("select"):
+            pass
+        snapshot = timer.snapshot()
+        assert set(snapshot) == {"score", "select"}
+        for entry in snapshot.values():
+            assert set(entry) == {"seconds", "entries"}
+            assert entry["entries"] == 1
+
+    def test_unknown_stage_reads_zero(self):
+        assert StageTimer().seconds("never-entered") == 0.0
+
+    def test_records_even_when_stage_raises(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("select"):
+                raise RuntimeError("kernel blew up")
+        assert timer.counts["select"] == 1
+
+    def test_nested_stages_both_counted(self):
+        timer = StageTimer()
+        with timer.stage("outer"):
+            with timer.stage("inner"):
+                pass
+        assert timer.counts == {"outer": 1, "inner": 1}
+        assert timer.seconds("outer") >= timer.seconds("inner")
+
+    def test_clear_resets(self):
+        timer = StageTimer()
+        with timer.stage("densify"):
+            pass
+        timer.clear()
+        assert timer.snapshot() == {}
+        assert timer.report() == "no stages recorded"
+
+    def test_report_lists_every_stage(self):
+        timer = StageTimer()
+        with timer.stage("densify"):
+            pass
+        with timer.stage("select"):
+            pass
+        report = timer.report()
+        assert "densify" in report and "select" in report
+        assert "entries" in report
+
+
+class TestNullTimer:
+    def test_is_a_silent_no_op(self):
+        timer = NullTimer()
+        with timer.stage("anything"):
+            pass
+        assert timer.snapshot() == {}
+        assert timer.seconds("anything") == 0.0
+        assert timer.report() == "profiling disabled"
+        timer.clear()
+
+    def test_shared_singleton_exists(self):
+        assert isinstance(NULL_TIMER, NullTimer)

@@ -1,0 +1,247 @@
+"""Fused batch execution inside the serving layer.
+
+The serving contract for fusion is *invisibility*: with a kernel-backed
+diversifier, ``diversify_batch`` groups ambiguous queries through the
+cross-query fused kernels, and every ``DiversifiedResult`` field must
+equal what the per-query loop produces — only the latency accounting
+and the fusion counters in :class:`ServiceStats` may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fast import (
+    FastIASelect,
+    FastMMR,
+    FastOptSelect,
+    FastXQuAD,
+)
+from repro.core.optselect import OptSelect
+from repro.core.profiling import StageTimer
+from repro.serving import DiversificationService
+from repro.serving.service import (
+    MIN_GROUP_SIZE,
+    ServiceStats,
+    plan_fusion_groups,
+)
+from repro.serving.sharded import ShardedDiversificationService
+
+FUSED_CLASSES = [FastOptSelect, FastXQuAD, FastIASelect, FastMMR]
+
+
+def _assert_same_results(fused_results, looped_results):
+    for fused, looped in zip(fused_results, looped_results):
+        assert fused.query == looped.query
+        assert fused.ranking == looped.ranking
+        assert fused.diversified == looped.diversified
+        assert fused.algorithm == looped.algorithm
+        assert fused.baseline.doc_ids == looped.baseline.doc_ids
+        assert fused.specializations == looped.specializations
+
+
+class TestFusedIdentity:
+    @pytest.mark.parametrize("diversifier_cls", FUSED_CLASSES)
+    def test_fused_batch_matches_looped_batch(
+        self, framework_factory, topic_queries, diversifier_cls
+    ):
+        fused = DiversificationService(
+            framework_factory(diversifier=diversifier_cls()), fused=True
+        )
+        looped = DiversificationService(
+            framework_factory(diversifier=diversifier_cls()), fused=False
+        )
+        queries = topic_queries + list(reversed(topic_queries))
+        _assert_same_results(
+            fused.diversify_batch(queries), looped.diversify_batch(queries)
+        )
+
+    def test_auto_mode_equals_pinned_on(self, framework_factory, topic_queries):
+        auto = DiversificationService(
+            framework_factory(diversifier=FastOptSelect())
+        )
+        pinned = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=True
+        )
+        _assert_same_results(
+            auto.diversify_batch(topic_queries),
+            pinned.diversify_batch(topic_queries),
+        )
+        assert auto.stats.fused_queries == pinned.stats.fused_queries
+
+    def test_cache_hits_skip_the_fused_path(
+        self, framework_factory, topic_queries
+    ):
+        service = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=True
+        )
+        first = service.diversify_batch(topic_queries)
+        fused_after_first = service.stats.fused_queries
+        second = service.diversify_batch(topic_queries)
+        assert service.stats.fused_queries == fused_after_first
+        for a, b in zip(first, second):
+            assert a is b
+
+
+class TestFusionAccounting:
+    def test_every_diversified_query_is_fused_or_fallback(
+        self, framework_factory, topic_queries
+    ):
+        service = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=True
+        )
+        service.diversify_batch(topic_queries)
+        stats = service.stats
+        assert stats.diversified > 0
+        assert stats.fused_queries + stats.fallback_queries == stats.diversified
+        if stats.fusion_groups:
+            assert stats.fused_queries >= MIN_GROUP_SIZE * stats.fusion_groups
+            assert 0.0 < stats.pad_fill_ratio <= 1.0
+            assert stats.fused_filled_cells <= stats.fused_padded_cells
+
+    def test_fused_off_leaves_counters_zero(
+        self, framework_factory, topic_queries
+    ):
+        service = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=False
+        )
+        service.diversify_batch(topic_queries)
+        assert service.stats.fused_queries == 0
+        assert service.stats.fallback_queries == 0
+        assert service.stats.fusion_groups == 0
+        assert service.stats.pad_fill_ratio == 1.0
+
+    def test_pure_python_diversifier_never_fuses(
+        self, framework_factory, topic_queries
+    ):
+        # fused=True is "fuse when capable"; the reference OptSelect has
+        # no fused executor, so the service quietly serves per-query.
+        service = DiversificationService(
+            framework_factory(diversifier=OptSelect()), fused=True
+        )
+        service.diversify_batch(topic_queries)
+        assert service.stats.fused_queries == 0
+        assert service.stats.fusion_groups == 0
+
+    def test_summary_reports_fusion_when_it_ran(
+        self, framework_factory, topic_queries
+    ):
+        service = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=True
+        )
+        service.diversify_batch(topic_queries)
+        if service.stats.fused_queries:
+            summary = service.stats.summary()
+            assert "fused=" in summary and "fill=" in summary
+
+    def test_summary_silent_without_fusion(self, framework_factory, topic_queries):
+        service = DiversificationService(
+            framework_factory(diversifier=OptSelect())
+        )
+        service.diversify_batch(topic_queries)
+        assert "fused=" not in service.stats.summary()
+
+    def test_merge_sums_fusion_counters(self):
+        a = ServiceStats(
+            fused_queries=4,
+            fallback_queries=1,
+            fusion_groups=2,
+            fused_filled_cells=100,
+            fused_padded_cells=160,
+        )
+        b = ServiceStats(
+            fused_queries=6,
+            fallback_queries=0,
+            fusion_groups=1,
+            fused_filled_cells=300,
+            fused_padded_cells=340,
+        )
+        merged = ServiceStats.merge([a, b])
+        assert merged.fused_queries == 10
+        assert merged.fallback_queries == 1
+        assert merged.fusion_groups == 3
+        assert merged.pad_fill_ratio == pytest.approx(400 / 500)
+
+    def test_profiler_captures_kernel_stages(
+        self, framework_factory, topic_queries
+    ):
+        service = DiversificationService(
+            framework_factory(diversifier=FastOptSelect()), fused=True
+        )
+        service.profiler = StageTimer()
+        service.diversify_batch(topic_queries)
+        if service.stats.fusion_groups:
+            assert set(service.profiler.snapshot()) == {
+                "densify",
+                "score",
+                "select",
+            }
+        else:  # nothing grouped: the profiler must stay silent
+            assert service.profiler.snapshot() == {}
+
+
+class TestPlanFusionGroups:
+    def test_identical_shapes_form_one_group(self):
+        groups = plan_fusion_groups([(20, 5)] * 6)
+        assert groups == [[0, 1, 2, 3, 4, 5]]
+
+    def test_covers_every_index_exactly_once(self):
+        shapes = [(10, 3), (80, 8), (10, 3), (5, 1), (40, 8), (80, 8)]
+        groups = plan_fusion_groups(shapes)
+        assert sorted(i for group in groups for i in group) == list(
+            range(len(shapes))
+        )
+
+    def test_ragged_outliers_are_isolated(self):
+        # A wide and a tall tensor pad each other catastrophically: the
+        # combined envelope is 100×100 for 400 real cells (fill 0.02).
+        groups = plan_fusion_groups([(100, 2), (2, 100)])
+        assert groups == [[0], [1]]
+
+    def test_fill_floor_splits_diluted_groups(self):
+        shapes = [(100, 100)] + [(10, 10)] * 4
+        groups = plan_fusion_groups(shapes, min_fill_ratio=0.9)
+        assert [0] in groups
+        small = next(g for g in groups if 0 not in g)
+        assert sorted(sum((g for g in groups if 0 not in g), [])) == [1, 2, 3, 4]
+        assert small
+
+    def test_greedy_respects_the_configured_floor(self):
+        shapes = [(20, 10), (18, 10), (10, 10)]
+        permissive = plan_fusion_groups(shapes, min_fill_ratio=0.1)
+        assert permissive == [[0, 1, 2]]
+        # pairing 0 and 1 fills exactly 0.95 of the 2×20×10 envelope, so
+        # a floor just above that forces every shape into its own group
+        strict = plan_fusion_groups(shapes, min_fill_ratio=0.96)
+        assert len(strict) == 3
+
+    def test_empty_input(self):
+        assert plan_fusion_groups([]) == []
+
+
+class TestShardedFusion:
+    def test_cluster_identity_and_counter_rollup(
+        self, framework_factory, topic_queries
+    ):
+        def shard_framework(_shard_id):
+            return framework_factory(diversifier=FastOptSelect())
+
+        fused = ShardedDiversificationService.from_factory(
+            shard_framework, num_shards=2, backend="inline", fused=True
+        )
+        looped = ShardedDiversificationService.from_factory(
+            shard_framework, num_shards=2, backend="inline", fused=False
+        )
+        queries = topic_queries * 2
+        _assert_same_results(
+            fused.diversify_batch(queries), looped.diversify_batch(queries)
+        )
+        cluster = fused.cluster_stats()
+        assert cluster.fused_queries == sum(
+            s.fused_queries for s in cluster.shards
+        )
+        assert (
+            cluster.fused_queries + cluster.fallback_queries
+            == cluster.diversified
+        )
+        assert looped.cluster_stats().fused_queries == 0
