@@ -21,6 +21,7 @@ from repro.experiments.throughput import (
     run_async_throughput,
     run_backend_throughput,
     run_fused_throughput,
+    run_replicated_throughput,
     run_sharded_throughput,
     run_throughput,
     zipf_workload,
@@ -85,6 +86,29 @@ def test_process_backend_identity_smoke(trec_workload):
     # Loose sanity bound only: catches a pathological IPC regression
     # without flaking on scheduler noise (observed ~0.97x on one core).
     assert result.speedup > 0.4
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="replicated backend smoke relies on fork inheriting the workload",
+)
+def test_replicated_kill_shard_identity_smoke(trec_workload):
+    """The CI smoke for the replication layer: a 2-shard x 2-replica
+    process cluster with one replica per shard hard-killed after the
+    first serving batch must serve results identical to the fault-free
+    inline reference — rankings *and* baseline scores, asserted inside
+    the harness — with the respawned replicas rehydrating from the warm
+    store rather than re-mining."""
+    result = run_replicated_throughput(
+        trec_workload, num_queries=60, shards=2, replicas=2, kill_shard=True
+    )
+    assert result.identity_checked
+    assert result.respawns >= result.shards  # one kill per shard
+    assert result.warm.fetched == 0  # hydrated from the donor's warm store
+    assert result.cluster_stats.served == result.queries
+    assert result.cluster_stats.respawns == result.respawns
+    for stats in result.replica_stats.values():
+        assert len(stats.requests) == result.replicas
 
 
 def test_async_front_end_open_loop_identity(trec_workload):

@@ -41,7 +41,10 @@ REQUIRED_SNIPPETS = [
     "--partitions 4",
     "--start-method spawn",
     "--save-stats",
+    "--replicas 2",
+    "--kill-shard",
     "REPRO_SPAWN_LANE=1",
+    "REPRO_KILL_LANE=1",
     "docs/ARCHITECTURE.md",
     "examples/quickstart.py",
 ]

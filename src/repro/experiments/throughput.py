@@ -41,6 +41,17 @@ fan-out the GIL cannot serialise.  The report states the measured core
 count — on a single-core host parity (within timing noise) is the
 expected, documented reading.
 
+With ``--replicas R`` the harness serves the stream on a fault-tolerant
+cluster: R process replicas per shard behind a
+:class:`~repro.serving.ReplicatedBackend`, every replica hydrated from a
+warm store written by an inline donor cluster.  ``--kill-shard`` adds
+chaos — one replica per shard is hard-killed after the first serving
+batch, forcing the failover and respawn-and-rehydrate paths while
+requests keep flowing — and ``--zipf-s`` sharpens the stream's hot-key
+skew.  Every served result (ranking *and* baseline scores) is asserted
+identical to the fault-free inline reference, no matter which replica
+answered or died.
+
 ``--save-stats PATH`` writes the run's benchmark record (mode, backend,
 shards, qps, latency percentiles, core count) as JSON — the repo's
 ``BENCH_*.json`` perf trajectory is a series of these records.
@@ -51,6 +62,7 @@ Run as a script::
     python -m repro.experiments.throughput --shards 4
     python -m repro.experiments.throughput --mode async [--shards N]
     python -m repro.experiments.throughput --backend process --shards 2
+    python -m repro.experiments.throughput --replicas 2 --kill-shard
 """
 
 from __future__ import annotations
@@ -89,6 +101,7 @@ __all__ = [
     "ShardedThroughputResult",
     "AsyncThroughputResult",
     "BackendThroughputResult",
+    "ReplicatedThroughputResult",
     "FusedThroughputResult",
     "WorkloadFrameworkFactory",
     "zipf_workload",
@@ -97,6 +110,7 @@ __all__ = [
     "run_sharded_throughput",
     "run_async_throughput",
     "run_backend_throughput",
+    "run_replicated_throughput",
     "run_fused_throughput",
     "save_stats_record",
     "main",
@@ -135,17 +149,23 @@ class ThroughputResult:
 
 
 def zipf_workload(
-    workload: TrecWorkload, num_queries: int, seed: int = 13
+    workload: TrecWorkload, num_queries: int, seed: int = 13, s: float = 1.0
 ) -> list[str]:
     """A Zipf-repeating query stream over the testbed's topic queries.
 
     Web traffic repeats: the head query dominates, the tail is long.
-    Weighting topic i by 1/(i+1) reproduces that shape, which is exactly
-    the regime batching and result caching are built for.
+    Weighting topic i by 1/(i+1)**s reproduces that shape, which is
+    exactly the regime batching and result caching are built for.  The
+    exponent ``s`` sets the hot-key skew: the default 1.0 keeps every
+    historical stream byte-identical, larger values concentrate traffic
+    on the head queries (and therefore on their shard — the hot-shard
+    regime replica routing exists for), 0.0 is uniform.
     """
+    if s < 0:
+        raise ValueError("zipf exponent s must be non-negative")
     rng = random.Random(seed)
     queries = [topic.query for topic in workload.testbed.topics]
-    weights = [1.0 / (i + 1) for i in range(len(queries))]
+    weights = [1.0 / (i + 1) ** s for i in range(len(queries))]
     return rng.choices(queries, weights=weights, k=num_queries)
 
 
@@ -589,6 +609,209 @@ def summarize_backends(result: BackendThroughputResult) -> str:
 
 
 @dataclass(frozen=True)
+class ReplicatedThroughputResult:
+    """A replicated fault-tolerant cluster serving a Zipf stream —
+    optionally with one replica per shard SIGKILLed mid-benchmark —
+    identity-checked against the fault-free inline reference."""
+
+    queries: int
+    distinct: int
+    shards: int
+    replicas: int
+    policy: str
+    hedge_after_ms: float | None
+    kill_shard: bool           #: a replica per shard was killed mid-run
+    zipf_s: float              #: hot-key skew exponent of the stream
+    batches: int               #: the stream was served in this many batches
+    seconds: float             #: wall-clock across all serving batches
+    warm: WarmReport
+    cluster_stats: ServiceStats
+    replica_stats: dict        #: shard -> ReplicaSetStats (routing counters)
+    cores: int
+    identity_checked: bool
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.seconds if self.seconds else 0.0
+
+    @property
+    def respawns(self) -> int:
+        return sum(s.respawns_total for s in self.replica_stats.values())
+
+    @property
+    def failovers(self) -> int:
+        return sum(s.failovers_total for s in self.replica_stats.values())
+
+    @property
+    def hedges_fired(self) -> int:
+        return sum(s.hedges_fired_total for s in self.replica_stats.values())
+
+    @property
+    def hedges_won(self) -> int:
+        return sum(s.hedges_won_total for s in self.replica_stats.values())
+
+
+def run_replicated_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    shards: int = 2,
+    replicas: int = 2,
+    policy: str = "round-robin",
+    hedge_after_ms: float | None = None,
+    kill_shard: bool = False,
+    zipf_s: float = 1.0,
+    batches: int = 4,
+    seed: int = 13,
+    log_name: str = "AOL",
+) -> ReplicatedThroughputResult:
+    """Serve the Zipf stream on an R-replica process cluster, optionally
+    killing one replica per shard mid-benchmark.
+
+    The run builds the fault-free inline reference first, then warms an
+    inline donor cluster and saves its artifacts to a temporary warm
+    store, so the replicated cluster — and every replica the routing
+    layer respawns after a kill — hydrates from disk instead of
+    re-mining.  The stream is served in ``batches`` chunks; with
+    ``kill_shard`` one replica per shard is hard-killed after the first
+    chunk, which forces the failover + respawn-and-rehydrate path while
+    requests keep flowing.  Every served result is asserted identical to
+    the reference — rankings *and* baseline scores — no matter which
+    replica answered, which is the acceptance criterion of the
+    replication layer.
+    """
+    import tempfile
+
+    from repro.serving import REPLICA_POLICIES, ReplicatedBackend
+
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if replicas < 2:
+        raise ValueError("replicated mode needs replicas >= 2")
+    if policy not in REPLICA_POLICIES:
+        raise ValueError(f"policy must be one of {REPLICA_POLICIES}")
+    if batches <= 0:
+        raise ValueError("batches must be positive")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed, s=zipf_s)
+
+    # Fault-free reference: the single inline service, cold caches.
+    reference = DiversificationService(make_framework(workload, log_name))
+    reference_results = reference.diversify_batch(queries)
+
+    factory = WorkloadFrameworkFactory(workload, log_name)
+    with tempfile.TemporaryDirectory(prefix="repro-warm-") as warm_dir:
+        # Donor cluster writes the warm store the replicas (initial and
+        # respawned alike) hydrate from.
+        donor = ShardedDiversificationService.from_factory(
+            factory, shards, backend="inline"
+        )
+        donor.warm(queries)
+        donor.save_warm(warm_dir)
+        donor.close()
+
+        backend = ReplicatedBackend(
+            replicas=replicas, policy=policy, hedge_after_ms=hedge_after_ms
+        )
+        cluster = ShardedDiversificationService.from_factory(
+            factory,
+            shards,
+            backend=backend,
+            warm_artifacts_dir=warm_dir,
+        )
+        try:
+            warm_report = cluster.warm(queries)
+
+            chunk = max(1, (len(queries) + batches - 1) // batches)
+            served: list = []
+            seconds = 0.0
+            for index, start in enumerate(range(0, len(queries), chunk)):
+                tick = time.perf_counter()
+                served.extend(
+                    cluster.diversify_batch(queries[start:start + chunk])
+                )
+                seconds += time.perf_counter() - tick
+                if kill_shard and index == 0:
+                    # Chaos: hard-kill the router's next-picked replica
+                    # on every shard while the benchmark keeps running.
+                    for shard in range(shards):
+                        backend.kill_replica(shard)
+
+            for ref, res in zip(reference_results, served):
+                if (
+                    ref.ranking != res.ranking
+                    or ref.baseline.doc_ids != res.baseline.doc_ids
+                    or ref.baseline.scores != res.baseline.scores
+                ):
+                    raise AssertionError(
+                        f"replicated cluster changed the answer for "
+                        f"{ref.query!r}"
+                    )
+
+            cluster_stats = cluster.cluster_stats()
+            replica_stats = backend.replication_stats()
+        finally:
+            cluster.close()
+
+    return ReplicatedThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        shards=shards,
+        replicas=replicas,
+        policy=policy,
+        hedge_after_ms=hedge_after_ms,
+        kill_shard=kill_shard,
+        zipf_s=zipf_s,
+        batches=batches,
+        seconds=seconds,
+        warm=warm_report,
+        cluster_stats=cluster_stats,
+        replica_stats=replica_stats,
+        cores=os.cpu_count() or 1,
+        identity_checked=True,
+    )
+
+
+def summarize_replicated(result: ReplicatedThroughputResult) -> str:
+    headers = [
+        "shard", "requests", "hedges fired", "hedges won",
+        "respawns", "failovers",
+    ]
+    rows = []
+    for shard, stats in sorted(result.replica_stats.items()):
+        rows.append(
+            [
+                f"shard{shard}",
+                "/".join(str(n) for n in stats.requests),
+                "/".join(str(n) for n in stats.hedges_fired),
+                "/".join(str(n) for n in stats.hedges_won),
+                "/".join(str(n) for n in stats.respawns),
+                "/".join(str(n) for n in stats.failovers),
+            ]
+        )
+    rows.append(
+        [
+            "total",
+            sum(s.requests_total for s in result.replica_stats.values()),
+            result.hedges_fired,
+            result.hedges_won,
+            result.respawns,
+            result.failovers,
+        ]
+    )
+    chaos = " + kill-shard chaos" if result.kill_shard else ""
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Replicated serving — {result.shards} shards x "
+            f"{result.replicas} replicas ({result.policy}){chaos}, "
+            f"{result.queries} queries ({result.distinct} distinct, "
+            f"zipf s={result.zipf_s:g})"
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class FusedThroughputResult:
     """Fused cross-query kernels vs the per-query kernel loop — the same
     warmed service, the same Zipf workload, only the execution strategy
@@ -993,6 +1216,45 @@ def main(argv: list[str] | None = None) -> None:
         "or inline when --backend thread)",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="R",
+        help="serve on a fault-tolerant cluster with R process replicas "
+        "per shard (ReplicatedBackend), hydrated from a warm store; "
+        "results are identity-checked against the fault-free inline "
+        "reference (requires --backend process or no --backend)",
+    )
+    parser.add_argument(
+        "--kill-shard",
+        action="store_true",
+        help="chaos flag for --replicas: hard-kill one replica per shard "
+        "after the first serving batch, forcing failover and "
+        "respawn-and-rehydrate mid-benchmark",
+    )
+    parser.add_argument(
+        "--policy",
+        default="round-robin",
+        choices=("round-robin", "least-outstanding"),
+        help="replica routing policy for --replicas",
+    )
+    parser.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --replicas: hedge a request to a second replica when "
+        "the first has not answered within MS milliseconds",
+    )
+    parser.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="with --replicas: hot-key skew exponent of the Zipf stream "
+        "(1.0 = classic, larger = hotter head queries, 0 = uniform)",
+    )
+    parser.add_argument(
         "--save-stats",
         metavar="PATH",
         default=None,
@@ -1063,6 +1325,80 @@ def main(argv: list[str] | None = None) -> None:
 
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
     workload = build_trec_workload(scale, logs=(args.log,))
+
+    if args.replicas > 1:
+        if args.backend not in (None, "process"):
+            parser.error(
+                "--replicas runs on process workers; omit --backend or "
+                "use --backend process"
+            )
+        if args.mode != "batch":
+            parser.error("--replicas requires --mode batch")
+        result = run_replicated_throughput(
+            workload,
+            args.queries,
+            shards=args.shards or 2,
+            replicas=args.replicas,
+            policy=args.policy,
+            hedge_after_ms=args.hedge_ms,
+            kill_shard=args.kill_shard,
+            zipf_s=args.zipf_s,
+            log_name=args.log,
+        )
+        print(summarize_replicated(result))
+        print()
+        print(
+            f"served {result.queries} queries in {result.seconds:.3f}s "
+            f"({result.qps:.1f} qps) across {result.batches} batches on "
+            f"{result.shards}x{result.replicas} process replicas"
+        )
+        print(f"warm (cluster): {result.warm.summary()}")
+        if result.kill_shard:
+            print(
+                f"chaos: one replica per shard hard-killed after batch 1 "
+                f"→ {result.respawns} respawn(s), "
+                f"{result.failovers} failover(s); respawned replicas "
+                f"rehydrated from the warm store."
+            )
+        if result.hedge_after_ms is not None:
+            print(
+                f"hedging after {result.hedge_after_ms:g}ms: "
+                f"{result.hedges_fired} fired, {result.hedges_won} won."
+            )
+        print(f"cluster: {result.cluster_stats.summary()}")
+        print(
+            "every result (ranking and baseline scores) verified "
+            "identical to the fault-free inline reference."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                {
+                    "mode": "replicated",
+                    "backend": "process",
+                    "shards": result.shards,
+                    "replicas": result.replicas,
+                    "policy": result.policy,
+                    "hedge_after_ms": result.hedge_after_ms,
+                    "kill_shard": result.kill_shard,
+                    "zipf_s": result.zipf_s,
+                    "queries": result.queries,
+                    "distinct": result.distinct,
+                    "qps": round(result.qps, 2),
+                    "seconds": round(result.seconds, 5),
+                    "respawns": result.respawns,
+                    "failovers": result.failovers,
+                    "hedges_fired": result.hedges_fired,
+                    "hedges_won": result.hedges_won,
+                    "latency": _latency_record(result.cluster_stats),
+                    "identity_checked": result.identity_checked,
+                    "scale": scale.name,
+                },
+            )
+            print(f"benchmark record written to {path}")
+        return
+    if args.kill_shard or args.hedge_ms is not None:
+        parser.error("--kill-shard/--hedge-ms require --replicas 2 or more")
 
     if args.backend is not None:
         result = run_backend_throughput(

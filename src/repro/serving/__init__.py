@@ -24,6 +24,14 @@ grows it past one worker:
   with per-worker warm state — the multi-core path).  Warm artifacts
   persist via ``save_warm``/``load_warm`` so worker processes hydrate
   from disk instead of re-deriving the offline phase;
+* :mod:`~repro.serving.replication` — R-way shard replication over
+  process workers: a :class:`ReplicaSet` per shard with routing-aware
+  load balancing (round-robin / least-outstanding), optional hedged
+  requests for tail control, health checks, and automatic
+  respawn-and-rehydrate from the warm store on crash.  Every replica is
+  built by the same deterministic factory, so results stay
+  byte-identical no matter which replica answers — including
+  mid-benchmark kills;
 * :mod:`~repro.serving.offline` — the partition-parallel offline
   pipeline: :func:`build_partitioned_engine` builds the N inverted-index
   partitions of a
@@ -64,9 +72,17 @@ from repro.serving.backends import (
     InlineBackend,
     ProcessBackend,
     ThreadBackend,
+    WorkerDiedError,
     make_backend,
 )
 from repro.serving.offline import PartitionBuildFactory, build_partitioned_engine
+from repro.serving.replication import (
+    REPLICA_POLICIES,
+    ReplicaSet,
+    ReplicaSetStats,
+    ReplicaWorker,
+    ReplicatedBackend,
+)
 from repro.serving.service import (
     DiversificationService,
     PreparedQuery,
@@ -88,6 +104,11 @@ __all__ = [
     "PartitionBuildFactory",
     "PreparedQuery",
     "ProcessBackend",
+    "REPLICA_POLICIES",
+    "ReplicaSet",
+    "ReplicaSetStats",
+    "ReplicaWorker",
+    "ReplicatedBackend",
     "build_partitioned_engine",
     "ServiceClosed",
     "ServiceStats",
@@ -95,5 +116,6 @@ __all__ = [
     "ShardedDiversificationService",
     "ThreadBackend",
     "WarmReport",
+    "WorkerDiedError",
     "make_backend",
 ]

@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 __all__ = [
     "BackendError",
+    "WorkerDiedError",
     "ExecutionBackend",
     "InlineBackend",
     "ThreadBackend",
@@ -55,6 +56,35 @@ ShardCall = tuple[int, str, tuple]
 class BackendError(RuntimeError):
     """A backend-level failure: a worker died, failed to build its
     services, or was used before ``start()`` / after ``close()``."""
+
+
+class WorkerDiedError(BackendError):
+    """A worker process/replica died (crash, kill, or hung past its
+    deadline) while it still owed work.
+
+    Subclasses :class:`BackendError` so existing callers that catch the
+    broad class keep working; carries enough structure — the shards the
+    worker owned, its replica index, and the OS exit code when known —
+    for respawn logic (and tests) to react without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shards: Sequence[int] = (),
+        replica: int | None = None,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards)
+        self.replica = replica
+        self.exitcode = exitcode
+
+    @property
+    def shard(self) -> int | None:
+        """The first (often only) shard the dead worker owned."""
+        return self.shards[0] if self.shards else None
 
 
 class ExecutionBackend(ABC):
@@ -90,6 +120,26 @@ class ExecutionBackend(ABC):
         :meth:`invoke_each`.
         """
         return None
+
+    @property
+    def replicas(self) -> int:
+        """Copies of each shard service this backend runs (1 unless the
+        backend replicates — see ``repro.serving.replication``)."""
+        return 1
+
+    def invoke_replicas(self, shard: int, method: str, *args) -> list:
+        """Run one call on *every* replica of a shard, primary first.
+
+        The single-replica default is just :meth:`invoke` in a list; the
+        replicated backend overrides this so the sharded service can
+        collect per-replica stats and cache info.
+        """
+        return [self.invoke(shard, method, *args)]
+
+    def replication_stats(self) -> dict:
+        """Routing-layer counters per shard (hedges, respawns,
+        failovers) — empty unless the backend replicates."""
+        return {}
 
     @abstractmethod
     def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
@@ -228,6 +278,49 @@ class ThreadBackend(_LocalBackend):
 # Process backend
 # ---------------------------------------------------------------------------
 
+def check_factory_pickles(service_factory, method: str) -> None:
+    """Fail fast when *method* needs a picklable factory and this one
+    is not — naming the factory protocol instead of letting a raw
+    ``PicklingError`` traceback surface from inside a worker.
+
+    The probe walks the whole object graph (that is what makes it
+    reliable — multiprocessing will pickle the same graph into each
+    worker moments later) but streams into a discarding sink, so a
+    factory closing over a large workload costs one CPU pass, not a
+    resident copy of its serialized bytes.
+    """
+    import pickle
+
+    class _NullSink:
+        def write(self, data) -> int:
+            return len(data)
+
+    try:
+        pickle.Pickler(_NullSink(), pickle.HIGHEST_PROTOCOL).dump(
+            service_factory
+        )
+    except Exception as exc:
+        if type(service_factory).__name__ == "ShardServiceFactory":
+            detail = (
+                "the ShardServiceFactory's framework_factory must "
+                "itself pickle (a module-level callable or a "
+                "picklable dataclass, not a closure/lambda)"
+            )
+        else:
+            detail = (
+                "pass a picklable factory — e.g. a "
+                "ShardServiceFactory wrapping a module-level "
+                "framework factory"
+            )
+        raise BackendError(
+            f"service factory {service_factory!r} does not pickle, "
+            f"but start method {method!r} builds each worker in a "
+            f"fresh interpreter; {detail}, or use "
+            f"start_method='fork' where the platform offers it "
+            f"(pickle error: {exc})"
+        ) from exc
+
+
 def _worker_main(conn, service_factory, shard_ids) -> None:
     """Worker body: build the owned shards, then serve addressed calls.
 
@@ -315,6 +408,7 @@ class ProcessBackend(ExecutionBackend):
         self._workers: list = []          # mp.Process, worker order
         self._conns: list = []            # parent end of each worker pipe
         self._worker_of: dict[int, int] = {}  # shard -> worker index
+        self._owned: list[list[int]] = []     # worker index -> its shards
         self._lock = threading.Lock()
         self._closed = False
         self._broken = False  # a worker died mid-batch; replies may be lost
@@ -327,46 +421,7 @@ class ProcessBackend(ExecutionBackend):
         return self._resolved_start_method or self._start_method
 
     def _check_factory_pickles(self, service_factory, method: str) -> None:
-        """Fail fast when *method* needs a picklable factory and this one
-        is not — naming the factory protocol instead of letting a raw
-        ``PicklingError`` traceback surface from inside a worker.
-
-        The probe walks the whole object graph (that is what makes it
-        reliable — multiprocessing will pickle the same graph into each
-        worker moments later) but streams into a discarding sink, so a
-        factory closing over a large workload costs one CPU pass, not a
-        resident copy of its serialized bytes.
-        """
-        import pickle
-
-        class _NullSink:
-            def write(self, data) -> int:
-                return len(data)
-
-        try:
-            pickle.Pickler(_NullSink(), pickle.HIGHEST_PROTOCOL).dump(
-                service_factory
-            )
-        except Exception as exc:
-            if type(service_factory).__name__ == "ShardServiceFactory":
-                detail = (
-                    "the ShardServiceFactory's framework_factory must "
-                    "itself pickle (a module-level callable or a "
-                    "picklable dataclass, not a closure/lambda)"
-                )
-            else:
-                detail = (
-                    "pass a picklable factory — e.g. a "
-                    "ShardServiceFactory wrapping a module-level "
-                    "framework factory"
-                )
-            raise BackendError(
-                f"service factory {service_factory!r} does not pickle, "
-                f"but start method {method!r} builds each worker in a "
-                f"fresh interpreter; {detail}, or use "
-                f"start_method='fork' where the platform offers it "
-                f"(pickle error: {exc})"
-            ) from exc
+        check_factory_pickles(service_factory, method)
 
     def start(self, service_factory: Callable[[int], object], num_shards: int) -> None:
         import multiprocessing as mp
@@ -395,6 +450,7 @@ class ProcessBackend(ExecutionBackend):
         for shard in range(num_shards):
             owned[shard % workers].append(shard)
             self._worker_of[shard] = shard % workers
+        self._owned = owned
         for index, shard_ids in enumerate(owned):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
@@ -419,16 +475,29 @@ class ProcessBackend(ExecutionBackend):
                 )
         self._num_shards = num_shards
 
+    def _dead_worker_error(self, index: int, exc: BaseException) -> WorkerDiedError:
+        code = self._workers[index].exitcode
+        shards = self._owned[index] if index < len(self._owned) else ()
+        named = f" (shards {list(shards)})" if shards else ""
+        return WorkerDiedError(
+            f"shard worker {index}{named} died (exitcode={code}) — "
+            "its shard state is lost; rebuild the cluster",
+            shards=shards,
+            exitcode=code,
+        )
+
     def _recv(self, index: int, conn) -> tuple:
         try:
             return conn.recv()
         except (EOFError, OSError) as exc:
-            process = self._workers[index]
-            code = process.exitcode
-            raise BackendError(
-                f"shard worker {index} died (exitcode={code}) — "
-                "its shard state is lost; rebuild the cluster"
-            ) from exc
+            raise self._dead_worker_error(index, exc) from exc
+
+    def _send(self, index: int, message) -> None:
+        try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._broken = True
+            raise self._dead_worker_error(index, exc) from exc
 
     def invoke_each(self, calls: Sequence[ShardCall]) -> dict[int, object]:
         self._require_started()
@@ -458,7 +527,7 @@ class ProcessBackend(ExecutionBackend):
             # request buffer while the worker blocks on a full reply
             # buffer nobody is reading).
             for index, worker_calls in per_worker.items():
-                self._conns[index].send(worker_calls[0])
+                self._send(index, worker_calls[0])
             # Drain *every* expected reply before surfacing a failure:
             # leaving a reply buffered would desync the request/reply
             # protocol and hand the next batch stale data.  Only a dead
@@ -474,7 +543,7 @@ class ProcessBackend(ExecutionBackend):
                         self._broken = True
                         raise
                     if position + 1 < len(worker_calls):
-                        conn.send(worker_calls[position + 1])
+                        self._send(index, worker_calls[position + 1])
                     if status == "ok":
                         results[shard] = payload
                     elif failure is None:
@@ -519,6 +588,9 @@ def make_backend(
     backend: "str | ExecutionBackend | None",
     max_workers: int | None = None,
     start_method: str | None = None,
+    replicas: int = 1,
+    policy: str = "round-robin",
+    hedge_after_ms: float | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec — a name, an instance, or ``None``.
 
@@ -529,12 +601,45 @@ def make_backend(
     ``start_method`` configures a :class:`ProcessBackend` built here by
     name; combining it with any other spec is an error rather than a
     silent no-op.
+
+    ``replicas > 1`` builds a ``ReplicatedBackend`` — R process workers
+    per shard with failover and respawn (see
+    ``repro.serving.replication``).  Replication only makes sense over
+    process workers (in-process shards share one interpreter, so a
+    "crash" would take every replica with it), so it is valid with
+    ``backend`` of ``None`` or ``"process"`` only; ``policy`` and
+    ``hedge_after_ms`` tune its routing and are rejected without it.
     """
-    if start_method is not None and backend != "process":
+    if start_method is not None and backend != "process" and replicas <= 1:
         raise ValueError(
             f"start_method={start_method!r} only applies to the "
             f"'process' backend, not {backend!r}"
         )
+    if replicas > 1:
+        if isinstance(backend, ExecutionBackend):
+            raise ValueError(
+                "replicas=N configures a backend built here by name; "
+                "pass a configured ReplicatedBackend instance instead"
+            )
+        if backend not in (None, "process", "replicated"):
+            raise ValueError(
+                f"replicas={replicas} requires process workers (backend "
+                f"None or 'process', got {backend!r}): in-process shards "
+                "share one interpreter, so replication could not survive "
+                "a crash"
+            )
+        from repro.serving.replication import ReplicatedBackend
+
+        return ReplicatedBackend(
+            replicas=replicas,
+            policy=policy,
+            hedge_after_ms=hedge_after_ms,
+            start_method=start_method,
+        )
+    if hedge_after_ms is not None:
+        raise ValueError("hedge_after_ms requires replicas > 1")
+    if policy != "round-robin":
+        raise ValueError(f"policy={policy!r} requires replicas > 1")
     if backend is None:
         return ThreadBackend(max_workers=max_workers)
     if isinstance(backend, ExecutionBackend):

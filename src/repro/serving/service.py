@@ -257,6 +257,20 @@ class ServiceStats:
     fused_filled_cells: int = 0
     #: total stacked cells including padding (Σ B·rows_pad·cols_pad)
     fused_padded_cells: int = 0
+    #: -- replicated serving (zero without a ReplicatedBackend) ----------
+    #: hedge copies of a request this replica received
+    hedges_fired: int = 0
+    #: hedge copies that answered before the primary
+    hedges_won: int = 0
+    #: times this replica slot was respawned after a crash or hang
+    respawns: int = 0
+    #: requests retried on another replica after this one died mid-call
+    failovers: int = 0
+    #: per-replica breakdown of one shard's merged stats (empty unless
+    #: the shard ran replicated).  Replicas are *copies* of one shard —
+    #: not partitions of the cluster — so they get their own slot
+    #: instead of reusing ``shards``; see :meth:`merge_replicas`.
+    replicas: tuple["ServiceStats", ...] = ()
     #: per-shard breakdown of a merged instance (empty on leaf stats).
     #: Every shard of the merging cluster contributes exactly one entry,
     #: including shards that served zero queries — their entries are
@@ -356,6 +370,10 @@ class ServiceStats:
             fusion_groups=sum(s.fusion_groups for s in stats),
             fused_filled_cells=sum(s.fused_filled_cells for s in stats),
             fused_padded_cells=sum(s.fused_padded_cells for s in stats),
+            hedges_fired=sum(s.hedges_fired for s in stats),
+            hedges_won=sum(s.hedges_won for s in stats),
+            respawns=sum(s.respawns for s in stats),
+            failovers=sum(s.failovers for s in stats),
             shards=tuple(copy.deepcopy(s) for s in stats),
         )
         for s in stats:
@@ -363,6 +381,25 @@ class ServiceStats:
             merged.wait_ms.extend(s.wait_ms)
             for size, count in s.batch_sizes.items():
                 merged.batch_sizes[size] = merged.batch_sizes.get(size, 0) + count
+        return merged
+
+    @classmethod
+    def merge_replicas(
+        cls, stats: Iterable["ServiceStats"], name: str = ""
+    ) -> "ServiceStats":
+        """Roll one shard's per-replica stats into a shard-level entry.
+
+        Counter semantics are exactly :meth:`merge` — replicas of one
+        shard, like shards of one cluster, sum their counters and pool
+        their samples — but the input snapshots land in ``replicas``
+        instead of ``shards``: replicas are interchangeable copies, not
+        partitions, and keeping the slots distinct lets a shard entry
+        with a replica breakdown nest cleanly inside a later
+        cluster-level :meth:`merge`.  Zero-traffic replicas contribute
+        well-formed zeroed entries, mirroring idle shards.
+        """
+        merged = cls.merge(stats, name=name)
+        merged.replicas, merged.shards = merged.shards, ()
         return merged
 
     def summary(self) -> str:
@@ -389,6 +426,19 @@ class ServiceStats:
                 f"fallback={self.fallback_queries} "
                 f"groups={self.fusion_groups} "
                 f"fill={self.pad_fill_ratio:.2f}"
+            )
+        if (
+            self.replicas
+            or self.hedges_fired
+            or self.hedges_won
+            or self.respawns
+            or self.failovers
+        ):
+            if self.replicas:
+                text += f" replicas={len(self.replicas)}"
+            text += (
+                f" hedges={self.hedges_fired}/{self.hedges_won} "
+                f"respawns={self.respawns} failovers={self.failovers}"
             )
         return text
 
@@ -449,6 +499,14 @@ class DiversificationService:
             result_cache_size
         )
         self.stats = ServiceStats(name=name)
+
+    def rename(self, name: str) -> None:
+        """Relabel the service and its stats.  The replicated backend
+        stamps ``shard<i>/r<j>`` onto each replica it builds, so the
+        per-replica snapshots stay attributable after they cross the
+        process boundary."""
+        self.name = name
+        self.stats.name = name
 
     def _detect(self, query: str) -> SpecializationSet:
         specializations = self._detect_cache.get(query)

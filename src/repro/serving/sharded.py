@@ -184,6 +184,9 @@ class ShardedDiversificationService:
         backend: "str | ExecutionBackend | None" = None,
         warm_artifacts_dir: "str | Path | None" = None,
         fused: bool | None = None,
+        replicas: int = 1,
+        policy: str = "round-robin",
+        hedge_after_ms: float | None = None,
     ) -> "ShardedDiversificationService":
         """Build *num_shards* shards from ``framework_factory(shard_id)``.
 
@@ -198,10 +201,27 @@ class ShardedDiversificationService:
         :meth:`save_warm`), every shard hydrates its offline artifacts
         from disk as it is built.  ``fused`` sets every shard's
         fused-kernel policy (default: auto).
+
+        ``replicas=R`` (with a ``None``/``"process"`` backend spec)
+        builds a fault-tolerant cluster instead: R process workers per
+        shard behind a ``ReplicatedBackend``, with ``policy`` routing
+        (``"round-robin"`` or ``"least-outstanding"``), optional hedged
+        requests after ``hedge_after_ms``, and automatic
+        respawn-and-rehydrate — a respawned replica re-runs the factory,
+        so pair replication with ``warm_artifacts_dir`` to make the
+        rebuild hydrate from disk.  Every replica is built by the same
+        deterministic factory, so results are byte-identical no matter
+        which replica answers.
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        backend = make_backend(backend, max_workers=max_workers)
+        backend = make_backend(
+            backend,
+            max_workers=max_workers,
+            replicas=replicas,
+            policy=policy,
+            hedge_after_ms=hedge_after_ms,
+        )
         backend.start(
             ShardServiceFactory(
                 framework_factory,
@@ -437,8 +457,40 @@ class ShardedDiversificationService:
         local = self._backend.local_services
         if local is not None:
             return [service.stats for service in local]
+        if self._backend.replicas > 1:
+            return self._replicated_shard_stats()
         done = self._backend.broadcast("get_stats")
         return [done[shard] for shard in range(self.num_shards)]
+
+    def _replicated_shard_stats(self) -> list[ServiceStats]:
+        """Per-shard entries carrying per-replica breakdowns.
+
+        Each replica ships its own :class:`ServiceStats` snapshot over
+        the boundary; the routing-layer counters (hedges, respawns,
+        failovers — events a worker cannot see from inside) are stamped
+        onto the replica entries from the backend's
+        ``replication_stats()``, then the replicas roll up into one
+        shard-level entry via :meth:`ServiceStats.merge_replicas`.  A
+        respawned replica's snapshot restarts from zero — its pre-crash
+        traffic died with the old process — while the routing counters
+        accumulate per *slot*, so ``respawns`` stays visible even though
+        the serving counters reset.
+        """
+        replication = self._backend.replication_stats()
+        entries = []
+        for shard in range(self.num_shards):
+            replica_stats = self._backend.invoke_replicas(shard, "get_stats")
+            routing = replication.get(shard)
+            if routing is not None:
+                for replica, snapshot in enumerate(replica_stats):
+                    snapshot.hedges_fired = routing.hedges_fired[replica]
+                    snapshot.hedges_won = routing.hedges_won[replica]
+                    snapshot.respawns = routing.respawns[replica]
+                    snapshot.failovers = routing.failovers[replica]
+            entries.append(
+                ServiceStats.merge_replicas(replica_stats, name=f"shard{shard}")
+            )
+        return entries
 
     def cluster_stats(self) -> ServiceStats:
         """Merged online stats with *cluster* wall-clock.
@@ -475,10 +527,17 @@ class ShardedDiversificationService:
 
     def _merged_cache_info(self, method: str) -> CacheStats:
         """Merge one cache-info getter across shards — directly for
-        in-process shards, over the backend for process-backed ones."""
+        in-process shards, over the backend for process-backed ones.
+        Replicated shards contribute every replica's cache (each holds
+        its own copy of the shard's partition)."""
         local = self._backend.local_services
         if local is not None:
             return CacheStats.merge(getattr(s, method)() for s in local)
+        if self._backend.replicas > 1:
+            infos = []
+            for shard in range(self.num_shards):
+                infos.extend(self._backend.invoke_replicas(shard, method))
+            return CacheStats.merge(infos)
         return CacheStats.merge(self._backend.broadcast(method).values())
 
     def spec_cache_info(self) -> CacheStats:

@@ -23,6 +23,7 @@ from repro.serving import (
     ProcessBackend,
     ShardedDiversificationService,
     ThreadBackend,
+    WorkerDiedError,
     make_backend,
 )
 
@@ -441,3 +442,62 @@ class TestBackendConstruction:
         cluster = build_cluster(framework_factory, "inline")
         assert "backend=inline" in repr(cluster)
         assert f"shards={NUM_SHARDS}" in repr(cluster)
+
+    def test_make_backend_replication_validation(self):
+        with pytest.raises(ValueError, match="requires process workers"):
+            make_backend("thread", replicas=2)
+        with pytest.raises(ValueError, match="hedge_after_ms"):
+            make_backend("process", hedge_after_ms=5)
+        with pytest.raises(ValueError, match="policy"):
+            make_backend(None, policy="least-outstanding")
+        backend = make_backend(None, replicas=2)
+        assert backend.name == "replicated"
+        assert backend.replicas == 2
+
+    def test_single_replica_backends_expose_replica_protocol(self):
+        backend = InlineBackend()
+        assert backend.replicas == 1
+        assert backend.replication_stats() == {}
+        backend.adopt([_EchoService(0)])
+        assert backend.invoke_replicas(0, "ping", 2) == [(0, 4)]
+
+
+@needs_fork
+class TestWorkerDiedError:
+    """A dead worker surfaces as a *typed* error naming its shards —
+    the satellite fix the respawn logic (and callers) react to."""
+
+    @pytest.fixture()
+    def backend(self):
+        backend = ProcessBackend(start_method="fork")
+        backend.start(_echo_factory, 2)
+        yield backend
+        backend.close()
+
+    def _kill_worker(self, backend, index):
+        import os
+        import signal
+
+        os.kill(backend._workers[index].pid, signal.SIGKILL)
+        backend._workers[index].join(timeout=5)
+
+    def test_dead_worker_raises_typed_error_naming_shards(self, backend):
+        self._kill_worker(backend, 0)
+        with pytest.raises(WorkerDiedError) as excinfo:
+            backend.invoke(0, "ping", 1)
+        err = excinfo.value
+        assert isinstance(err, BackendError)  # old catch sites keep working
+        assert err.shard == 0
+        assert err.shards == (0,)
+        assert err.exitcode is not None
+        assert "died" in str(err)
+        assert "shards [0]" in str(err)
+
+    def test_backend_poisons_itself_after_a_death(self, backend):
+        self._kill_worker(backend, 0)
+        with pytest.raises(WorkerDiedError):
+            backend.invoke(0, "ping", 1)
+        # The surviving worker's pipe is intact, but replies may be
+        # lost mid-batch — the backend refuses further traffic.
+        with pytest.raises(BackendError, match="lost a worker"):
+            backend.invoke(1, "ping", 1)
