@@ -21,6 +21,7 @@ from repro.experiments.throughput import (
     run_async_throughput,
     run_backend_throughput,
     run_fused_throughput,
+    run_http_throughput,
     run_replicated_throughput,
     run_sharded_throughput,
     run_throughput,
@@ -126,6 +127,25 @@ def test_async_front_end_open_loop_identity(trec_workload):
     )
     assert result.backend_stats.served == result.queries
     assert result.backend_stats.ranked == result.distinct
+
+
+def test_http_front_end_socket_identity(trec_workload):
+    """The REST layer end to end through real sockets: the harness
+    asserts every 200 body field-identical to the direct
+    ``diversify_batch`` payload and that drain completed every admitted
+    request; here we pin the error-free path and the operational
+    surface's accounting."""
+    result = run_http_throughput(
+        trec_workload, num_queries=60, offered_qps=1000.0
+    )
+    assert result.identity_checked
+    assert result.ok == result.queries
+    assert result.errors == {}
+    assert result.front_stats.served == result.queries
+    assert result.backend_stats.ranked == result.distinct
+    assert result.drain_report["served_total"] == result.queries
+    assert result.health["status"] == "ok"
+    assert len(result.client_latencies_ms) == result.queries
 
 
 def test_fused_kernel_identity_and_accounting(trec_workload):

@@ -43,6 +43,9 @@ REQUIRED_SNIPPETS = [
     "--save-stats",
     "--replicas 2",
     "--kill-shard",
+    "--mode http",
+    "BENCH_http_e2e.json",
+    "/drain",
     "REPRO_SPAWN_LANE=1",
     "REPRO_KILL_LANE=1",
     "docs/ARCHITECTURE.md",

@@ -52,9 +52,23 @@ skew.  Every served result (ranking *and* baseline scores) is asserted
 identical to the fault-free inline reference, no matter which replica
 answered or died.
 
-``--save-stats PATH`` writes the run's benchmark record (mode, backend,
-shards, qps, latency percentiles, core count) as JSON — the repo's
-``BENCH_*.json`` perf trajectory is a series of these records.
+With ``--mode http`` the harness measures the system end-to-end through
+a real socket: it starts a
+:class:`~repro.serving.DiversificationHTTPServer` over the chosen
+backend, drives it with an **open-loop** Zipf load generator (one
+concurrent HTTP client per request, exponentially-spaced arrivals),
+asserts every HTTP response field-identical to a direct
+``diversify_batch`` on the same backend, then exercises the operational
+surface — ``GET /health``, ``GET /stats``, ``POST /drain`` — and
+reports client-observed request p50/p95/p99, per-status error counts
+and the drain latency.
+
+``--save-stats PATH`` writes the run's benchmark record as JSON — the
+repo's ``BENCH_*.json`` perf trajectory is a series of these records.
+Every mode emits the same core schema (mode, backend, policy, shards,
+replicas, zipf_s, queries, qps, latency percentiles, cores,
+hardware_limited — see :func:`build_stats_record`), so records compare
+across modes and PRs.
 
 Run as a script::
 
@@ -63,6 +77,7 @@ Run as a script::
     python -m repro.experiments.throughput --mode async [--shards N]
     python -m repro.experiments.throughput --backend process --shards 2
     python -m repro.experiments.throughput --replicas 2 --kill-shard
+    python -m repro.experiments.throughput --mode http --save-stats BENCH_http_e2e.json
 """
 
 from __future__ import annotations
@@ -73,7 +88,10 @@ import json
 import os
 import platform
 import random
+import threading
 import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -90,11 +108,14 @@ from repro.serving import (
     BACKEND_NAMES,
     AsyncDiversificationService,
     CacheStats,
+    DiversificationHTTPServer,
     DiversificationService,
     ServiceStats,
     ShardedDiversificationService,
     WarmReport,
+    result_payload,
 )
+from repro.serving.service import _percentile
 
 __all__ = [
     "ThroughputResult",
@@ -103,6 +124,7 @@ __all__ = [
     "BackendThroughputResult",
     "ReplicatedThroughputResult",
     "FusedThroughputResult",
+    "HTTPThroughputResult",
     "WorkloadFrameworkFactory",
     "zipf_workload",
     "make_framework",
@@ -112,6 +134,8 @@ __all__ = [
     "run_backend_throughput",
     "run_replicated_throughput",
     "run_fused_throughput",
+    "run_http_throughput",
+    "build_stats_record",
     "save_stats_record",
     "main",
 ]
@@ -1012,6 +1036,65 @@ def _latency_record(stats: ServiceStats) -> dict:
     }
 
 
+def build_stats_record(
+    mode: str,
+    *,
+    backend: str,
+    shards: int,
+    queries: int,
+    distinct: int,
+    qps: float,
+    seconds: float,
+    latency: dict,
+    scale: str,
+    replicas: int = 1,
+    policy: str | None = None,
+    zipf_s: float = 1.0,
+    identity_checked: bool = False,
+    hardware_limited: bool | None = None,
+    **extras,
+) -> dict:
+    """One ``--save-stats`` record with the mode-invariant core schema.
+
+    Every mode used to assemble its record ad hoc, so the emitted fields
+    drifted (batch lacked ``hardware_limited``/``zipf_s``/``policy``,
+    only replicated carried ``policy``, …) and BENCH trajectory tooling
+    could not compare records across modes.  This builder pins the core
+    keys — ``mode``/``backend``/``policy``/``shards``/``replicas``/
+    ``zipf_s``/``queries``/``distinct``/``qps``/``seconds``/``latency``/
+    ``identity_checked``/``hardware_limited``/``scale`` — for *every*
+    mode (``cores``/``python``/``timestamp``/``schema`` come from
+    :func:`save_stats_record`); mode-specific measurements ride along as
+    ``extras``.
+
+    ``hardware_limited`` defaults to "this host has fewer cores than the
+    cluster has shards" (the reading under which fan-out speedups cannot
+    reach the ideal); single-service runs are never hardware-limited.
+    """
+    if hardware_limited is None:
+        hardware_limited = (
+            shards > 0 and (os.cpu_count() or 1) < max(2, shards)
+        )
+    record = {
+        "mode": mode,
+        "backend": backend,
+        "policy": policy,
+        "shards": shards,
+        "replicas": replicas,
+        "zipf_s": zipf_s,
+        "queries": queries,
+        "distinct": distinct,
+        "qps": round(qps, 2),
+        "seconds": round(seconds, 5),
+        "latency": latency,
+        "identity_checked": identity_checked,
+        "hardware_limited": hardware_limited,
+        "scale": scale,
+    }
+    record.update(extras)
+    return record
+
+
 @dataclass(frozen=True)
 class AsyncThroughputResult:
     """Open-loop run of the async micro-batching front-end."""
@@ -1137,6 +1220,240 @@ def summarize_async(result: AsyncThroughputResult) -> str:
     )
 
 
+@dataclass(frozen=True)
+class HTTPThroughputResult:
+    """Open-loop run of the REST front-end over a real socket."""
+
+    queries: int
+    distinct: int
+    shards: int                #: 0 = unsharded backend
+    backend: str               #: execution backend label
+    seconds: float             #: wall-clock, first arrival → last response
+    offered_qps: float
+    ok: int                    #: 200 responses
+    errors: dict[str, int]     #: non-200 responses, keyed by status code
+    client_latencies_ms: tuple[float, ...]  #: client-observed, sorted
+    front_stats: ServiceStats  #: admission-window formation
+    backend_stats: ServiceStats
+    health: dict               #: GET /health snapshot taken under load
+    drain_report: dict         #: POST /drain response (incl. seconds)
+    identity_checked: bool
+    zipf_s: float
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.ok / self.seconds if self.seconds else 0.0
+
+    def client_percentile_ms(self, q: float) -> float:
+        return _percentile(self.client_latencies_ms, q)
+
+
+def run_http_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    seed: int = 13,
+    log_name: str = "AOL",
+    shards: int = 0,
+    backend: str | None = None,
+    max_batch_size: int = 16,
+    max_wait_s: float = 0.002,
+    offered_qps: float = 500.0,
+    zipf_s: float = 1.0,
+    timeout_s: float = 60.0,
+) -> HTTPThroughputResult:
+    """Measure the serving stack end-to-end through HTTP sockets.
+
+    The load is open-loop like ``--mode async`` — one client thread per
+    request, each sleeping until its exponentially-spaced arrival time
+    and then POSTing ``/diversify`` over a fresh connection — so the
+    reported percentiles are what a network client observes: socket +
+    JSON + admission window + serving, not just the inner batch.
+
+    Identity is the load-bearing check: every 200 response body must be
+    **field-identical** (the full :func:`~repro.serving.result_payload`
+    projection — ranking, specializations, baseline scores) to a direct
+    ``diversify_batch`` over the same query on a fresh inline reference.
+    After the stream drains the harness hits ``GET /health`` and
+    ``GET /stats``, then ``POST /drain`` — timing the graceful shutdown
+    and asserting no request was dropped on the floor.
+    """
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    queries = zipf_workload(workload, num_queries, seed, s=zipf_s)
+
+    # The sequential reference on its own cold service, projected to the
+    # wire format once so each HTTP body compares with plain ==.
+    reference = [
+        result_payload(result)
+        for result in DiversificationService(
+            make_framework(workload, log_name)
+        ).diversify_batch(queries)
+    ]
+
+    if shards > 0:
+        service = _build_cluster(workload, shards, log_name, backend=backend)
+        backend_label = backend or "thread"
+    else:
+        service = DiversificationService(make_framework(workload, log_name))
+        backend_label = "inline"
+    service.warm(queries)
+
+    rng = random.Random(seed + 1)
+    arrivals: list[float] = []
+    t = 0.0
+    for _ in queries:
+        t += rng.expovariate(offered_qps)
+        arrivals.append(t)
+
+    responses: list[tuple[int, dict] | None] = [None] * len(queries)
+    latencies_ms: list[float] = [0.0] * len(queries)
+
+    server = DiversificationHTTPServer(
+        service,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+        max_inflight=max(len(queries), 16),
+        ring_size=max(len(queries), 16),
+        default_timeout_s=timeout_s,
+    )
+    with server:
+        base = server.base_url
+        start = time.perf_counter() + 0.05  # let every client thread park
+
+        def client(index: int, query: str, at: float) -> None:
+            delay = start + at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            request = urllib.request.Request(
+                base + "/diversify",
+                data=json.dumps({"query": query}).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            sent = time.perf_counter()
+            status, body = 0, {}
+            for attempt in range(5):
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=timeout_s
+                    ) as rsp:
+                        status, body = rsp.status, json.load(rsp)
+                    break
+                except urllib.error.HTTPError as error:
+                    status, body = error.code, json.load(error)
+                    break
+                except OSError:
+                    # Connect refused/reset under a burst: back off and
+                    # retry — the connection never carried the request,
+                    # so a retry cannot duplicate work.
+                    time.sleep(0.01 * (attempt + 1))
+            else:
+                responses[index] = None  # recorded as client_error
+                return
+            latencies_ms[index] = (time.perf_counter() - sent) * 1000.0
+            responses[index] = (status, body)
+
+        threads = [
+            threading.Thread(
+                target=client, args=(i, q, at), name=f"http-client-{i}"
+            )
+            for i, (q, at) in enumerate(zip(queries, arrivals))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+
+        ok = 0
+        errors: dict[str, int] = {}
+        for index, outcome in enumerate(responses):
+            if outcome is None:  # pragma: no cover - client thread died
+                errors["client_error"] = errors.get("client_error", 0) + 1
+                continue
+            status, body = outcome
+            if status != 200:
+                errors[str(status)] = errors.get(str(status), 0) + 1
+                continue
+            ok += 1
+            if body != reference[index]:
+                raise AssertionError(
+                    f"HTTP response for {queries[index]!r} differs from "
+                    f"the direct diversify_batch reference"
+                )
+
+        with urllib.request.urlopen(base + "/health", timeout=10) as rsp:
+            health = json.load(rsp)
+        front_stats = server.front.stats
+        drain_request = urllib.request.Request(
+            base + "/drain", data=b"", method="POST"
+        )
+        with urllib.request.urlopen(drain_request, timeout=60) as rsp:
+            drain_report = json.load(rsp)
+        if drain_report["served_total"] != ok:
+            raise AssertionError(
+                f"drain reports {drain_report['served_total']} served but "
+                f"{ok} requests got 200 responses — futures were dropped"
+            )
+
+    if shards > 0:
+        backend_stats = service.cluster_stats()
+        service.close()
+    else:
+        backend_stats = service.stats
+
+    return HTTPThroughputResult(
+        queries=len(queries),
+        distinct=len(set(queries)),
+        shards=shards,
+        backend=backend_label,
+        seconds=seconds,
+        offered_qps=offered_qps,
+        ok=ok,
+        errors=errors,
+        client_latencies_ms=tuple(sorted(
+            latencies_ms[i]
+            for i, outcome in enumerate(responses)
+            if outcome is not None and outcome[0] == 200
+        )),
+        front_stats=front_stats,
+        backend_stats=backend_stats,
+        health=health,
+        drain_report=drain_report,
+        identity_checked=True,
+        zipf_s=zipf_s,
+    )
+
+
+def summarize_http(result: HTTPThroughputResult) -> str:
+    backend_label = (
+        f"{result.shards}-shard {result.backend} cluster"
+        if result.shards
+        else "single service"
+    )
+    headers = ["measure", "value"]
+    rows = [
+        ["requests (200)", result.ok],
+        ["errors", sum(result.errors.values())],
+        ["achieved qps", round(result.achieved_qps, 1)],
+        ["client p50 ms", round(result.client_percentile_ms(0.50), 2)],
+        ["client p95 ms", round(result.client_percentile_ms(0.95), 2)],
+        ["client p99 ms", round(result.client_percentile_ms(0.99), 2)],
+        ["mean batch", round(result.front_stats.mean_batch_size, 2)],
+        ["drain ms", round(result.drain_report["seconds"] * 1000.0, 2)],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"HTTP end-to-end — {result.queries} requests "
+            f"({result.distinct} distinct) over the {backend_label}, "
+            f"offered {result.offered_qps:.0f} qps"
+        ),
+    )
+
+
 def summarize(result: ThroughputResult) -> str:
     stats = result.service_stats
     headers = ["strategy", "seconds", "qps", "p50 ms", "p95 ms"]
@@ -1181,14 +1498,16 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--mode",
         default="batch",
-        choices=("batch", "async", "offline"),
+        choices=("batch", "async", "http", "offline"),
         help="'batch': pre-formed batches (loop-vs-batch, or 1-vs-N "
         "shards with --shards); 'async': the asyncio micro-batching "
         "front-end under open-loop Zipf arrivals, identity-checked "
-        "against the sequential path; 'offline': delegate to the "
-        "offline-pipeline benchmark (serial vs partition-parallel "
-        "index build + warm — python -m repro.experiments.offline "
-        "has the full knob set)",
+        "against the sequential path; 'http': the REST front-end "
+        "end-to-end through real sockets — open-loop clients, "
+        "field-identity vs diversify_batch, /health + /stats + /drain; "
+        "'offline': delegate to the offline-pipeline benchmark (serial "
+        "vs partition-parallel index build + warm — python -m "
+        "repro.experiments.offline has the full knob set)",
     )
     parser.add_argument(
         "--shards",
@@ -1251,8 +1570,9 @@ def main(argv: list[str] | None = None) -> None:
         type=float,
         default=1.0,
         metavar="S",
-        help="with --replicas: hot-key skew exponent of the Zipf stream "
-        "(1.0 = classic, larger = hotter head queries, 0 = uniform)",
+        help="with --replicas or --mode http: hot-key skew exponent of "
+        "the Zipf stream (1.0 = classic, larger = hotter head queries, "
+        "0 = uniform)",
     )
     parser.add_argument(
         "--save-stats",
@@ -1287,20 +1607,22 @@ def main(argv: list[str] | None = None) -> None:
         "--max-batch-size",
         type=int,
         default=16,
-        help="async mode: close the admission window at this many requests",
+        help="async/http mode: close the admission window at this many "
+        "requests",
     )
     parser.add_argument(
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="async mode: close the admission window this long after its "
-        "first request",
+        help="async/http mode: close the admission window this long after "
+        "its first request",
     )
     parser.add_argument(
         "--offered-qps",
         type=float,
-        default=2000.0,
-        help="async mode: open-loop arrival rate of the Zipf stream",
+        default=None,
+        help="async/http mode: open-loop arrival rate of the Zipf stream "
+        "(http defaults to 500 when unset)",
     )
     args = parser.parse_args(argv)
 
@@ -1373,32 +1695,109 @@ def main(argv: list[str] | None = None) -> None:
         if args.save_stats:
             path = save_stats_record(
                 args.save_stats,
-                {
-                    "mode": "replicated",
-                    "backend": "process",
-                    "shards": result.shards,
-                    "replicas": result.replicas,
-                    "policy": result.policy,
-                    "hedge_after_ms": result.hedge_after_ms,
-                    "kill_shard": result.kill_shard,
-                    "zipf_s": result.zipf_s,
-                    "queries": result.queries,
-                    "distinct": result.distinct,
-                    "qps": round(result.qps, 2),
-                    "seconds": round(result.seconds, 5),
-                    "respawns": result.respawns,
-                    "failovers": result.failovers,
-                    "hedges_fired": result.hedges_fired,
-                    "hedges_won": result.hedges_won,
-                    "latency": _latency_record(result.cluster_stats),
-                    "identity_checked": result.identity_checked,
-                    "scale": scale.name,
-                },
+                build_stats_record(
+                    "replicated",
+                    backend="process",
+                    shards=result.shards,
+                    replicas=result.replicas,
+                    policy=result.policy,
+                    zipf_s=result.zipf_s,
+                    queries=result.queries,
+                    distinct=result.distinct,
+                    qps=result.qps,
+                    seconds=result.seconds,
+                    latency=_latency_record(result.cluster_stats),
+                    identity_checked=result.identity_checked,
+                    scale=scale.name,
+                    hedge_after_ms=result.hedge_after_ms,
+                    kill_shard=result.kill_shard,
+                    respawns=result.respawns,
+                    failovers=result.failovers,
+                    hedges_fired=result.hedges_fired,
+                    hedges_won=result.hedges_won,
+                ),
             )
             print(f"benchmark record written to {path}")
         return
     if args.kill_shard or args.hedge_ms is not None:
         parser.error("--kill-shard/--hedge-ms require --replicas 2 or more")
+
+    offered_qps = args.offered_qps
+    if offered_qps is None:
+        offered_qps = 500.0 if args.mode == "http" else 2000.0
+
+    if args.mode == "http":
+        shards = args.shards or (2 if args.backend else 0)
+        result = run_http_throughput(
+            workload,
+            args.queries,
+            log_name=args.log,
+            shards=shards,
+            backend=args.backend,
+            max_batch_size=args.max_batch_size,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            offered_qps=offered_qps,
+            zipf_s=args.zipf_s,
+        )
+        print(summarize_http(result))
+        print()
+        print(
+            f"served {result.ok}/{result.queries} requests over HTTP in "
+            f"{result.seconds:.3f}s ({result.achieved_qps:.1f} qps achieved "
+            f"vs {result.offered_qps:.0f} offered)"
+        )
+        if result.errors:
+            print(f"errors by status: {result.errors}")
+        front = result.front_stats
+        print(
+            f"formation: mean batch {front.mean_batch_size:.1f}, "
+            f"queue wait mean={front.mean_wait_ms:.2f}ms "
+            f"p95={front.wait_percentile_ms(0.95):.2f}ms"
+        )
+        print(f"health under load: {result.health['status']}")
+        print(
+            f"drain: {result.drain_report['served_total']} served, "
+            f"{result.drain_report['pending_at_drain']} pending at drain, "
+            f"{result.drain_report['seconds'] * 1000.0:.1f}ms"
+        )
+        print(
+            "identity check: every 200 response body equals the direct "
+            "diversify_batch payload, field for field."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                build_stats_record(
+                    "http",
+                    backend=result.backend,
+                    shards=result.shards,
+                    queries=result.queries,
+                    distinct=result.distinct,
+                    qps=result.achieved_qps,
+                    seconds=result.seconds,
+                    latency={
+                        "mean_ms": round(
+                            sum(result.client_latencies_ms)
+                            / max(len(result.client_latencies_ms), 1),
+                            4,
+                        ),
+                        "p50_ms": round(result.client_percentile_ms(0.50), 4),
+                        "p95_ms": round(result.client_percentile_ms(0.95), 4),
+                        "p99_ms": round(result.client_percentile_ms(0.99), 4),
+                    },
+                    scale=scale.name,
+                    zipf_s=result.zipf_s,
+                    identity_checked=result.identity_checked,
+                    offered_qps=round(result.offered_qps, 2),
+                    ok=result.ok,
+                    errors=result.errors,
+                    mean_batch_size=round(front.mean_batch_size, 3),
+                    drain_seconds=round(result.drain_report["seconds"], 5),
+                    backend_latency=_latency_record(result.backend_stats),
+                ),
+            )
+            print(f"benchmark record written to {path}")
+        return
 
     if args.backend is not None:
         result = run_backend_throughput(
@@ -1441,24 +1840,24 @@ def main(argv: list[str] | None = None) -> None:
         if args.save_stats:
             path = save_stats_record(
                 args.save_stats,
-                {
-                    "mode": "backend",
-                    "backend": result.backend,
-                    "baseline": result.baseline,
-                    "shards": result.shards,
-                    "queries": result.queries,
-                    "distinct": result.distinct,
-                    "qps": round(result.backend_qps, 2),
-                    "baseline_qps": round(result.baseline_qps, 2),
-                    "speedup": round(result.speedup, 3),
-                    "noise": round(result.noise, 3),
-                    "seconds": round(result.backend_seconds, 5),
-                    "baseline_seconds": round(result.baseline_seconds, 5),
-                    "latency": _latency_record(result.cluster_stats),
-                    "hardware_limited": result.hardware_limited,
-                    "identity_checked": result.identity_checked,
-                    "scale": scale.name,
-                },
+                build_stats_record(
+                    "backend",
+                    backend=result.backend,
+                    shards=result.shards,
+                    queries=result.queries,
+                    distinct=result.distinct,
+                    qps=result.backend_qps,
+                    seconds=result.backend_seconds,
+                    latency=_latency_record(result.cluster_stats),
+                    identity_checked=result.identity_checked,
+                    hardware_limited=result.hardware_limited,
+                    scale=scale.name,
+                    baseline=result.baseline,
+                    baseline_qps=round(result.baseline_qps, 2),
+                    baseline_seconds=round(result.baseline_seconds, 5),
+                    speedup=round(result.speedup, 3),
+                    noise=round(result.noise, 3),
+                ),
             )
             print(f"benchmark record written to {path}")
         return
@@ -1471,7 +1870,7 @@ def main(argv: list[str] | None = None) -> None:
             shards=args.shards,
             max_batch_size=args.max_batch_size,
             max_wait_s=args.max_wait_ms / 1000.0,
-            offered_qps=args.offered_qps,
+            offered_qps=offered_qps,
         )
         print(summarize_async(result))
         print()
@@ -1495,20 +1894,20 @@ def main(argv: list[str] | None = None) -> None:
         if args.save_stats:
             path = save_stats_record(
                 args.save_stats,
-                {
-                    "mode": "async",
-                    "backend": "thread",
-                    "shards": result.shards,
-                    "queries": result.queries,
-                    "distinct": result.distinct,
-                    "qps": round(result.achieved_qps, 2),
-                    "offered_qps": round(result.offered_qps, 2),
-                    "seconds": round(result.seconds, 5),
-                    "mean_batch_size": round(front.mean_batch_size, 3),
-                    "latency": _latency_record(result.backend_stats),
-                    "identity_checked": result.identity_checked,
-                    "scale": scale.name,
-                },
+                build_stats_record(
+                    "async",
+                    backend="thread",
+                    shards=result.shards,
+                    queries=result.queries,
+                    distinct=result.distinct,
+                    qps=result.achieved_qps,
+                    seconds=result.seconds,
+                    latency=_latency_record(result.backend_stats),
+                    identity_checked=result.identity_checked,
+                    scale=scale.name,
+                    offered_qps=round(result.offered_qps, 2),
+                    mean_batch_size=round(front.mean_batch_size, 3),
+                ),
             )
             print(f"benchmark record written to {path}")
         return
@@ -1545,20 +1944,21 @@ def main(argv: list[str] | None = None) -> None:
         if args.save_stats:
             path = save_stats_record(
                 args.save_stats,
-                {
-                    "mode": "sharded",
-                    "backend": "thread",
-                    "shards": sharded.shards,
-                    "queries": sharded.queries,
-                    "distinct": sharded.distinct,
-                    "qps": round(sharded.sharded_qps, 2),
-                    "baseline_qps": round(sharded.single_qps, 2),
-                    "speedup": round(sharded.speedup, 3),
-                    "noise": round(sharded.noise, 3),
-                    "seconds": round(sharded.sharded_seconds, 5),
-                    "latency": _latency_record(sharded.cluster_stats),
-                    "scale": scale.name,
-                },
+                build_stats_record(
+                    "sharded",
+                    backend="thread",
+                    shards=sharded.shards,
+                    queries=sharded.queries,
+                    distinct=sharded.distinct,
+                    qps=sharded.sharded_qps,
+                    seconds=sharded.sharded_seconds,
+                    latency=_latency_record(sharded.cluster_stats),
+                    identity_checked=True,
+                    scale=scale.name,
+                    baseline_qps=round(sharded.single_qps, 2),
+                    speedup=round(sharded.speedup, 3),
+                    noise=round(sharded.noise, 3),
+                ),
             )
             print(f"benchmark record written to {path}")
         return
@@ -1599,30 +1999,28 @@ def main(argv: list[str] | None = None) -> None:
         if args.save_stats:
             path = save_stats_record(
                 args.save_stats,
-                {
-                    "mode": "fused",
-                    "backend": "inline",
-                    "shards": 0,
-                    "queries": fused_result.queries,
-                    "distinct": fused_result.distinct,
-                    "qps": round(fused_result.fused_qps, 2),
-                    "baseline_qps": round(fused_result.looped_qps, 2),
-                    "speedup": round(fused_result.speedup, 3),
-                    "noise": round(fused_result.noise, 3),
-                    "seconds": round(fused_result.fused_seconds, 5),
-                    "baseline_seconds": round(
-                        fused_result.looped_seconds, 5
-                    ),
-                    "warm_seconds": round(fused_result.warm_seconds, 5),
-                    "pad_fill_ratio": round(fused_result.pad_fill_ratio, 4),
-                    "fusion_groups": stats.fusion_groups,
-                    "fused_queries": stats.fused_queries,
-                    "fallback_queries": stats.fallback_queries,
-                    "latency": _latency_record(stats),
-                    "stage_profile": fused_result.stage_profile,
-                    "identity_checked": fused_result.identity_checked,
-                    "scale": scale.name,
-                },
+                build_stats_record(
+                    "fused",
+                    backend="inline",
+                    shards=0,
+                    queries=fused_result.queries,
+                    distinct=fused_result.distinct,
+                    qps=fused_result.fused_qps,
+                    seconds=fused_result.fused_seconds,
+                    latency=_latency_record(stats),
+                    identity_checked=fused_result.identity_checked,
+                    scale=scale.name,
+                    baseline_qps=round(fused_result.looped_qps, 2),
+                    baseline_seconds=round(fused_result.looped_seconds, 5),
+                    speedup=round(fused_result.speedup, 3),
+                    noise=round(fused_result.noise, 3),
+                    warm_seconds=round(fused_result.warm_seconds, 5),
+                    pad_fill_ratio=round(fused_result.pad_fill_ratio, 4),
+                    fusion_groups=stats.fusion_groups,
+                    fused_queries=stats.fused_queries,
+                    fallback_queries=stats.fallback_queries,
+                    stage_profile=fused_result.stage_profile,
+                ),
             )
             print(f"benchmark record written to {path}")
         return
@@ -1652,20 +2050,21 @@ def main(argv: list[str] | None = None) -> None:
     if args.save_stats:
         path = save_stats_record(
             args.save_stats,
-            {
-                "mode": "batch",
-                "backend": "inline",
-                "shards": 0,
-                "queries": result.queries,
-                "distinct": result.distinct,
-                "qps": round(result.batch_qps, 2),
-                "baseline_qps": round(result.loop_qps, 2),
-                "speedup": round(result.speedup, 3),
-                "seconds": round(result.batch_seconds, 5),
-                "warm_seconds": round(result.warm_seconds, 5),
-                "latency": _latency_record(result.service_stats),
-                "scale": scale.name,
-            },
+            build_stats_record(
+                "batch",
+                backend="inline",
+                shards=0,
+                queries=result.queries,
+                distinct=result.distinct,
+                qps=result.batch_qps,
+                seconds=result.batch_seconds,
+                latency=_latency_record(result.service_stats),
+                identity_checked=True,
+                scale=scale.name,
+                baseline_qps=round(result.loop_qps, 2),
+                speedup=round(result.speedup, 3),
+                warm_seconds=round(result.warm_seconds, 5),
+            ),
         )
         print(f"benchmark record written to {path}")
 

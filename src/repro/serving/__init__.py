@@ -46,6 +46,13 @@ grows it past one worker:
   service above on an executor, with batch-formation accounting in
   :class:`ServiceStats`.  Results are identical to a direct
   ``diversify_batch`` call;
+* :class:`~repro.serving.http.DiversificationHTTPServer` — the network
+  face: a stdlib-only REST front-end (``ThreadingHTTPServer`` bridging
+  into the async service's admission windows) with ``POST /diversify``,
+  paginated ``GET /results``, ``GET /health`` / ``GET /stats``
+  operational surfaces and ``POST /drain`` for graceful rolling
+  restarts.  Responses are field-identical to a direct
+  ``diversify_batch`` on the wrapped backend;
 * :class:`~repro.core.cache.LRUCache` (re-exported) — the bounded cache
   shared with the framework and the search engine.
 
@@ -75,6 +82,12 @@ from repro.serving.backends import (
     WorkerDiedError,
     make_backend,
 )
+from repro.serving.http import (
+    ApiError,
+    DiversificationHTTPServer,
+    result_payload,
+    stats_payload,
+)
 from repro.serving.offline import PartitionBuildFactory, build_partitioned_engine
 from repro.serving.replication import (
     REPLICA_POLICIES,
@@ -92,10 +105,12 @@ from repro.serving.service import (
 from repro.serving.sharded import ShardedDiversificationService, ShardServiceFactory
 
 __all__ = [
+    "ApiError",
     "AsyncDiversificationService",
     "BACKEND_NAMES",
     "BackendError",
     "CacheStats",
+    "DiversificationHTTPServer",
     "ExecutionBackend",
     "InlineBackend",
     "LRUCache",
@@ -110,7 +125,9 @@ __all__ = [
     "ReplicaWorker",
     "ReplicatedBackend",
     "build_partitioned_engine",
+    "result_payload",
     "ServiceClosed",
+    "stats_payload",
     "ServiceStats",
     "ShardServiceFactory",
     "ShardedDiversificationService",

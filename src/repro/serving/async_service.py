@@ -176,26 +176,71 @@ class AsyncDiversificationService:
         admission window closes immediately rather than waiting out
         ``max_wait_s``.  Submitters blocked on backpressure, and any
         requests still queued with ``drain=False``, are failed with
-        :class:`ServiceClosed`.  Idempotent.
+        :class:`ServiceClosed`.  Idempotent, including *concurrent*
+        stops: overlapping callers share one shutdown instead of
+        cancelling a runner another stop already tore down.
         """
-        if self._runner is None:
+        runner = self._runner
+        if runner is None:
             return
         self._closing.set()
         if drain:
             await self._queue.join()
-        self._runner.cancel()
-        await asyncio.gather(self._runner, return_exceptions=True)
-        self._runner = None
-        # Whatever raced its way into the queue after the drain (or sat
-        # there on a non-draining stop) can no longer be served.
+        if self._runner is runner:
+            self._runner = None
+            runner.cancel()
+        await asyncio.gather(runner, return_exceptions=True)
+        await self._sweep_rejected()
+
+    async def _sweep_rejected(self) -> None:
+        """Fail every request still in (or racing into) the queue.
+
+        A submitter parked on backpressure holds its item *outside* the
+        queue: each ``get_nowait`` below frees a slot and wakes one such
+        putter, whose item only lands after the event loop runs its
+        resumed coroutine.  A single sweep would miss those stragglers —
+        their futures would never resolve — so the sweep repeats, with
+        yield rounds in between, until a full round finds the queue
+        empty and nothing new arrived.
+        """
         while True:
-            try:
-                item = self._queue.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            if not item.future.done():
-                item.future.set_exception(ServiceClosed("service stopped"))
-            self._queue.task_done()
+            swept = False
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                swept = True
+                if not item.future.done():
+                    item.future.set_exception(ServiceClosed("service stopped"))
+                self._queue.task_done()
+            for _ in range(3):  # let woken putters land their items
+                await asyncio.sleep(0)
+            if not swept and self._queue.empty():
+                return
+
+    async def drain(self) -> dict:
+        """Graceful-shutdown hook: stop admitting, flush what is queued.
+
+        The rolling-restart primitive the HTTP layer's ``POST /drain``
+        exposes: admission closes immediately (new submits raise
+        :class:`ServiceClosed`), every request already accepted is still
+        batched and resolved, and the returned counts say what the drain
+        found and how long the flush took.  Safe to call on a stopped
+        (or never-started) service — it reports zero pending and flags
+        ``already_stopped``.
+        """
+        already_stopped = self._runner is None
+        pending = 0 if self._queue is None else self._queue.qsize()
+        start = time.perf_counter()
+        await self.stop(drain=True)
+        return {
+            "already_stopped": already_stopped,
+            "pending_at_drain": pending,
+            "served_total": self.stats.served,
+            "batches_total": self.stats.batches,
+            "seconds": time.perf_counter() - start,
+        }
 
     async def __aenter__(self) -> "AsyncDiversificationService":
         self.start()

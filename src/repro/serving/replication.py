@@ -730,6 +730,31 @@ class ReplicatedBackend(ExecutionBackend):
         self._require_started()
         return tuple(worker.pid for worker in self._sets[shard].workers)
 
+    def health(self) -> dict[int, list[dict]]:
+        """Liveness snapshot of every replica slot, keyed by shard.
+
+        Each entry reports what an operator polling a health endpoint
+        needs: the slot index, whether the worker behind it is alive as
+        far as the OS (or scripted harness) knows, its pid, and how many
+        times the slot has been respawned.  Purely observational — no
+        burial or respawn is triggered; a dead slot shows ``alive:
+        False`` until the routing layer's next health sweep replaces it.
+        """
+        self._require_started()
+        snapshot: dict[int, list[dict]] = {}
+        for shard, replica_set in sorted(self._sets.items()):
+            stats = replica_set.stats()
+            snapshot[shard] = [
+                {
+                    "replica": slot,
+                    "alive": worker.alive(),
+                    "pid": worker.pid,
+                    "respawns": stats.respawns[slot],
+                }
+                for slot, worker in enumerate(replica_set.workers)
+            ]
+        return snapshot
+
     def close(self) -> None:
         if self._closed:
             return

@@ -194,11 +194,32 @@ class WarmReport:
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    """Linearly interpolated percentile of an ascending sequence.
+
+    Matches ``statistics.quantiles(values, method="inclusive")`` (and
+    numpy's default ``"linear"``): the quantile *q* sits at fractional
+    position ``q * (n - 1)`` and interpolates between the two bracketing
+    samples.  Degenerate inputs are pinned: an empty sequence reports
+    ``0.0`` (there is no latency to report, not an error), a single
+    sample answers every ``q`` with itself, and ``q`` outside ``[0, 1]``
+    clamps to the extremes.  The earlier nearest-rank implementation
+    rounded the position (with banker's rounding, so p50 of two samples
+    fell on the *lower* one) — merged shard/replica samples crossed the
+    interpolation thresholds in order-dependent ways; this form is
+    order-independent given the sort.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = min(1.0, max(0.0, q)) * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (
+        sorted_values[lower] * (1.0 - fraction)
+        + sorted_values[upper] * fraction
+    )
 
 
 #: How many recent per-query latencies ServiceStats keeps for the

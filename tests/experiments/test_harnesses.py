@@ -259,6 +259,94 @@ class TestThroughputBackendsAndRecords:
         with pytest.raises(ValueError):
             run_backend_throughput(workload, baseline="gpu")
 
+    #: Keys every --save-stats record must carry regardless of mode, so
+    #: BENCH trajectory tooling can compare records across modes.
+    CORE_RECORD_KEYS = frozenset(
+        {
+            "mode", "backend", "policy", "shards", "replicas", "zipf_s",
+            "queries", "distinct", "qps", "seconds", "latency",
+            "identity_checked", "hardware_limited", "scale",
+        }
+    )
+
+    def test_build_stats_record_core_schema_is_mode_invariant(self):
+        from repro.experiments.throughput import build_stats_record
+
+        latency = {"mean_ms": 1.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0}
+        minimal = build_stats_record(
+            "batch",
+            backend="inline",
+            shards=0,
+            queries=10,
+            distinct=5,
+            qps=100.0,
+            seconds=0.1,
+            latency=latency,
+            scale="tiny",
+        )
+        assert self.CORE_RECORD_KEYS <= set(minimal)
+        assert minimal["policy"] is None
+        assert minimal["replicas"] == 1
+        assert minimal["zipf_s"] == 1.0
+        assert minimal["hardware_limited"] is False
+
+        rich = build_stats_record(
+            "replicated",
+            backend="process",
+            shards=2,
+            replicas=3,
+            policy="least-outstanding",
+            zipf_s=1.4,
+            queries=10,
+            distinct=5,
+            qps=100.0,
+            seconds=0.1,
+            latency=latency,
+            scale="tiny",
+            identity_checked=True,
+            respawns=1,
+        )
+        assert self.CORE_RECORD_KEYS <= set(rich)
+        assert rich["respawns"] == 1  # extras ride along
+        # two shards on this host: limited exactly when cores < 2
+        import os
+
+        assert rich["hardware_limited"] == ((os.cpu_count() or 1) < 2)
+        assert build_stats_record(
+            "backend",
+            backend="process",
+            shards=2,
+            queries=1,
+            distinct=1,
+            qps=1.0,
+            seconds=1.0,
+            latency=latency,
+            scale="tiny",
+            hardware_limited=True,
+        )["hardware_limited"] is True
+
+    def test_http_throughput_end_to_end(self, workload, tmp_path):
+        from repro.experiments.throughput import (
+            run_http_throughput,
+            summarize_http,
+        )
+
+        result = run_http_throughput(
+            workload, num_queries=12, offered_qps=2000.0
+        )
+        assert result.identity_checked
+        assert result.ok == 12
+        assert result.errors == {}
+        assert result.drain_report["served_total"] == 12
+        assert result.health["status"] == "ok"
+        assert len(result.client_latencies_ms) == 12
+        assert (
+            result.client_percentile_ms(0.50)
+            <= result.client_percentile_ms(0.95)
+            <= result.client_percentile_ms(0.99)
+        )
+        assert "HTTP end-to-end" in summarize_http(result)
+
 
 class TestOfflinePipelineHarness:
     def test_offline_build_end_to_end(self, workload, tmp_path):

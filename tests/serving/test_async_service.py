@@ -489,6 +489,87 @@ class TestLifecycle:
             AsyncDiversificationService(backend, max_pending=0)
 
 
+class TestStopRaces:
+    """Interleavings where stop() races submitters or another stop().
+
+    These pin two former bugs: concurrent stops tripping over each
+    other's ``_runner = None`` (AttributeError mid-shutdown), and a
+    non-draining stop whose single queue sweep missed items that blocked
+    putters landed *after* the sweep — leaving their futures unresolved
+    forever.  The 20s watchdog in :func:`run` turns such a hang into a
+    failure.
+    """
+
+    def test_concurrent_stops_during_drain(self, service):
+        gated = GatedBackend(service)
+
+        async def scenario():
+            front = AsyncDiversificationService(
+                gated, max_batch_size=1, max_wait_s=0
+            )
+            front.start()
+            task = asyncio.create_task(front.submit("q0"))
+            await settle()  # q0 is inside the gated dispatch
+            stops = [
+                asyncio.create_task(front.stop(drain=True)) for _ in range(3)
+            ]
+            await settle()  # every stop is parked on the queue join
+            gated.gate.set()
+            await asyncio.gather(*stops)
+            assert not front.running
+            result = await task
+            assert result.query == "q0"
+
+        run(scenario())
+
+    def test_late_putters_are_failed_not_hung(self, service):
+        """Two submitters blocked on a full queue: the stop-side sweep
+        wakes them, their items land *after* the first sweep pass, and
+        both must still be failed with ServiceClosed."""
+        gated = GatedBackend(service)
+
+        async def scenario():
+            front = AsyncDiversificationService(
+                gated, max_batch_size=1, max_wait_s=0, max_pending=1
+            )
+            try:
+                front.start()
+                tasks = [
+                    asyncio.create_task(front.submit(f"q{i}"))
+                    for i in range(4)
+                ]
+                await settle()  # q0 gated, q1 queued, q2+q3 blocked on put
+                stop = asyncio.create_task(front.stop(drain=False))
+                outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+                await stop
+                assert all(isinstance(o, ServiceClosed) for o in outcomes)
+                assert not front.running
+            finally:
+                gated.gate.set()
+
+        run(scenario())
+
+    def test_drain_reports_counts_and_is_idempotent(
+        self, backend, topic_queries
+    ):
+        async def scenario():
+            front = make_front(backend, ManualClock(), max_wait_s=0)
+            front.start()
+            await front.submit_many(topic_queries[:3])
+            report = await front.drain()
+            assert report["already_stopped"] is False
+            assert report["served_total"] == 3
+            assert report["batches_total"] >= 1
+            assert report["pending_at_drain"] == 0
+            assert report["seconds"] >= 0
+            assert not front.running
+            second = await front.drain()
+            assert second["already_stopped"] is True
+            assert second["served_total"] == 3
+
+        run(scenario())
+
+
 class TestStats:
     def test_formation_accounting_is_exact_under_the_manual_clock(
         self, backend, topic_queries

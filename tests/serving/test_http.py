@@ -1,0 +1,427 @@
+"""Contract tests for the HTTP serving surface.
+
+Every endpoint's documented behaviour — status codes, error bodies,
+pagination edges, the drain lifecycle — is pinned against a live
+:class:`~repro.serving.DiversificationHTTPServer` on an ephemeral port.
+Concurrency scenarios (429 shedding, request timeout, drain under load)
+are made deterministic with a gate backend that blocks ``diversify_batch``
+until the test opens it, so no scenario depends on scheduler luck.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import (
+    DiversificationHTTPServer,
+    DiversificationService,
+    ShardedDiversificationService,
+    result_payload,
+)
+from repro.serving.http import DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT
+
+
+# -- HTTP helpers ----------------------------------------------------------------
+
+
+def get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as rsp:
+            return rsp.status, json.load(rsp)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def post(url: str, body: dict | bytes | None = None) -> tuple[int, dict]:
+    if body is None:
+        data = b""
+    elif isinstance(body, bytes):
+        data = body
+    else:
+        data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as rsp:
+            return rsp.status, json.load(rsp)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def error_code(body: dict) -> str:
+    return body["error"]["code"]
+
+
+class GateBackend:
+    """A service wrapper whose ``diversify_batch`` blocks until opened.
+
+    ``entered`` fires when a batch reaches the backend, so tests can wait
+    until a request is genuinely in flight before acting on it.
+    """
+
+    def __init__(self, service):
+        self._service = service
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._service, name)
+
+    def diversify_batch(self, queries):
+        self.entered.set()
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        return self._service.diversify_batch(queries)
+
+
+@pytest.fixture()
+def server(framework_factory, topic_queries):
+    service = DiversificationService(framework_factory())
+    service.warm(topic_queries)
+    with DiversificationHTTPServer(service) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def reference(framework_factory, topic_queries):
+    """Direct diversify_batch payloads for the same queries, own service."""
+    service = DiversificationService(framework_factory())
+    service.warm(topic_queries)
+    return {
+        query: result_payload(result)
+        for query, result in zip(
+            topic_queries, service.diversify_batch(topic_queries)
+        )
+    }
+
+
+# -- POST /diversify -------------------------------------------------------------
+
+
+class TestDiversify:
+    def test_single_query_matches_direct_batch(
+        self, server, reference, topic_queries
+    ):
+        query = topic_queries[0]
+        status, body = post(server.base_url + "/diversify", {"query": query})
+        assert status == 200
+        assert body == reference[query]
+
+    def test_batch_body_matches_direct_batch(
+        self, server, reference, topic_queries
+    ):
+        status, body = post(
+            server.base_url + "/diversify", {"queries": topic_queries}
+        )
+        assert status == 200
+        assert body["results"] == [reference[q] for q in topic_queries]
+
+    def test_repeated_queries_keep_request_order(self, server, topic_queries):
+        queries = [topic_queries[0], topic_queries[1], topic_queries[0]]
+        status, body = post(server.base_url + "/diversify", {"queries": queries})
+        assert status == 200
+        assert [r["query"] for r in body["results"]] == queries
+        assert body["results"][0] == body["results"][2]
+
+    def test_malformed_json_is_400(self, server):
+        status, body = post(server.base_url + "/diversify", b"{not json")
+        assert status == 400
+        assert error_code(body) == "bad_json"
+
+    def test_missing_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.base_url + "/diversify", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc_info.value.code == 400
+
+    @pytest.mark.parametrize(
+        "body, code",
+        [
+            ({}, "invalid_body"),
+            ({"query": "a", "queries": ["b"]}, "invalid_body"),
+            ({"nope": 1}, "unknown_field"),
+            ({"query": ""}, "invalid_query"),
+            ({"query": 7}, "invalid_query"),
+            ({"queries": []}, "invalid_queries"),
+            ({"queries": "not a list"}, "invalid_queries"),
+            ({"queries": ["ok", ""]}, "invalid_queries"),
+            ({"query": "a", "timeout_ms": 0}, "invalid_timeout"),
+            ({"query": "a", "timeout_ms": True}, "invalid_timeout"),
+            ({"query": "a", "timeout_ms": "soon"}, "invalid_timeout"),
+        ],
+    )
+    def test_validation_errors_are_422(self, server, body, code):
+        status, got = post(server.base_url + "/diversify", body)
+        assert status == 422
+        assert error_code(got) == code
+
+    def test_unknown_path_is_404(self, server):
+        status, body = get(server.base_url + "/nope")
+        assert status == 404
+        assert error_code(body) == "not_found"
+
+    def test_wrong_method_is_405(self, server):
+        status, body = get(server.base_url + "/diversify")
+        assert status == 405
+        assert error_code(body) == "method_not_allowed"
+        status, body = post(server.base_url + "/health")
+        assert status == 405
+
+
+# -- GET /results ----------------------------------------------------------------
+
+
+class TestResultsPagination:
+    def test_empty_ring(self, server):
+        status, body = get(server.base_url + "/results")
+        assert status == 200
+        assert body["items"] == []
+        assert body["page"] == {
+            "total": 0,
+            "limit": DEFAULT_PAGE_LIMIT,
+            "offset": 0,
+            "next_cursor": None,
+            "has_more": False,
+        }
+
+    def test_offset_walk_covers_ring_in_serve_order(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"queries": topic_queries})
+        seen = []
+        offset = 0
+        while True:
+            status, body = get(
+                f"{server.base_url}/results?limit=2&offset={offset}"
+            )
+            assert status == 200
+            seen.extend(item["query"] for item in body["items"])
+            if not body["page"]["has_more"]:
+                break
+            offset += len(body["items"])
+        assert seen == topic_queries
+
+    def test_offset_past_end_is_empty_not_error(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"query": topic_queries[0]})
+        status, body = get(server.base_url + "/results?offset=999")
+        assert status == 200
+        assert body["items"] == []
+        assert body["page"]["has_more"] is False
+        assert body["page"]["total"] == 1
+
+    def test_cursor_walk_is_gapless_and_ascending(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"queries": topic_queries})
+        seqs, cursor = [], "0"
+        while True:
+            status, body = get(
+                f"{server.base_url}/results?limit=2&cursor={cursor}"
+            )
+            assert status == 200
+            seqs.extend(item["seq"] for item in body["items"])
+            if not body["page"]["has_more"]:
+                break
+            cursor = body["page"]["next_cursor"]
+        assert seqs == list(range(1, len(topic_queries) + 1))
+
+    def test_cursor_past_end_is_empty(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"query": topic_queries[0]})
+        status, body = get(server.base_url + "/results?cursor=999")
+        assert status == 200
+        assert body["items"] == []
+        assert body["page"]["has_more"] is False
+
+    def test_bad_cursor_is_400(self, server):
+        status, body = get(server.base_url + "/results?cursor=xyzzy")
+        assert status == 400
+        assert error_code(body) == "bad_cursor"
+
+    @pytest.mark.parametrize("param", ["limit=abc", "limit=0", "offset=-1"])
+    def test_bad_paging_params_are_400(self, server, param):
+        status, body = get(f"{server.base_url}/results?{param}")
+        assert status == 400
+
+    def test_limit_clamps_at_max(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"query": topic_queries[0]})
+        status, body = get(f"{server.base_url}/results?limit=99999")
+        assert status == 200
+        assert body["page"]["limit"] == MAX_PAGE_LIMIT
+
+    def test_ring_is_bounded(self, framework_factory, topic_queries):
+        service = DiversificationService(framework_factory())
+        service.warm(topic_queries)
+        with DiversificationHTTPServer(service, ring_size=2) as srv:
+            post(srv.base_url + "/diversify", {"queries": topic_queries[:4]})
+            status, body = get(srv.base_url + "/results")
+            assert status == 200
+            assert body["page"]["total"] == 2
+            # the ring keeps the most recent entries
+            assert [i["query"] for i in body["items"]] == topic_queries[2:4]
+
+
+# -- GET /health and GET /stats --------------------------------------------------
+
+
+class TestHealthAndStats:
+    def test_health_single_service(self, server):
+        status, body = get(server.base_url + "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["running"] is True
+        assert body["kind"] == "single"
+
+    def test_health_sharded_cluster(self, framework_factory, topic_queries):
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: framework_factory(), num_shards=2
+        )
+        cluster.warm(topic_queries)
+        try:
+            with DiversificationHTTPServer(cluster) as srv:
+                status, body = get(srv.base_url + "/health")
+                assert status == 200
+                assert body["kind"] == "sharded"
+                assert body["shards"] == 2
+                assert body["execution_backend"] == "thread"
+        finally:
+            cluster.close()
+
+    def test_stats_counts_served_requests(self, server, topic_queries):
+        post(server.base_url + "/diversify", {"queries": topic_queries[:3]})
+        status, body = get(server.base_url + "/stats")
+        assert status == 200
+        assert body["backend"]["served"] == 3
+        assert body["front"]["served"] == 3
+        assert body["ring"]["size"] == 3
+        assert body["caches"]["specialization"]["maxsize"] > 0
+        assert body["draining"] is False
+        latency = body["backend"]["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+
+# -- concurrency, shedding, drain ------------------------------------------------
+
+
+class TestConcurrencyAndDrain:
+    def test_concurrent_clients_match_direct_batch(
+        self, server, reference, topic_queries
+    ):
+        queries = (topic_queries * 3)[: len(topic_queries) * 3]
+        outcomes: list[tuple[int, dict] | None] = [None] * len(queries)
+
+        def client(index: int, query: str) -> None:
+            outcomes[index] = post(
+                server.base_url + "/diversify", {"query": query}
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(i, q))
+            for i, q in enumerate(queries)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for query, outcome in zip(queries, outcomes):
+            assert outcome is not None
+            status, body = outcome
+            assert status == 200
+            assert body == reference[query]
+
+    def test_overload_sheds_with_429(self, framework_factory, topic_queries):
+        backend = GateBackend(DiversificationService(framework_factory()))
+        backend.warm(topic_queries)
+        with DiversificationHTTPServer(backend, max_inflight=1) as srv:
+            first: list[tuple[int, dict]] = []
+
+            def client():
+                first.append(
+                    post(srv.base_url + "/diversify", {"query": topic_queries[0]})
+                )
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            assert backend.entered.wait(timeout=10)
+            status, body = post(
+                srv.base_url + "/diversify", {"query": topic_queries[1]}
+            )
+            assert status == 429
+            assert error_code(body) == "overloaded"
+            backend.gate.set()
+            thread.join(timeout=30)
+            assert first and first[0][0] == 200
+
+    def test_request_timeout_is_503(self, framework_factory, topic_queries):
+        backend = GateBackend(DiversificationService(framework_factory()))
+        backend.warm(topic_queries)
+        with DiversificationHTTPServer(backend) as srv:
+            status, body = post(
+                srv.base_url + "/diversify",
+                {"query": topic_queries[0], "timeout_ms": 50},
+            )
+            assert status == 503
+            assert error_code(body) == "timeout"
+            backend.gate.set()  # let the in-flight batch finish before close
+
+    def test_drain_completes_inflight_and_rejects_new(
+        self, framework_factory, topic_queries
+    ):
+        backend = GateBackend(DiversificationService(framework_factory()))
+        backend.warm(topic_queries)
+        with DiversificationHTTPServer(backend) as srv:
+            outcomes: list[tuple[int, dict] | None] = [None] * 3
+
+            def client(index: int) -> None:
+                outcomes[index] = post(
+                    srv.base_url + "/diversify",
+                    {"query": topic_queries[index]},
+                )
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            assert backend.entered.wait(timeout=10)
+
+            drained: list[tuple[int, dict]] = []
+            drainer = threading.Thread(
+                target=lambda: drained.append(post(srv.base_url + "/drain"))
+            )
+            drainer.start()
+            backend.gate.set()
+            drainer.join(timeout=30)
+            for thread in threads:
+                thread.join(timeout=30)
+
+            # zero dropped futures: every admitted request completed
+            assert all(outcome is not None for outcome in outcomes)
+            statuses = sorted(status for status, _ in outcomes)
+            ok = statuses.count(200)
+            assert ok >= 1  # at least the gated in-flight request
+            assert set(statuses) <= {200, 503}
+
+            status, report = drained[0]
+            assert status == 200
+            assert report["served_total"] == ok
+            assert report["already_drained"] is False
+
+            # health reflects the drained state; reads still answered
+            status, health = get(srv.base_url + "/health")
+            assert status == 200
+            assert health["status"] == "drained"
+
+            # new work is rejected, idempotent drain reports itself
+            status, body = post(
+                srv.base_url + "/diversify", {"query": topic_queries[0]}
+            )
+            assert status == 503
+            assert error_code(body) == "draining"
+            status, second = post(srv.base_url + "/drain")
+            assert status == 200
+            assert second["already_drained"] is True
+            assert second["served_total"] == report["served_total"]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import random
+import statistics
+
 import pytest
 
-from repro.serving import DiversificationService
+from repro.serving import DiversificationService, ServiceStats
 
 
 @pytest.fixture()
@@ -133,3 +136,75 @@ class TestPrepare:
         assert info.size > 0
         assert info.hits >= info.size
         assert info.misses == 0
+
+
+class TestPercentileInterpolation:
+    """percentile_ms/wait_percentile_ms follow the linear-interpolation
+    ("inclusive") convention of ``statistics.quantiles`` — pinned here
+    because a nearest-rank implementation once diverged on small and
+    even-sized samples (banker's rounding picked the lower neighbour)."""
+
+    @staticmethod
+    def recorded(latencies):
+        stats = ServiceStats()
+        for value in latencies:
+            stats.record(value, diversified=False)
+        return stats
+
+    def test_empty_sample_is_zero(self):
+        stats = ServiceStats()
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert stats.percentile_ms(q) == 0.0
+            assert stats.wait_percentile_ms(q) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        stats = self.recorded([7.5])
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert stats.percentile_ms(q) == 7.5
+
+    def test_two_samples_interpolate_the_median(self):
+        stats = self.recorded([10.0, 20.0])
+        assert stats.percentile_ms(0.5) == pytest.approx(15.0)
+        assert stats.percentile_ms(0.25) == pytest.approx(12.5)
+        assert stats.percentile_ms(0.0) == 10.0
+        assert stats.percentile_ms(1.0) == 20.0
+
+    def test_out_of_range_q_clamps_to_extremes(self):
+        stats = self.recorded([5.0, 10.0, 20.0])
+        assert stats.percentile_ms(-3.0) == 5.0
+        assert stats.percentile_ms(7.0) == 20.0
+
+    def test_matches_statistics_quantiles_inclusive(self):
+        rng = random.Random(31)
+        samples = [rng.uniform(0.1, 50.0) for _ in range(101)]
+        stats = self.recorded(samples)
+        hundredths = statistics.quantiles(samples, n=100, method="inclusive")
+        for q, expected in ((0.25, hundredths[24]), (0.50, hundredths[49]),
+                            (0.95, hundredths[94]), (0.99, hundredths[98])):
+            assert stats.percentile_ms(q) == pytest.approx(expected)
+
+    def test_merged_out_of_order_shard_samples(self):
+        """Shards record independently, so a merged sample is unsorted
+        and interleaved; percentiles must equal those of the pooled,
+        re-sorted sample — order of merging must not matter."""
+        rng = random.Random(77)
+        per_shard = [
+            [rng.uniform(0.1, 30.0) for _ in range(rng.randrange(0, 40))]
+            for _ in range(4)
+        ]
+        shard_stats = [self.recorded(latencies) for latencies in per_shard]
+        merged = ServiceStats.merge(shard_stats)
+        reversed_merge = ServiceStats.merge(list(reversed(shard_stats)))
+        pooled = sorted(sample for shard in per_shard for sample in shard)
+        hundredths = statistics.quantiles(pooled, n=100, method="inclusive")
+        for q, expected in ((0.50, hundredths[49]), (0.95, hundredths[94])):
+            assert merged.percentile_ms(q) == pytest.approx(expected)
+            assert reversed_merge.percentile_ms(q) == pytest.approx(expected)
+
+    def test_merged_replica_wait_samples(self):
+        front_a, front_b = ServiceStats(), ServiceStats()
+        front_a.record_formation(2, [9.0, 1.0], queue_depth=0)
+        front_b.record_formation(2, [5.0, 3.0], queue_depth=0)
+        merged = ServiceStats.merge_replicas([front_a, front_b])
+        assert merged.wait_percentile_ms(0.5) == pytest.approx(4.0)
+        assert merged.wait_percentile_ms(1.0) == 9.0
