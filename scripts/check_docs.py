@@ -44,7 +44,11 @@ REQUIRED_SNIPPETS = [
     "--replicas 2",
     "--kill-shard",
     "--mode http",
+    "--mode coldstart",
+    "--store",
+    "--memory-budget",
     "BENCH_http_e2e.json",
+    "BENCH_store_coldstart.json",
     "/drain",
     "REPRO_SPAWN_LANE=1",
     "REPRO_KILL_LANE=1",

@@ -119,6 +119,11 @@ class OfflineBuildResult:
     hydrate_installed: int | None  #: artifacts installed from disk
     cores: int
     identity_checked: bool
+    store_bytes: int | None = None           #: size of the written store file
+    store_write_seconds: float | None = None
+    store_attach_seconds: float | None = None
+    #: re-warm fetches on a store-hydrated cluster (0 = warm rows hit in full)
+    store_warm_fetched: int | None = None
 
     @property
     def parallel_build_seconds(self) -> float:
@@ -165,6 +170,7 @@ def run_offline_build(
     seed: int = 13,
     log_name: str = "AOL",
     warm_dir=None,
+    store_path=None,
 ) -> OfflineBuildResult:
     """Run the offline pipeline serial-vs-parallel at the given sizes.
 
@@ -175,7 +181,12 @@ def run_offline_build(
     *warm_dir* the warmed cluster additionally persists its artifacts
     and a restarted cluster re-warms from disk (``hydrate_fetched`` is
     the number of artifacts the re-warm still had to fetch — zero when
-    hydration hit in full).
+    hydration hit in full).  With *store_path* the pipeline additionally
+    persists the engine plus every shard's warm artifacts as one SQLite
+    index store, attaches it (timed), asserts the store-backed engine
+    byte-identical to the undivided reference, and re-warms a
+    store-hydrated cluster — which must fetch **zero** artifacts and
+    serve rankings identical to the in-memory reference service.
     """
     if partitions <= 0:
         raise ValueError("partitions must be positive")
@@ -233,6 +244,8 @@ def run_offline_build(
         backend=make_backend(backend, start_method=start_method),
     )
     hydrate_fetched = hydrate_installed = None
+    store_bytes = store_write_seconds = store_attach_seconds = None
+    store_warm_fetched = None
     try:
         cluster_warm = cluster.warm(queries)
         got = cluster.diversify_batch(queries)
@@ -244,8 +257,48 @@ def run_offline_build(
         warm_memory = cluster.warm_memory_estimate()
         if warm_dir is not None:
             cluster.save_warm(warm_dir)
+        if store_path is not None:
+            from repro.serving.offline import persist_store
+
+            start = time.perf_counter()
+            persist_store(store_path, parallel_engine, cluster)
+            store_write_seconds = time.perf_counter() - start
+            store_bytes = os.path.getsize(store_path)
     finally:
         cluster.close()
+
+    if store_path is not None:
+        from repro.retrieval.store import StoreBackedSearchEngine
+
+        start = time.perf_counter()
+        store_engine = StoreBackedSearchEngine(store_path)
+        store_attach_seconds = time.perf_counter() - start
+        _assert_engines_identical(
+            workload.engine,
+            {"store-backed": store_engine},
+            topic_queries,
+            scale.k,
+        )
+        store_cluster = ShardedDiversificationService.from_factory(
+            PartitionedFrameworkFactory(store_engine, miner, config),
+            shards,
+            backend=make_backend(backend, start_method=start_method),
+            warm_store=store_path,
+        )
+        try:
+            # Warm rows hydrated at build time: a re-warm must fetch
+            # nothing, and served rankings must match the reference.
+            store_warm_fetched = store_cluster.warm(queries).fetched
+            got = store_cluster.diversify_batch(queries)
+            for want, result in zip(reference_results, got):
+                if want.ranking != result.ranking:
+                    raise AssertionError(
+                        "store-hydrated cluster changed the ranking of "
+                        f"{want.query!r}"
+                    )
+        finally:
+            store_cluster.close()
+            store_engine.close()
 
     if warm_dir is not None:
         restarted = ShardedDiversificationService.from_factory(
@@ -277,6 +330,10 @@ def run_offline_build(
         hydrate_installed=hydrate_installed,
         cores=os.cpu_count() or 1,
         identity_checked=True,
+        store_bytes=store_bytes,
+        store_write_seconds=store_write_seconds,
+        store_attach_seconds=store_attach_seconds,
+        store_warm_fetched=store_warm_fetched,
     )
 
 
@@ -368,6 +425,14 @@ def main(argv: list[str] | None = None) -> None:
         "restarted cluster hydrates them (re-warm must fetch 0)",
     )
     parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="persist the built engine + warm artifacts as one SQLite "
+        "index store at PATH, then attach-verify it (byte-identical "
+        "rankings/scores, store-hydrated cluster re-warm fetches 0)",
+    )
+    parser.add_argument(
         "--save-stats",
         metavar="PATH",
         default=None,
@@ -387,6 +452,7 @@ def main(argv: list[str] | None = None) -> None:
         start_method=args.start_method,
         log_name=args.log,
         warm_dir=args.warm_dir,
+        store_path=args.store,
     )
 
     print(summarize_build(result))
@@ -431,6 +497,16 @@ def main(argv: list[str] | None = None) -> None:
             f"{result.hydrate_installed} artifacts from {args.warm_dir!r} "
             f"and re-warm fetched {result.hydrate_fetched} "
             f"({'hit in full' if result.hydrate_fetched == 0 else 'partial'})"
+        )
+    if result.store_bytes is not None:
+        print(
+            f"store: {args.store!r} written in "
+            f"{result.store_write_seconds:.3f}s "
+            f"({result.store_bytes / 1e6:.2f}MB), attached in "
+            f"{result.store_attach_seconds:.4f}s (vs "
+            f"{result.serial_build_seconds:.3f}s rebuild); store-hydrated "
+            f"cluster re-warm fetched {result.store_warm_fetched} "
+            f"({'hit in full' if result.store_warm_fetched == 0 else 'partial'})"
         )
     print(
         "rankings and scores verified identical: single engine == serial "
@@ -478,6 +554,19 @@ def main(argv: list[str] | None = None) -> None:
                     for r in build.shards
                 ],
                 "hydrate_fetched": result.hydrate_fetched,
+                "store": args.store,
+                "store_bytes": result.store_bytes,
+                "store_write_seconds": (
+                    round(result.store_write_seconds, 5)
+                    if result.store_write_seconds is not None
+                    else None
+                ),
+                "store_attach_seconds": (
+                    round(result.store_attach_seconds, 5)
+                    if result.store_attach_seconds is not None
+                    else None
+                ),
+                "store_warm_fetched": result.store_warm_fetched,
                 "hardware_limited": result.hardware_limited,
                 "identity_checked": result.identity_checked,
                 "scale": scale.name,

@@ -63,6 +63,16 @@ surface — ``GET /health``, ``GET /stats``, ``POST /drain`` — and
 reports client-observed request p50/p95/p99, per-status error counts
 and the drain latency.
 
+With ``--mode coldstart`` the harness times the two ways a serving
+process can reach "ready to answer": rebuild the partitioned index from
+raw documents, or *attach* the SQLite index store written by the
+offline pipeline (:mod:`repro.retrieval.store`).  ``--scale-factor N``
+multiplies the corpus (10x paper scale is the committed
+``BENCH_store_coldstart.json``), ``--memory-budget BYTES`` enforces a
+resident limit on the attached engine via LRU partition eviction, and
+every probe query is asserted byte-identical (ranking and scores)
+between the two arms before anything is reported.
+
 ``--save-stats PATH`` writes the run's benchmark record as JSON — the
 repo's ``BENCH_*.json`` perf trajectory is a series of these records.
 Every mode emits the same core schema (mode, backend, policy, shards,
@@ -78,6 +88,7 @@ Run as a script::
     python -m repro.experiments.throughput --backend process --shards 2
     python -m repro.experiments.throughput --replicas 2 --kill-shard
     python -m repro.experiments.throughput --mode http --save-stats BENCH_http_e2e.json
+    python -m repro.experiments.throughput --mode coldstart --paper-scale --scale-factor 10
 """
 
 from __future__ import annotations
@@ -125,6 +136,7 @@ __all__ = [
     "ReplicatedThroughputResult",
     "FusedThroughputResult",
     "HTTPThroughputResult",
+    "ColdstartResult",
     "WorkloadFrameworkFactory",
     "zipf_workload",
     "make_framework",
@@ -135,6 +147,8 @@ __all__ = [
     "run_replicated_throughput",
     "run_fused_throughput",
     "run_http_throughput",
+    "run_store_coldstart",
+    "summarize_coldstart",
     "build_stats_record",
     "save_stats_record",
     "main",
@@ -1007,6 +1021,202 @@ def _stage_profile_lines(stage_profile: dict) -> str:
     )
 
 
+@dataclass(frozen=True)
+class ColdstartResult:
+    """Rebuild-vs-attach cold start at a chosen corpus scale.
+
+    Both arms end holding an engine that answers the same probe queries
+    with byte-identical rankings *and scores* (asserted before anything
+    is timed as "serving"); the interesting deltas are the seconds to
+    get there and the bytes resident once there.
+    """
+
+    scale_name: str
+    scale_factor: int
+    partitions: int
+    documents: int
+    k: int
+    #: seconds to build the partitioned in-memory engine from documents
+    rebuild_seconds: float
+    #: estimated resident bytes of the fully built in-memory engine
+    rebuild_resident_bytes: int
+    #: on-disk size of the SQLite store the attach arm opens
+    store_bytes: int
+    #: seconds write_store took (the offline, once-per-build price)
+    store_write_seconds: float
+    #: seconds to attach the store (open + validate + stats rows)
+    attach_seconds: float
+    #: resident bytes right after attach, before any query
+    attach_resident_cold_bytes: int
+    #: resident bytes after serving every probe (pages faulted in)
+    attach_resident_warm_bytes: int
+    probe_queries: int
+    #: per-probe store-arm search latencies, milliseconds
+    probe_latencies_ms: list[float]
+    #: live page-cache counters after the probes (hits/misses/evictions)
+    page_cache: "object"
+    memory_budget: int | None
+    identity_checked: bool
+
+    @property
+    def attach_speedup(self) -> float:
+        """How many times faster attaching is than rebuilding."""
+        return (
+            self.rebuild_seconds / self.attach_seconds
+            if self.attach_seconds
+            else 0.0
+        )
+
+    @property
+    def probe_seconds(self) -> float:
+        return sum(self.probe_latencies_ms) / 1000.0
+
+    @property
+    def probe_qps(self) -> float:
+        seconds = self.probe_seconds
+        return self.probe_queries / seconds if seconds else 0.0
+
+    def probe_percentile_ms(self, q: float) -> float:
+        return _percentile(sorted(self.probe_latencies_ms), q)
+
+
+def run_store_coldstart(
+    store_path: str | Path,
+    scale=SMALL_SCALE,
+    scale_factor: int = 1,
+    partitions: int = 4,
+    memory_budget: int | None = None,
+    seed: int = 42,
+) -> ColdstartResult:
+    """Time cold start by rebuild vs by store attach, identity-checked.
+
+    Generates the synthetic corpus at ``scale`` with ``docs_per_aspect``
+    and ``background_docs`` multiplied by *scale_factor* (the knob that
+    takes the paper-shaped corpus to 10x/100x), then:
+
+    1. **rebuild arm** — construct a
+       :class:`~repro.retrieval.sharding.PartitionedSearchEngine` from
+       the raw documents, timed; record its estimated resident bytes.
+    2. write the engine into a SQLite index store at *store_path*
+       (:func:`~repro.retrieval.store.write_store`), timed — the
+       offline, once-per-build price.
+    3. **attach arm** — open a
+       :class:`~repro.retrieval.store.StoreBackedSearchEngine` on the
+       store, timed; record resident bytes cold (before any query) and
+       warm (after the probes below), plus the page-cache counters.
+    4. assert rankings *and scores* byte-identical between the arms
+       over every topic query, timing each store-arm search.
+
+    ``memory_budget`` caps the attach arm's resident bytes with LRU
+    partition eviction; the identity assertion still runs, pinning that
+    eviction never changes results.  The in-memory engine, the store
+    file and the store engine are all built here; the store engine is
+    closed before returning.
+    """
+    from repro.corpus.generator import CorpusConfig, generate_corpus
+    from repro.retrieval.sharding import PartitionedSearchEngine
+    from repro.retrieval.store import StoreBackedSearchEngine, write_store
+
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    corpus = generate_corpus(
+        CorpusConfig(
+            num_topics=scale.num_topics,
+            docs_per_aspect=scale.docs_per_aspect * scale_factor,
+            background_docs=scale.background_docs * scale_factor,
+            seed=seed,
+        )
+    )
+    probes = [topic.query for topic in corpus.topics]
+    k = scale.k
+
+    start = time.perf_counter()
+    rebuilt = PartitionedSearchEngine(corpus.collection, partitions)
+    rebuild_seconds = time.perf_counter() - start
+    rebuild_resident = rebuilt.memory_estimate()["total_bytes"]
+
+    store_path = Path(store_path)
+    start = time.perf_counter()
+    write_store(store_path, rebuilt)
+    write_seconds = time.perf_counter() - start
+    store_bytes = store_path.stat().st_size
+
+    start = time.perf_counter()
+    attached = StoreBackedSearchEngine(store_path, memory_budget=memory_budget)
+    attach_seconds = time.perf_counter() - start
+    attach_cold = attached.memory_estimate()["total_bytes"]
+
+    latencies_ms: list[float] = []
+    try:
+        for query in probes:
+            expected = rebuilt.search(query, k)
+            start = time.perf_counter()
+            got = attached.search(query, k)
+            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            if [r.doc_id for r in got] != [r.doc_id for r in expected]:
+                raise AssertionError(
+                    f"store-backed ranking diverged for {query!r}"
+                )
+            if got.scores != expected.scores:
+                raise AssertionError(
+                    f"store-backed scores diverged for {query!r}"
+                )
+        attach_warm = attached.memory_estimate()["total_bytes"]
+        page_cache = attached.page_cache_info()
+    finally:
+        attached.close()
+
+    return ColdstartResult(
+        scale_name=scale.name,
+        scale_factor=scale_factor,
+        partitions=partitions,
+        documents=len(corpus.collection),
+        k=k,
+        rebuild_seconds=rebuild_seconds,
+        rebuild_resident_bytes=rebuild_resident,
+        store_bytes=store_bytes,
+        store_write_seconds=write_seconds,
+        attach_seconds=attach_seconds,
+        attach_resident_cold_bytes=attach_cold,
+        attach_resident_warm_bytes=attach_warm,
+        probe_queries=len(probes),
+        probe_latencies_ms=latencies_ms,
+        page_cache=page_cache,
+        memory_budget=memory_budget,
+        identity_checked=True,
+    )
+
+
+def summarize_coldstart(result: ColdstartResult) -> str:
+    headers = ["cold-start path", "seconds", "resident MB"]
+    rows = [
+        [
+            "rebuild from documents",
+            round(result.rebuild_seconds, 4),
+            round(result.rebuild_resident_bytes / 1e6, 2),
+        ],
+        [
+            "attach store (cold)",
+            round(result.attach_seconds, 4),
+            round(result.attach_resident_cold_bytes / 1e6, 2),
+        ],
+        [
+            "attach store (after probes)",
+            "-",
+            round(result.attach_resident_warm_bytes / 1e6, 2),
+        ],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Store cold start — {result.documents} docs "
+            f"({result.scale_name} scale x{result.scale_factor}), "
+            f"{result.partitions} partitions"
+        ),
+    )
+
+
 def save_stats_record(path: str | Path, record: dict) -> Path:
     """Write one benchmark record as pretty JSON; returns the path.
 
@@ -1052,6 +1262,8 @@ def build_stats_record(
     zipf_s: float = 1.0,
     identity_checked: bool = False,
     hardware_limited: bool | None = None,
+    store: str | None = None,
+    memory_budget: int | None = None,
     **extras,
 ) -> dict:
     """One ``--save-stats`` record with the mode-invariant core schema.
@@ -1062,10 +1274,13 @@ def build_stats_record(
     could not compare records across modes.  This builder pins the core
     keys — ``mode``/``backend``/``policy``/``shards``/``replicas``/
     ``zipf_s``/``queries``/``distinct``/``qps``/``seconds``/``latency``/
-    ``identity_checked``/``hardware_limited``/``scale`` — for *every*
-    mode (``cores``/``python``/``timestamp``/``schema`` come from
-    :func:`save_stats_record`); mode-specific measurements ride along as
-    ``extras``.
+    ``identity_checked``/``hardware_limited``/``scale``/``store``/
+    ``memory_budget`` — for *every* mode (``cores``/``python``/
+    ``timestamp``/``schema`` come from :func:`save_stats_record`);
+    mode-specific measurements ride along as ``extras``.  ``store`` is
+    the index-store path a store-serving run attached (``None`` for
+    fully in-memory runs) and ``memory_budget`` the enforced resident
+    byte limit (``None`` = unbounded).
 
     ``hardware_limited`` defaults to "this host has fewer cores than the
     cluster has shards" (the reading under which fan-out speedups cannot
@@ -1090,6 +1305,8 @@ def build_stats_record(
         "identity_checked": identity_checked,
         "hardware_limited": hardware_limited,
         "scale": scale,
+        "store": store,
+        "memory_budget": memory_budget,
     }
     record.update(extras)
     return record
@@ -1498,7 +1715,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--mode",
         default="batch",
-        choices=("batch", "async", "http", "offline"),
+        choices=("batch", "async", "http", "offline", "coldstart"),
         help="'batch': pre-formed batches (loop-vs-batch, or 1-vs-N "
         "shards with --shards); 'async': the asyncio micro-batching "
         "front-end under open-loop Zipf arrivals, identity-checked "
@@ -1507,7 +1724,11 @@ def main(argv: list[str] | None = None) -> None:
         "field-identity vs diversify_batch, /health + /stats + /drain; "
         "'offline': delegate to the offline-pipeline benchmark (serial "
         "vs partition-parallel index build + warm — python -m "
-        "repro.experiments.offline has the full knob set)",
+        "repro.experiments.offline has the full knob set); "
+        "'coldstart': rebuild-from-documents vs attach-the-index-store "
+        "cold start, timed and identity-checked at --scale-factor x "
+        "the chosen corpus scale (writes BENCH_store_coldstart.json "
+        "shape records via --save-stats)",
     )
     parser.add_argument(
         "--shards",
@@ -1624,6 +1845,38 @@ def main(argv: list[str] | None = None) -> None:
         help="async/http mode: open-loop arrival rate of the Zipf stream "
         "(http defaults to 500 when unset)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="coldstart mode: path the SQLite index store is written to "
+        "and attached from (defaults to a file next to --save-stats, or "
+        "store_coldstart.sqlite3 in the working directory)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="coldstart mode: enforce this resident-byte limit on the "
+        "attached engine (LRU whole-partition eviction); identity vs the "
+        "in-memory rebuild is still asserted",
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coldstart mode: multiply docs-per-aspect and background "
+        "docs by N (10 = the committed BENCH_store_coldstart.json scale)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        metavar="N",
+        help="coldstart mode: partitions of both engines",
+    )
     args = parser.parse_args(argv)
 
     if args.mode == "offline":
@@ -1646,6 +1899,106 @@ def main(argv: list[str] | None = None) -> None:
         return
 
     scale = PAPER_SCALE if args.paper_scale else SMALL_SCALE
+
+    if args.mode == "coldstart":
+        # Coldstart generates its own (possibly 10x/100x) corpus — it
+        # must not pay for the full TREC workload build the serving
+        # modes share.
+        store_path = args.store
+        if store_path is None:
+            store_path = (
+                str(Path(args.save_stats).with_suffix(".sqlite3"))
+                if args.save_stats
+                else "store_coldstart.sqlite3"
+            )
+        result = run_store_coldstart(
+            store_path,
+            scale=scale,
+            scale_factor=args.scale_factor,
+            partitions=args.partitions,
+            memory_budget=args.memory_budget,
+        )
+        print(summarize_coldstart(result))
+        print()
+        print(
+            f"store: {result.store_bytes / 1e6:.2f}MB on disk, written in "
+            f"{result.store_write_seconds:.3f}s (once, offline)."
+        )
+        print(
+            f"cold start: attach {result.attach_seconds:.4f}s vs rebuild "
+            f"{result.rebuild_seconds:.3f}s → {result.attach_speedup:.0f}x "
+            f"faster to first query."
+        )
+        cache = result.page_cache
+        print(
+            f"probes: {result.probe_queries} topic queries at k={result.k}, "
+            f"p50={result.probe_percentile_ms(0.50):.2f}ms "
+            f"p95={result.probe_percentile_ms(0.95):.2f}ms; page cache "
+            f"{cache.hits}/{cache.misses} hits/misses, "
+            f"{cache.evictions} evictions, "
+            f"{cache.resident_bytes / 1e6:.2f}MB resident."
+        )
+        if result.memory_budget is not None:
+            print(
+                f"memory budget: {result.memory_budget} bytes enforced on "
+                f"the attached engine (LRU partition eviction)."
+            )
+        print(
+            "every probe verified byte-identical (ranking and scores) "
+            "between the rebuilt and the store-attached engine."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                build_stats_record(
+                    "coldstart",
+                    backend="inline",
+                    shards=result.partitions,
+                    queries=result.probe_queries,
+                    distinct=result.probe_queries,
+                    qps=result.probe_qps,
+                    seconds=result.probe_seconds,
+                    latency={
+                        "mean_ms": round(
+                            sum(result.probe_latencies_ms)
+                            / max(len(result.probe_latencies_ms), 1),
+                            4,
+                        ),
+                        "p50_ms": round(result.probe_percentile_ms(0.50), 4),
+                        "p95_ms": round(result.probe_percentile_ms(0.95), 4),
+                        "p99_ms": round(result.probe_percentile_ms(0.99), 4),
+                    },
+                    scale=scale.name,
+                    identity_checked=result.identity_checked,
+                    hardware_limited=False,
+                    store=str(store_path),
+                    memory_budget=result.memory_budget,
+                    scale_factor=result.scale_factor,
+                    documents=result.documents,
+                    k=result.k,
+                    rebuild_seconds=round(result.rebuild_seconds, 5),
+                    rebuild_resident_bytes=result.rebuild_resident_bytes,
+                    store_bytes=result.store_bytes,
+                    store_write_seconds=round(result.store_write_seconds, 5),
+                    attach_seconds=round(result.attach_seconds, 5),
+                    attach_speedup=round(result.attach_speedup, 2),
+                    attach_resident_cold_bytes=(
+                        result.attach_resident_cold_bytes
+                    ),
+                    attach_resident_warm_bytes=(
+                        result.attach_resident_warm_bytes
+                    ),
+                    page_cache={
+                        "hits": cache.hits,
+                        "misses": cache.misses,
+                        "evictions": cache.evictions,
+                        "resident_bytes": cache.resident_bytes,
+                    },
+                ),
+            )
+            print(f"benchmark record written to {path}")
+        return
+
     workload = build_trec_workload(scale, logs=(args.log,))
 
     if args.replicas > 1:

@@ -10,6 +10,15 @@ result lists ``R_q`` that the diversification algorithms re-rank.
 layer), :func:`partition_collection`, and
 :class:`PartitionedSearchEngine`, whose document-sharded scatter/gather
 search is ranking-identical to a single engine.
+
+:mod:`repro.retrieval.store` makes the substrate durable:
+:func:`write_store` persists a built engine (postings, documents,
+collection-global statistics, warm artifacts) into one SQLite file, and
+:class:`StoreBackedSearchEngine` *attaches* it read-only — paging
+postings through a bounded LRU :class:`PostingPageCache` — with
+rankings and scores byte-identical to the in-memory build.
+:class:`MemoryBudget` turns the estimate into an enforced resident
+limit with LRU whole-partition eviction.
 """
 
 from repro.retrieval.analysis import ENGLISH_STOPWORDS, Analyzer, PorterStemmer, tokenize
@@ -25,12 +34,20 @@ from repro.retrieval.persistence import (
 )
 from repro.retrieval.sharding import (
     BuildReport,
+    MemoryBudget,
     PartitionedSearchEngine,
     partition_collection,
     stable_shard,
 )
 from repro.retrieval.similarity import TermVector, cosine, delta
 from repro.retrieval.snippets import Snippet, SnippetExtractor
+from repro.retrieval.store import (
+    IndexStore,
+    PageCacheStats,
+    StoreBackedSearchEngine,
+    StoreError,
+    write_store,
+)
 
 __all__ = [
     "ENGLISH_STOPWORDS",
@@ -55,6 +72,7 @@ __all__ = [
     "load_collection",
     "load_query_log",
     "BuildReport",
+    "MemoryBudget",
     "PartitionedSearchEngine",
     "partition_collection",
     "stable_shard",
@@ -63,4 +81,9 @@ __all__ = [
     "delta",
     "Snippet",
     "SnippetExtractor",
+    "IndexStore",
+    "PageCacheStats",
+    "StoreBackedSearchEngine",
+    "StoreError",
+    "write_store",
 ]

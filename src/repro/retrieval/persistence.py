@@ -22,6 +22,7 @@ are restored without renormalisation
 from __future__ import annotations
 
 import json
+import os
 import sys
 from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
@@ -38,15 +39,31 @@ __all__ = [
     "load_query_log",
     "dump_warm_artifacts",
     "load_warm_artifacts",
+    "encode_warm_artifact",
+    "decode_warm_artifact",
     "estimate_warm_memory",
 ]
 
 
 def _write_lines(path: str | Path, lines: Iterable[str]) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in lines:
-            handle.write(line)
-            handle.write("\n")
+    """Write *lines* atomically: a sibling tmp file is renamed over
+    *path* only after every line has been flushed, so a writer killed
+    mid-dump never leaves a truncated file where readers look — they
+    see either the previous complete file or the new complete one."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _read_lines(path: str | Path) -> Iterator[str]:
@@ -115,6 +132,58 @@ def dump_query_log(log: QueryLog, path: str | Path) -> None:
     )
 
 
+def encode_warm_artifact(
+    spec_query: str,
+    results: ResultList,
+    vectors: Mapping[str, TermVector],
+) -> str:
+    """One warm artifact as its canonical JSON line (no newline).
+
+    Single source of truth for the on-disk shape shared by the JSONL
+    files (:func:`dump_warm_artifacts`) and the SQLite warm table
+    (:mod:`repro.retrieval.store`): floats survive via shortest-repr
+    JSON, so a decode is bit-identical to what was encoded.
+    """
+    return json.dumps(
+        {
+            "q": spec_query,
+            "results": [[r.doc_id, r.score] for r in results],
+            "vectors": {
+                doc_id: vector.weights for doc_id, vector in vectors.items()
+            },
+        },
+        ensure_ascii=False,
+    )
+
+
+def decode_warm_artifact(
+    line: str, context: str = "warm artifact"
+) -> tuple[str, tuple[ResultList, dict[str, TermVector]]]:
+    """Decode one :func:`encode_warm_artifact` line.
+
+    Returns ``(spec_query, (ResultList, {doc_id: TermVector}))``; raises
+    :class:`ValueError` prefixed with *context* (e.g. ``"path:line"``)
+    on malformed input.
+    """
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{context}: invalid JSON") from exc
+    try:
+        spec_query = raw["q"]
+        results = ResultList(
+            spec_query,
+            [(doc_id, float(score)) for doc_id, score in raw.get("results", ())],
+        )
+        vectors = {
+            doc_id: TermVector.from_normalized(weights)
+            for doc_id, weights in raw.get("vectors", {}).items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ValueError(f"{context}: malformed warm artifact ({exc})") from exc
+    return spec_query, (results, vectors)
+
+
 def dump_warm_artifacts(
     artifacts: Mapping[str, tuple[ResultList, Mapping[str, TermVector]]],
     path: str | Path,
@@ -130,17 +199,7 @@ def dump_warm_artifacts(
     _write_lines(
         path,
         (
-            json.dumps(
-                {
-                    "q": spec_query,
-                    "results": [[r.doc_id, r.score] for r in results],
-                    "vectors": {
-                        doc_id: vector.weights
-                        for doc_id, vector in vectors.items()
-                    },
-                },
-                ensure_ascii=False,
-            )
+            encode_warm_artifact(spec_query, results, vectors)
             for spec_query, (results, vectors) in artifacts.items()
         ),
     )
@@ -159,28 +218,8 @@ def load_warm_artifacts(
     """
     artifacts: dict[str, tuple[ResultList, dict[str, TermVector]]] = {}
     for line_no, line in enumerate(_read_lines(path), start=1):
-        try:
-            raw = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{line_no}: invalid JSON") from exc
-        try:
-            spec_query = raw["q"]
-            results = ResultList(
-                spec_query,
-                [
-                    (doc_id, float(score))
-                    for doc_id, score in raw.get("results", ())
-                ],
-            )
-            vectors = {
-                doc_id: TermVector.from_normalized(weights)
-                for doc_id, weights in raw.get("vectors", {}).items()
-            }
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            raise ValueError(
-                f"{path}:{line_no}: malformed warm artifact ({exc})"
-            ) from exc
-        artifacts[spec_query] = (results, vectors)
+        spec_query, payload = decode_warm_artifact(line, f"{path}:{line_no}")
+        artifacts[spec_query] = payload
     return artifacts
 
 

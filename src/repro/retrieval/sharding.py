@@ -52,8 +52,44 @@ __all__ = [
     "stable_shard",
     "partition_collection",
     "BuildReport",
+    "MemoryBudget",
     "PartitionedSearchEngine",
 ]
+
+
+class MemoryBudget:
+    """An enforced resident-bytes limit for a partitioned engine.
+
+    PR 5 made memory *observable* (``memory_estimate()``); this makes it
+    *enforced*: attach a budget with
+    :meth:`PartitionedSearchEngine.set_memory_budget` and, after every
+    search, partitions are evicted least-recently-touched first until
+    the summed partition-resident estimate fits under ``limit_bytes``.
+    Eviction requires partitions that can page their data back in on
+    demand (the store-backed partitions of
+    :mod:`repro.retrieval.store`), so enforcement trades latency on the
+    next touch for bounded residency — never changing a single result.
+
+    The instance accumulates enforcement counters; they surface through
+    the engine's page-cache stats path into ``ServiceStats.summary()``.
+    """
+
+    def __init__(self, limit_bytes: int) -> None:
+        if limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive")
+        self.limit_bytes = int(limit_bytes)
+        #: Times an enforcement pass found the engine over budget.
+        self.enforcements = 0
+        #: Whole partitions evicted across all enforcement passes.
+        self.partitions_evicted = 0
+        #: Estimated bytes released across all enforcement passes.
+        self.bytes_evicted = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBudget(limit_bytes={self.limit_bytes}, "
+            f"evicted={self.partitions_evicted})"
+        )
 
 
 def stable_shard(key: str, num_shards: int, seed: int = 0) -> int:
@@ -323,6 +359,9 @@ class PartitionedSearchEngine(SearchEngine):
         self._vector_cache = (
             LRUCache(vector_cache_size) if vector_cache_size > 0 else None
         )
+        self.memory_budget: MemoryBudget | None = None
+        self._partition_clock = 0
+        self._partition_touched = [0] * num_partitions
         # ``self.index`` intentionally left unset: there is no single
         # index, and anything reaching for one should fail loudly.
 
@@ -343,6 +382,8 @@ class PartitionedSearchEngine(SearchEngine):
 
         n_docs = self._num_documents
         avg_dl = self._average_document_length
+        budget = self.memory_budget
+        touched: set[int] = set()
         accumulators: dict[int, float] = {}
         for term, qtf in weights.items():
             per_partition = [p.postings(term) for p in self.partitions]
@@ -350,11 +391,13 @@ class PartitionedSearchEngine(SearchEngine):
             cf = sum(pl.collection_frequency for pl in per_partition if pl)
             if df == 0:
                 continue
-            for index, postings, to_global in zip(
-                self.partitions, per_partition, self._global_ordinals
+            for shard, (index, postings, to_global) in enumerate(
+                zip(self.partitions, per_partition, self._global_ordinals)
             ):
                 if postings is None:
                     continue
+                if budget is not None:
+                    touched.add(shard)
                 for ordinal, tf in zip(postings.ordinals, postings.tfs):
                     contribution = self.model.score(
                         tf,
@@ -375,9 +418,69 @@ class PartitionedSearchEngine(SearchEngine):
             k, accumulators.items(), key=lambda item: (-item[1], item[0])
         )
         by_ordinal = self.collection.by_ordinal
-        return ResultList(
+        results = ResultList(
             query, [(by_ordinal(ordinal).doc_id, score) for ordinal, score in top]
         )
+        if budget is not None:
+            self._partition_clock += 1
+            for shard in touched:
+                self._partition_touched[shard] = self._partition_clock
+            self._enforce_memory_budget()
+        return results
+
+    def set_memory_budget(
+        self, budget: "MemoryBudget | int | None"
+    ) -> "MemoryBudget | None":
+        """Attach (or detach, with ``None``) an enforced memory budget.
+
+        Enforcement evicts whole partitions, so every partition must be
+        able to page its data back in: each needs callable ``evict()``
+        and ``resident_bytes()`` (the store-backed partitions of
+        :mod:`repro.retrieval.store` have both; the plain in-memory
+        :class:`~repro.retrieval.index.InvertedIndex` deliberately does
+        not — evicting it would lose the only copy).  Accepts a byte
+        limit or a :class:`MemoryBudget`; returns the attached budget.
+        """
+        if budget is None:
+            self.memory_budget = None
+            return None
+        if isinstance(budget, int):
+            budget = MemoryBudget(budget)
+        for shard, partition in enumerate(self.partitions):
+            if not callable(getattr(partition, "evict", None)) or not callable(
+                getattr(partition, "resident_bytes", None)
+            ):
+                raise ValueError(
+                    f"partition {shard} ({type(partition).__name__}) is not "
+                    "evictable: a memory budget needs store-backed "
+                    "partitions that can page their postings back in "
+                    "(build the engine from an IndexStore)"
+                )
+        self.memory_budget = budget
+        return budget
+
+    def _enforce_memory_budget(self) -> None:
+        """Evict least-recently-touched partitions until under budget."""
+        budget = self.memory_budget
+        if budget is None:
+            return
+        resident = [p.resident_bytes() for p in self.partitions]
+        total = sum(resident)
+        if total <= budget.limit_bytes:
+            return
+        budget.enforcements += 1
+        order = sorted(
+            range(len(self.partitions)),
+            key=lambda shard: self._partition_touched[shard],
+        )
+        for shard in order:
+            if total <= budget.limit_bytes:
+                break
+            freed = self.partitions[shard].evict()
+            if freed:
+                budget.partitions_evicted += 1
+                budget.bytes_evicted += freed
+                total -= freed
 
     def memory_estimate(self) -> dict[str, int]:
         """Estimated resident bytes summed across the partition indexes.

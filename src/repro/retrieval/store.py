@@ -1,0 +1,966 @@
+"""Disk-backed index & warm store: cold start as an attach, not a rebuild.
+
+Every index partition and warm artifact used to live fully in RAM, so
+serving capacity was capped by resident memory and every cold start was
+a full rebuild.  This module moves the durable copy into a single SQLite
+file — postings, document metadata, collection-global statistics and the
+serving layer's warm artifacts — written **once** by the offline
+pipeline (:func:`write_store`) and attached **read-only** by any number
+of serving processes (:class:`IndexStore`).  The database follows the
+paged-store recipe common to the storage designs surveyed in PAPERS.md:
+WAL journal, ``synchronous=NORMAL``, a ``busy_timeout`` so concurrent
+readers never fail spuriously.
+
+On top of the store sit three pieces:
+
+* :class:`StoreBackedInvertedIndex` — the
+  :class:`~repro.retrieval.index.InvertedIndex` surface over one stored
+  partition, paging posting lists in on demand through a shared,
+  byte-bounded :class:`PostingPageCache`.
+* :class:`StoreBackedCollection` — the
+  :class:`~repro.retrieval.documents.DocumentCollection` surface with
+  fully lazy document rows behind a small LRU.
+* :class:`StoreBackedSearchEngine` — a
+  :class:`~repro.retrieval.sharding.PartitionedSearchEngine` whose
+  partitions are store-backed.  It inherits the identity-critical
+  ``search()`` **unchanged**, and the store round-trips every statistic
+  as exact integers (tf, document lengths, df, cf, N, total tokens), so
+  rankings *and scores* are byte-identical to the in-memory build.  The
+  engine pickles as just its store path plus configuration: process
+  workers and respawned replicas rehydrate in O(attach), not O(rebuild).
+
+Combined with :class:`~repro.retrieval.sharding.MemoryBudget`, the
+store-backed engine turns ``memory_estimate()`` into an *enforced*
+limit: whole partitions are evicted least-recently-touched first and
+page back in transparently on the next query.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import sys
+import threading
+from array import array
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.cache import LRUCache
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document
+from repro.retrieval.index import _INT_BYTES, PostingList
+from repro.retrieval.models import DPH, WeightingModel
+from repro.retrieval.sharding import MemoryBudget, PartitionedSearchEngine
+from repro.retrieval.snippets import SnippetExtractor
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreError",
+    "write_store",
+    "IndexStore",
+    "PageCacheStats",
+    "PostingPageCache",
+    "StoreBackedInvertedIndex",
+    "StoreBackedCollection",
+    "StoreBackedSearchEngine",
+    "MemoryBudget",
+    "read_warm_payloads",
+]
+
+#: Bump on any on-disk layout change; readers fail fast on a mismatch.
+SCHEMA_VERSION = 1
+
+#: Default byte capacity of the shared postings page cache (per engine).
+DEFAULT_PAGE_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Default entry capacity of the lazy document row cache.
+DEFAULT_DOCUMENT_CACHE_SIZE = 8192
+
+_BUSY_TIMEOUT_MS = 5000
+
+
+class StoreError(ValueError):
+    """A store file is missing, malformed, or from another schema."""
+
+
+def _pack_ints(values) -> bytes:
+    """Integers as a little-endian ``int32`` blob (portable across hosts)."""
+    arr = array("i", values)
+    if sys.byteorder != "little":
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _unpack_ints(blob: bytes) -> list[int]:
+    arr = array("i")
+    arr.frombytes(blob)
+    if sys.byteorder != "little":
+        arr.byteswap()
+    return arr.tolist()
+
+
+def _page_bytes(postings: PostingList) -> int:
+    """Resident-byte price of one paged-in posting list — the same
+    boxed-int pricing as ``InvertedIndex.memory_estimate`` so in-memory
+    and store-backed footprints are directly comparable."""
+    n = len(postings.ordinals)
+    return (
+        sys.getsizeof(postings.ordinals)
+        + sys.getsizeof(postings.tfs)
+        + 2 * n * _INT_BYTES
+        + 64
+    )
+
+
+_SCHEMA_STATEMENTS = (
+    """CREATE TABLE meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )""",
+    """CREATE TABLE partitions (
+        partition       INTEGER PRIMARY KEY,
+        num_documents   INTEGER NOT NULL,
+        num_terms       INTEGER NOT NULL,
+        num_postings    INTEGER NOT NULL,
+        total_tokens    INTEGER NOT NULL,
+        lengths         BLOB NOT NULL,
+        global_ordinals BLOB NOT NULL
+    )""",
+    """CREATE TABLE documents (
+        ordinal  INTEGER PRIMARY KEY,
+        doc_id   TEXT NOT NULL UNIQUE,
+        title    TEXT NOT NULL,
+        text     TEXT NOT NULL,
+        metadata TEXT NOT NULL
+    )""",
+    """CREATE TABLE postings (
+        partition INTEGER NOT NULL,
+        term      TEXT NOT NULL,
+        df        INTEGER NOT NULL,
+        cf        INTEGER NOT NULL,
+        ordinals  BLOB NOT NULL,
+        tfs       BLOB NOT NULL,
+        PRIMARY KEY (partition, term)
+    ) WITHOUT ROWID""",
+    """CREATE TABLE warm_artifacts (
+        shard      INTEGER NOT NULL,
+        spec_query TEXT NOT NULL,
+        payload    TEXT NOT NULL,
+        PRIMARY KEY (shard, spec_query)
+    ) WITHOUT ROWID""",
+)
+
+
+def write_store(
+    path: str | Path,
+    engine: PartitionedSearchEngine,
+    warm_payloads: Mapping[int, Mapping[str, str]] | None = None,
+) -> Path:
+    """Write *engine* (a built :class:`PartitionedSearchEngine`) as a
+    durable store at *path*, atomically.
+
+    The database is assembled in a sibling tmp file under the recipe
+    pragmas (WAL, ``synchronous=NORMAL``, ``busy_timeout``), the
+    connection is closed — which checkpoints and removes the WAL
+    sidecars — and only then renamed over *path*: a killed writer never
+    leaves a truncated store where readers attach.
+
+    *warm_payloads* maps ``shard → {spec_query: payload}`` where each
+    payload is an :func:`~repro.retrieval.persistence.encode_warm_artifact`
+    line — the exact same bytes as the per-shard ``warm-shard<i>.jsonl``
+    files, so hydration from the store is bit-identical to hydration
+    from JSONL.  Returns the final path.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    if tmp.exists():
+        tmp.unlink()
+    connection = sqlite3.connect(tmp)
+    try:
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        for statement in _SCHEMA_STATEMENTS:
+            connection.execute(statement)
+        collection = engine.collection
+        meta = {
+            "schema_version": SCHEMA_VERSION,
+            "num_partitions": engine.num_partitions,
+            "seed": engine.seed,
+            "num_documents": len(collection),
+            "total_tokens": sum(p.total_tokens for p in engine.partitions),
+            "model": engine.model.name,
+        }
+        connection.executemany(
+            "INSERT INTO meta (key, value) VALUES (?, ?)",
+            [(key, str(value)) for key, value in meta.items()],
+        )
+        connection.executemany(
+            "INSERT INTO documents (ordinal, doc_id, title, text, metadata)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                (
+                    ordinal,
+                    doc.doc_id,
+                    doc.title,
+                    doc.text,
+                    json.dumps(doc.metadata, ensure_ascii=False),
+                )
+                for ordinal, doc in enumerate(collection)
+            ),
+        )
+        for shard, index in enumerate(engine.partitions):
+            lengths = [
+                index.document_length(o) for o in range(index.num_documents)
+            ]
+            connection.execute(
+                "INSERT INTO partitions (partition, num_documents, num_terms,"
+                " num_postings, total_tokens, lengths, global_ordinals)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    shard,
+                    index.num_documents,
+                    index.num_terms,
+                    index.num_postings,
+                    index.total_tokens,
+                    _pack_ints(lengths),
+                    _pack_ints(engine._global_ordinals[shard]),
+                ),
+            )
+            connection.executemany(
+                "INSERT INTO postings (partition, term, df, cf, ordinals, tfs)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    (
+                        shard,
+                        term,
+                        postings.document_frequency,
+                        postings.collection_frequency,
+                        _pack_ints(postings.ordinals),
+                        _pack_ints(postings.tfs),
+                    )
+                    for term, postings in (
+                        (term, index.postings(term))
+                        for term in index.vocabulary()
+                    )
+                ),
+            )
+        if warm_payloads:
+            connection.executemany(
+                "INSERT INTO warm_artifacts (shard, spec_query, payload)"
+                " VALUES (?, ?, ?)",
+                (
+                    (shard, spec_query, payload)
+                    for shard, per_shard in warm_payloads.items()
+                    for spec_query, payload in per_shard.items()
+                ),
+            )
+        connection.commit()
+        # Closing checkpoints the WAL and removes the -wal/-shm sidecars,
+        # so the rename below publishes one complete, self-contained file.
+        connection.close()
+        connection = None
+        os.replace(tmp, path)
+    except BaseException:
+        if connection is not None:
+            connection.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+class IndexStore:
+    """Read-only attachment to a store written by :func:`write_store`.
+
+    One SQLite connection (``mode=ro`` URI) guarded by a lock — safe to
+    share across the threads of a thread-backend cluster — and re-opened
+    lazily if the owning process changes, so an engine inherited across
+    ``fork()`` never touches the parent's connection.  Attaching
+    validates the schema version and fails fast with the file name and
+    both versions in the error.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._connection: sqlite3.Connection | None = None
+        self._owner_pid: int | None = None
+        self._meta: dict[str, str] = {}
+        self._connect()
+        self._validate()
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> None:
+        if not self.path.is_file():
+            raise StoreError(f"{self.path}: store file does not exist")
+        uri = f"file:{self.path}?mode=ro"
+        try:
+            connection = sqlite3.connect(
+                uri, uri=True, check_same_thread=False
+            )
+            connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"{self.path}: cannot attach store ({exc})"
+            ) from exc
+        self._connection = connection
+        self._owner_pid = os.getpid()
+
+    def _conn(self) -> sqlite3.Connection:
+        # Re-attach after fork: sqlite connections must not be shared
+        # across processes, so each process opens its own on first use.
+        if self._connection is None or self._owner_pid != os.getpid():
+            self._connect()
+        return self._connection
+
+    def _validate(self) -> None:
+        try:
+            rows = self._fetchall("SELECT key, value FROM meta")
+        except sqlite3.Error as exc:
+            self.close()
+            raise StoreError(
+                f"{self.path}: not a repro index store ({exc})"
+            ) from exc
+        self._meta = dict(rows)
+        raw = self._meta.get("schema_version")
+        if raw is None:
+            self.close()
+            raise StoreError(
+                f"{self.path}: store has no schema_version "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        version = int(raw)
+        if version != SCHEMA_VERSION:
+            self.close()
+            raise StoreError(
+                f"{self.path}: store schema version {version} does not "
+                f"match the supported version {SCHEMA_VERSION}; rebuild "
+                "the store with the current offline pipeline"
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None and self._owner_pid == os.getpid():
+                self._connection.close()
+            self._connection = None
+            self._owner_pid = None
+
+    def _fetchone(self, sql: str, params=()) -> tuple | None:
+        with self._lock:
+            return self._conn().execute(sql, params).fetchone()
+
+    def _fetchall(self, sql: str, params=()) -> list[tuple]:
+        with self._lock:
+            return self._conn().execute(sql, params).fetchall()
+
+    # -- collection-global metadata ----------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return int(self._meta["num_partitions"])
+
+    @property
+    def seed(self) -> int:
+        return int(self._meta["seed"])
+
+    @property
+    def num_documents(self) -> int:
+        return int(self._meta["num_documents"])
+
+    @property
+    def total_tokens(self) -> int:
+        return int(self._meta["total_tokens"])
+
+    def partition_stats(self, partition: int) -> dict[str, int]:
+        row = self._fetchone(
+            "SELECT num_documents, num_terms, num_postings, total_tokens"
+            " FROM partitions WHERE partition = ?",
+            (partition,),
+        )
+        if row is None:
+            raise StoreError(f"{self.path}: no partition {partition}")
+        return {
+            "num_documents": row[0],
+            "num_terms": row[1],
+            "num_postings": row[2],
+            "total_tokens": row[3],
+        }
+
+    def lengths(self, partition: int) -> list[int]:
+        row = self._fetchone(
+            "SELECT lengths FROM partitions WHERE partition = ?", (partition,)
+        )
+        if row is None:
+            raise StoreError(f"{self.path}: no partition {partition}")
+        return _unpack_ints(row[0])
+
+    def global_ordinals(self, partition: int) -> list[int]:
+        row = self._fetchone(
+            "SELECT global_ordinals FROM partitions WHERE partition = ?",
+            (partition,),
+        )
+        if row is None:
+            raise StoreError(f"{self.path}: no partition {partition}")
+        return _unpack_ints(row[0])
+
+    # -- postings -----------------------------------------------------------
+
+    def postings(self, partition: int, term: str) -> PostingList | None:
+        row = self._fetchone(
+            "SELECT cf, ordinals, tfs FROM postings"
+            " WHERE partition = ? AND term = ?",
+            (partition, term),
+        )
+        if row is None:
+            return None
+        postings = PostingList()
+        postings.ordinals = _unpack_ints(row[1])
+        postings.tfs = _unpack_ints(row[2])
+        postings.collection_frequency = row[0]
+        return postings
+
+    def term_stats(self, partition: int, term: str) -> tuple[int, int] | None:
+        """``(df, cf)`` without paging the posting blobs in."""
+        row = self._fetchone(
+            "SELECT df, cf FROM postings WHERE partition = ? AND term = ?",
+            (partition, term),
+        )
+        return (row[0], row[1]) if row is not None else None
+
+    def vocabulary(self, partition: int) -> list[str]:
+        return [
+            row[0]
+            for row in self._fetchall(
+                "SELECT term FROM postings WHERE partition = ? ORDER BY term",
+                (partition,),
+            )
+        ]
+
+    # -- documents ----------------------------------------------------------
+
+    def document_row(self, ordinal: int) -> tuple | None:
+        return self._fetchone(
+            "SELECT doc_id, title, text, metadata FROM documents"
+            " WHERE ordinal = ?",
+            (ordinal,),
+        )
+
+    def ordinal_of(self, doc_id: str) -> int | None:
+        row = self._fetchone(
+            "SELECT ordinal FROM documents WHERE doc_id = ?", (doc_id,)
+        )
+        return row[0] if row is not None else None
+
+    def doc_ids(self) -> list[str]:
+        return [
+            row[0]
+            for row in self._fetchall(
+                "SELECT doc_id FROM documents ORDER BY ordinal"
+            )
+        ]
+
+    # -- warm artifacts ------------------------------------------------------
+
+    def warm_shards(self) -> list[int]:
+        return [
+            row[0]
+            for row in self._fetchall(
+                "SELECT DISTINCT shard FROM warm_artifacts ORDER BY shard"
+            )
+        ]
+
+    def warm_payloads(self, shard: int) -> dict[str, str]:
+        return dict(
+            self._fetchall(
+                "SELECT spec_query, payload FROM warm_artifacts"
+                " WHERE shard = ? ORDER BY spec_query",
+                (shard,),
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexStore({str(self.path)!r})"
+
+
+@dataclass(frozen=True)
+class PageCacheStats:
+    """Counters of the postings page cache, ``CacheStats``-style."""
+
+    capacity_bytes: int
+    resident_bytes: int
+    pages: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "PageCacheStats") -> "PageCacheStats":
+        """Component-wise sum — for rolling shard stats into a cluster."""
+        return PageCacheStats(
+            capacity_bytes=self.capacity_bytes + other.capacity_bytes,
+            resident_bytes=self.resident_bytes + other.resident_bytes,
+            pages=self.pages + other.pages,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+class PostingPageCache:
+    """A byte-bounded, thread-safe LRU over paged-in posting lists.
+
+    Keys are ``(partition, term)``; one cache is shared by all the
+    partitions of a store-backed engine so the bound covers the engine's
+    whole postings footprint.  A single page larger than the capacity is
+    admitted alone (evicting everything else) — refusing it would make
+    its term unservable from cache and thrash the store instead.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_PAGE_CACHE_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._pages: dict[tuple[int, str], tuple[PostingList, int]] = {}
+        self._resident = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: tuple[int, str]) -> PostingList | None:
+        with self._lock:
+            entry = self._pages.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            # Re-insert to refresh LRU order (dicts iterate oldest-first).
+            del self._pages[key]
+            self._pages[key] = entry
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: tuple[int, str], postings: PostingList, nbytes: int) -> None:
+        with self._lock:
+            old = self._pages.pop(key, None)
+            if old is not None:
+                self._resident -= old[1]
+            self._pages[key] = (postings, nbytes)
+            self._resident += nbytes
+            while self._resident > self.capacity_bytes and len(self._pages) > 1:
+                oldest = next(iter(self._pages))
+                if oldest == key:
+                    break
+                _, freed = self._pages.pop(oldest)
+                self._resident -= freed
+                self._evictions += 1
+
+    def evict_partition(self, partition: int) -> int:
+        """Drop every page of *partition*; returns the bytes freed."""
+        with self._lock:
+            doomed = [key for key in self._pages if key[0] == partition]
+            freed = 0
+            for key in doomed:
+                _, nbytes = self._pages.pop(key)
+                freed += nbytes
+            self._resident -= freed
+            self._evictions += len(doomed)
+            return freed
+
+    def partition_bytes(self, partition: int) -> int:
+        with self._lock:
+            return sum(
+                nbytes
+                for key, (_, nbytes) in self._pages.items()
+                if key[0] == partition
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._pages.clear()
+            self._resident = 0
+
+    def stats(self) -> PageCacheStats:
+        with self._lock:
+            return PageCacheStats(
+                capacity_bytes=self.capacity_bytes,
+                resident_bytes=self._resident,
+                pages=len(self._pages),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+
+class StoreBackedInvertedIndex:
+    """One stored partition behind the ``InvertedIndex`` read surface.
+
+    Postings page in on demand through the shared
+    :class:`PostingPageCache`; document lengths and identifiers load
+    lazily and can be dropped again by :meth:`evict` (the
+    :class:`~repro.retrieval.sharding.MemoryBudget` hook) — everything
+    pages back in transparently, so eviction never changes a result.
+    """
+
+    def __init__(
+        self, store: IndexStore, partition: int, page_cache: PostingPageCache
+    ) -> None:
+        self._store = store
+        self.partition = partition
+        self._page_cache = page_cache
+        stats = store.partition_stats(partition)
+        self._num_documents = stats["num_documents"]
+        self._num_terms = stats["num_terms"]
+        self._num_postings = stats["num_postings"]
+        self._total_tokens = stats["total_tokens"]
+        self._lengths: list[int] | None = None
+
+    # -- statistics (exact ints, straight from the partitions table) -------
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    @property
+    def num_terms(self) -> int:
+        return self._num_terms
+
+    @property
+    def num_postings(self) -> int:
+        return self._num_postings
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total_tokens
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._num_documents:
+            return 0.0
+        return self._total_tokens / self._num_documents
+
+    # -- documents ----------------------------------------------------------
+
+    def _doc_lengths(self) -> list[int]:
+        lengths = self._lengths
+        if lengths is None:
+            # Benign race under threads: both loaders read identical data.
+            lengths = self._store.lengths(self.partition)
+            self._lengths = lengths
+        return lengths
+
+    def document_length(self, ordinal: int) -> int:
+        return self._doc_lengths()[ordinal]
+
+    def doc_id(self, ordinal: int) -> str:
+        global_ordinal = self._store.global_ordinals(self.partition)[ordinal]
+        row = self._store.document_row(global_ordinal)
+        if row is None:
+            raise IndexError(f"no document at partition ordinal {ordinal}")
+        return row[0]
+
+    # -- postings -----------------------------------------------------------
+
+    def postings(self, term: str) -> PostingList | None:
+        key = (self.partition, term)
+        page = self._page_cache.get(key)
+        if page is not None:
+            return page
+        postings = self._store.postings(self.partition, term)
+        if postings is None:
+            return None
+        self._page_cache.put(key, postings, _page_bytes(postings))
+        return postings
+
+    def document_frequency(self, term: str) -> int:
+        stats = self._store.term_stats(self.partition, term)
+        return stats[0] if stats else 0
+
+    def collection_frequency(self, term: str) -> int:
+        stats = self._store.term_stats(self.partition, term)
+        return stats[1] if stats else 0
+
+    def __contains__(self, term: str) -> bool:
+        return self._store.term_stats(self.partition, term) is not None
+
+    def vocabulary(self) -> list[str]:
+        return self._store.vocabulary(self.partition)
+
+    # -- residency accounting and eviction ----------------------------------
+
+    def resident_bytes(self) -> int:
+        """Estimated bytes this partition holds in RAM right now."""
+        total = self._page_cache.partition_bytes(self.partition)
+        if self._lengths is not None:
+            total += (
+                sys.getsizeof(self._lengths) + len(self._lengths) * _INT_BYTES
+            )
+        return total
+
+    def evict(self) -> int:
+        """Drop this partition's resident state; returns bytes freed.
+
+        Everything pages back in from the store on the next touch, so
+        eviction trades next-query latency for memory — never results.
+        """
+        freed = self._page_cache.evict_partition(self.partition)
+        if self._lengths is not None:
+            freed += (
+                sys.getsizeof(self._lengths) + len(self._lengths) * _INT_BYTES
+            )
+            self._lengths = None
+        return freed
+
+    def memory_estimate(self) -> dict[str, int]:
+        """Resident estimate in the ``InvertedIndex.memory_estimate``
+        shape.  Vocabulary stays on disk (never paged in wholesale), so
+        its resident price is zero."""
+        postings_bytes = self._page_cache.partition_bytes(self.partition)
+        documents_bytes = 0
+        if self._lengths is not None:
+            documents_bytes += (
+                sys.getsizeof(self._lengths) + len(self._lengths) * _INT_BYTES
+            )
+        return {
+            "postings_bytes": postings_bytes,
+            "vocabulary_bytes": 0,
+            "documents_bytes": documents_bytes,
+            "total_bytes": postings_bytes + documents_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreBackedInvertedIndex(partition={self.partition}, "
+            f"docs={self._num_documents}, terms={self._num_terms})"
+        )
+
+
+class StoreBackedCollection:
+    """The ``DocumentCollection`` read surface over stored documents.
+
+    Nothing loads at attach time: document rows fetch lazily (behind a
+    small LRU) when snippets or result mapping need them — the bulk of
+    why attach is O(1) in collection size.
+    """
+
+    def __init__(
+        self,
+        store: IndexStore,
+        cache_size: int = DEFAULT_DOCUMENT_CACHE_SIZE,
+    ) -> None:
+        self._store = store
+        self._num_documents = store.num_documents
+        self._documents = LRUCache(cache_size)  # global ordinal -> Document
+        self._ordinals = LRUCache(cache_size)  # doc_id -> global ordinal
+
+    def by_ordinal(self, ordinal: int) -> Document:
+        document = self._documents.get(ordinal)
+        if document is not None:
+            return document
+        row = self._store.document_row(ordinal)
+        if row is None:
+            raise IndexError(f"ordinal out of range: {ordinal}")
+        document = Document(
+            doc_id=row[0],
+            text=row[2],
+            title=row[1],
+            metadata=json.loads(row[3]),
+        )
+        self._documents.put(ordinal, document)
+        return document
+
+    def ordinal(self, doc_id: str) -> int:
+        ordinal = self._ordinals.get(doc_id)
+        if ordinal is not None:
+            return ordinal
+        ordinal = self._store.ordinal_of(doc_id)
+        if ordinal is None:
+            raise KeyError(doc_id)
+        self._ordinals.put(doc_id, ordinal)
+        return ordinal
+
+    def __getitem__(self, doc_id: str) -> Document:
+        return self.by_ordinal(self.ordinal(doc_id))
+
+    def get(self, doc_id: str, default: Document | None = None):
+        try:
+            return self[doc_id]
+        except KeyError:
+            return default
+
+    def __contains__(self, doc_id: str) -> bool:
+        try:
+            self.ordinal(doc_id)
+        except KeyError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return self._num_documents
+
+    def __iter__(self) -> Iterator[Document]:
+        for ordinal in range(self._num_documents):
+            yield self.by_ordinal(ordinal)
+
+    @property
+    def doc_ids(self) -> list[str]:
+        """Every doc_id in ordinal order — a full store scan; meant for
+        validation and tests, not the serving path."""
+        return self._store.doc_ids()
+
+
+class StoreBackedSearchEngine(PartitionedSearchEngine):
+    """A partitioned engine attached to an :class:`IndexStore`.
+
+    Construction is O(attach): open the store read-only, read the
+    per-partition statistics rows and the (small) local→global ordinal
+    maps — no documents, no postings.  The identity-critical
+    :meth:`~repro.retrieval.sharding.PartitionedSearchEngine.search` is
+    inherited unchanged; because every statistic round-trips as exact
+    integers and ``avg_dl`` is the same ``total_tokens / num_documents``
+    division, scores are byte-identical to the in-memory build.
+
+    Pickles as its store path plus configuration and re-attaches on
+    unpickle, so spawn-method process workers and respawned replicas
+    hydrate in O(attach) instead of shipping (or rebuilding) the index.
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        *,
+        model: WeightingModel | None = None,
+        analyzer: Analyzer | None = None,
+        snippet_extractor=None,
+        vector_cache_size: int = 0,
+        page_cache_bytes: int = DEFAULT_PAGE_CACHE_BYTES,
+        document_cache_size: int = DEFAULT_DOCUMENT_CACHE_SIZE,
+        memory_budget: MemoryBudget | int | None = None,
+    ) -> None:
+        # Deliberately not calling super().__init__ (which would build
+        # in-memory partitions); this constructor attaches instead.
+        self.store_path = str(store_path)
+        self._vector_cache_size = vector_cache_size
+        self._page_cache_bytes = page_cache_bytes
+        self._document_cache_size = document_cache_size
+        store = IndexStore(self.store_path)
+        self.store = store
+        self.num_partitions = store.num_partitions
+        self.seed = store.seed
+        self.analyzer = analyzer or Analyzer()
+        self.model = model or DPH()
+        self.page_cache = PostingPageCache(page_cache_bytes)
+        self.collection = StoreBackedCollection(store, document_cache_size)
+        self.partitions = [
+            StoreBackedInvertedIndex(store, p, self.page_cache)
+            for p in range(self.num_partitions)
+        ]
+        self._global_ordinals = [
+            store.global_ordinals(p) for p in range(self.num_partitions)
+        ]
+        self._num_documents = store.num_documents
+        self._average_document_length = (
+            store.total_tokens / self._num_documents
+            if self._num_documents
+            else 0.0
+        )
+        self.snippets = snippet_extractor or SnippetExtractor(
+            analyzer=self.analyzer
+        )
+        self._vector_cache = (
+            LRUCache(vector_cache_size) if vector_cache_size > 0 else None
+        )
+        self.memory_budget = None
+        self._partition_clock = 0
+        self._partition_touched = [0] * self.num_partitions
+        if memory_budget is not None:
+            self.set_memory_budget(memory_budget)
+
+    # -- pickling: ship the attach recipe, not the data ---------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "store_path": self.store_path,
+            "model": self.model,
+            "analyzer": self.analyzer,
+            "snippet_extractor": self.snippets,
+            "vector_cache_size": self._vector_cache_size,
+            "page_cache_bytes": self._page_cache_bytes,
+            "document_cache_size": self._document_cache_size,
+            "memory_budget": (
+                self.memory_budget.limit_bytes if self.memory_budget else None
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["store_path"],
+            model=state["model"],
+            analyzer=state["analyzer"],
+            snippet_extractor=state["snippet_extractor"],
+            vector_cache_size=state["vector_cache_size"],
+            page_cache_bytes=state["page_cache_bytes"],
+            document_cache_size=state["document_cache_size"],
+            memory_budget=state["memory_budget"],
+        )
+
+    # -- reporting ----------------------------------------------------------
+
+    def page_cache_info(self) -> PageCacheStats:
+        """Live counters of the shared postings page cache."""
+        return self.page_cache.stats()
+
+    def memory_estimate(self) -> dict[str, int]:
+        """Estimated *resident* bytes — what is paged in right now, plus
+        the always-resident ordinal maps — in the same shape as the
+        in-memory engine, so rebuild-vs-attach footprints compare
+        directly."""
+        totals = {
+            "postings_bytes": 0,
+            "vocabulary_bytes": 0,
+            "documents_bytes": 0,
+            "total_bytes": 0,
+        }
+        for partition in self.partitions:
+            for key, value in partition.memory_estimate().items():
+                totals[key] += value
+        ordinal_bytes = sum(
+            sys.getsizeof(mapping) + len(mapping) * _INT_BYTES
+            for mapping in self._global_ordinals
+        )
+        totals["documents_bytes"] += ordinal_bytes
+        totals["total_bytes"] += ordinal_bytes
+        return totals
+
+    def close(self) -> None:
+        self.page_cache.clear()
+        self.store.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreBackedSearchEngine(store={self.store_path!r}, "
+            f"partitions={self.num_partitions}, docs={self._num_documents})"
+        )
+
+
+def read_warm_payloads(
+    path: str | Path, shard: int
+) -> dict[str, str]:
+    """The stored warm payload lines for *shard* — ``{spec_query:
+    payload}`` where each payload decodes with
+    :func:`~repro.retrieval.persistence.decode_warm_artifact`.  Opens
+    and closes its own attachment, so callers need no live store."""
+    store = IndexStore(path)
+    try:
+        return store.warm_payloads(shard)
+    finally:
+        store.close()

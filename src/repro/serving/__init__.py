@@ -88,7 +88,11 @@ from repro.serving.http import (
     result_payload,
     stats_payload,
 )
-from repro.serving.offline import PartitionBuildFactory, build_partitioned_engine
+from repro.serving.offline import (
+    PartitionBuildFactory,
+    build_partitioned_engine,
+    persist_store,
+)
 from repro.serving.replication import (
     REPLICA_POLICIES,
     ReplicaSet,
@@ -125,6 +129,7 @@ __all__ = [
     "ReplicaWorker",
     "ReplicatedBackend",
     "build_partitioned_engine",
+    "persist_store",
     "result_payload",
     "ServiceClosed",
     "stats_payload",

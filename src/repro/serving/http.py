@@ -172,6 +172,12 @@ def stats_payload(stats: ServiceStats) -> dict:
             "respawns": stats.respawns,
             "failovers": stats.failovers,
         },
+        "page_cache": {
+            "hits": stats.page_hits,
+            "misses": stats.page_misses,
+            "evictions": stats.page_evictions,
+            "resident_bytes": stats.page_resident_bytes,
+        },
     }
     if stats.shards:
         payload["shards"] = [stats_payload(s) for s in stats.shards]

@@ -58,6 +58,7 @@ from repro.serving.backends import ExecutionBackend, make_backend
 __all__ = [
     "PartitionBuildFactory",
     "build_partitioned_engine",
+    "persist_store",
 ]
 
 
@@ -184,3 +185,26 @@ def build_partitioned_engine(
         BuildReport.merge(reports), seconds=time.perf_counter() - start
     )
     return engine, merged
+
+
+def persist_store(path, engine, cluster=None):
+    """Persist the offline phase's outputs as one durable index store.
+
+    The final step of a store-producing offline pipeline (``python -m
+    repro.experiments.offline --store PATH``): writes *engine*'s
+    partitions, documents and collection-global statistics — plus, when
+    a warmed *cluster*
+    (:class:`~repro.serving.sharded.ShardedDiversificationService`) is
+    given, every shard's warm artifacts collected over its execution
+    backend — into a single SQLite file via
+    :func:`repro.retrieval.store.write_store`.  Serving processes then
+    cold-start by *attaching* the store
+    (:class:`~repro.retrieval.store.StoreBackedSearchEngine`, or
+    ``warm_store=`` on the serving factories) in O(attach) instead of
+    re-running this pipeline.  Returns the written
+    :class:`~pathlib.Path`.
+    """
+    from repro.retrieval.store import write_store
+
+    warm_payloads = cluster.warm_payloads() if cluster is not None else None
+    return write_store(path, engine, warm_payloads)

@@ -287,6 +287,15 @@ class ServiceStats:
     respawns: int = 0
     #: requests retried on another replica after this one died mid-call
     failovers: int = 0
+    #: -- postings page cache (zero on fully in-memory engines) ----------
+    #: pages served from the store-backed engine's page cache
+    page_hits: int = 0
+    #: pages faulted in from the store
+    page_misses: int = 0
+    #: pages dropped by capacity pressure or budget eviction
+    page_evictions: int = 0
+    #: estimated bytes of postings resident in the page cache
+    page_resident_bytes: int = 0
     #: per-replica breakdown of one shard's merged stats (empty unless
     #: the shard ran replicated).  Replicas are *copies* of one shard —
     #: not partitions of the cluster — so they get their own slot
@@ -395,6 +404,10 @@ class ServiceStats:
             hedges_won=sum(s.hedges_won for s in stats),
             respawns=sum(s.respawns for s in stats),
             failovers=sum(s.failovers for s in stats),
+            page_hits=sum(s.page_hits for s in stats),
+            page_misses=sum(s.page_misses for s in stats),
+            page_evictions=sum(s.page_evictions for s in stats),
+            page_resident_bytes=sum(s.page_resident_bytes for s in stats),
             shards=tuple(copy.deepcopy(s) for s in stats),
         )
         for s in stats:
@@ -447,6 +460,12 @@ class ServiceStats:
                 f"fallback={self.fallback_queries} "
                 f"groups={self.fusion_groups} "
                 f"fill={self.pad_fill_ratio:.2f}"
+            )
+        if self.page_hits or self.page_misses or self.page_evictions:
+            text += (
+                f" pages={self.page_hits}/{self.page_misses} "
+                f"evicted={self.page_evictions} "
+                f"resident={self.page_resident_bytes}B"
             )
         if (
             self.replicas
@@ -827,6 +846,42 @@ class DiversificationService:
 
         return self.framework.install_warm_state(load_warm_artifacts(path))
 
+    def load_warm_store(self, path, shard: int = 0) -> int:
+        """Hydrate warm artifacts for *shard* from an index store.
+
+        The SQLite twin of :meth:`load_warm`: reads the warm rows a
+        store-writing offline pipeline persisted for this shard and
+        installs them.  Payload lines are byte-identical to the per-shard
+        JSONL files, so hydration from either source ranks identically.
+        Returns how many artifacts were installed.
+        """
+        from repro.retrieval.persistence import decode_warm_artifact
+        from repro.retrieval.store import read_warm_payloads
+
+        artifacts = {}
+        for spec_query, payload in read_warm_payloads(path, shard).items():
+            decoded_query, value = decode_warm_artifact(
+                payload, f"{path}[shard={shard}] {spec_query!r}"
+            )
+            artifacts[decoded_query] = value
+        return self.framework.install_warm_state(artifacts)
+
+    def export_warm_payloads(self) -> dict[str, str]:
+        """The warm state as canonical payload lines — ``{spec_query:
+        line}`` ready for the ``warm_artifacts`` table of
+        :func:`repro.retrieval.store.write_store`.  Strings travel
+        cheaply over process boundaries, so a sharded cluster can
+        collect every shard's payloads for one store write.
+        """
+        from repro.retrieval.persistence import encode_warm_artifact
+
+        return {
+            spec_query: encode_warm_artifact(spec_query, results, vectors)
+            for spec_query, (results, vectors) in (
+                self.framework.export_warm_state().items()
+            )
+        }
+
     def warm_memory_estimate(self) -> dict[str, int]:
         """Estimated resident bytes of the held warm artifacts.
 
@@ -847,7 +902,18 @@ class DiversificationService:
 
     def get_stats(self) -> ServiceStats:
         """The live :class:`ServiceStats` — as a *method* so execution
-        backends can fetch a snapshot over a process boundary."""
+        backends can fetch a snapshot over a process boundary.  When the
+        engine serves from a store, the postings page-cache counters are
+        refreshed into the stats first."""
+        page_cache_info = getattr(
+            self.framework.engine, "page_cache_info", None
+        )
+        if callable(page_cache_info):
+            info = page_cache_info()
+            self.stats.page_hits = info.hits
+            self.stats.page_misses = info.misses
+            self.stats.page_evictions = info.evictions
+            self.stats.page_resident_bytes = info.resident_bytes
         return self.stats
 
     def invalidate(self) -> None:

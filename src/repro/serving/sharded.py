@@ -68,14 +68,20 @@ class ShardServiceFactory:
     optionally points at a directory written by
     :meth:`ShardedDiversificationService.save_warm`: the freshly built
     shard hydrates its offline artifacts from disk instead of
-    re-deriving them.  ``fused`` is the shard services' fused-kernel
-    policy (see :class:`DiversificationService`); rankings are identical
-    either way.
+    re-deriving them.  ``warm_store`` is the SQLite twin: the path of an
+    index store whose ``warm_artifacts`` table was written by the
+    offline pipeline — the shard hydrates from its rows (same payload
+    bytes as the JSONL files, so rankings are identical), which is how
+    process workers and respawned replicas cold-start in O(attach)
+    without a JSONL re-read.  ``fused`` is the shard services'
+    fused-kernel policy (see :class:`DiversificationService`); rankings
+    are identical either way.
     """
 
     framework_factory: Callable[[int], DiversificationFramework]
     result_cache_size: int = 2048
     warm_artifacts_dir: str | None = None
+    warm_store: str | None = None
     fused: bool | None = None
 
     def __call__(self, shard: int) -> DiversificationService:
@@ -89,6 +95,8 @@ class ShardServiceFactory:
             path = _warm_path(self.warm_artifacts_dir, shard)
             if path.is_file():
                 service.load_warm(path)
+        if self.warm_store is not None and Path(self.warm_store).is_file():
+            service.load_warm_store(self.warm_store, shard)
         return service
 
 
@@ -183,6 +191,7 @@ class ShardedDiversificationService:
         router_seed: int = 0,
         backend: "str | ExecutionBackend | None" = None,
         warm_artifacts_dir: "str | Path | None" = None,
+        warm_store: "str | Path | None" = None,
         fused: bool | None = None,
         replicas: int = 1,
         policy: str = "round-robin",
@@ -199,8 +208,12 @@ class ShardedDiversificationService:
         anything ranking-identical keeps the cluster's identity
         guarantee.  With ``warm_artifacts_dir`` (a directory written by
         :meth:`save_warm`), every shard hydrates its offline artifacts
-        from disk as it is built.  ``fused`` sets every shard's
-        fused-kernel policy (default: auto).
+        from disk as it is built.  ``warm_store`` points at an index
+        store instead (see :func:`repro.retrieval.store.write_store`):
+        shards — and replicas respawned after a crash — hydrate their
+        warm artifacts by attaching the store read-only, byte-identical
+        to the JSONL path.  ``fused`` sets every shard's fused-kernel
+        policy (default: auto).
 
         ``replicas=R`` (with a ``None``/``"process"`` backend spec)
         builds a fault-tolerant cluster instead: R process workers per
@@ -230,6 +243,9 @@ class ShardedDiversificationService:
                     str(warm_artifacts_dir)
                     if warm_artifacts_dir is not None
                     else None
+                ),
+                warm_store=(
+                    str(warm_store) if warm_store is not None else None
                 ),
                 fused=fused,
             ),
@@ -363,6 +379,19 @@ class ShardedDiversificationService:
         )
         return sum(done.values())
 
+    def warm_payloads(self) -> dict[int, dict[str, str]]:
+        """Every shard's warm artifacts as canonical payload lines.
+
+        ``{shard: {spec_query: payload}}`` — exactly the
+        ``warm_payloads`` argument of
+        :func:`repro.retrieval.store.write_store`, collected over the
+        execution backend (strings travel cheaply across process
+        boundaries).  The offline pipeline calls this once after the
+        warm pass to bundle the cluster's warm state into the store.
+        """
+        done = self._backend.broadcast("export_warm_payloads")
+        return {shard: done[shard] for shard in range(self.num_shards)}
+
     def load_warm(self, directory: str | Path) -> int:
         """Hydrate shards from a :meth:`save_warm` directory.
 
@@ -456,7 +485,9 @@ class ShardedDiversificationService:
         """
         local = self._backend.local_services
         if local is not None:
-            return [service.stats for service in local]
+            # get_stats() (not .stats) so store-backed shards refresh
+            # their page-cache counters into the returned live objects.
+            return [service.get_stats() for service in local]
         if self._backend.replicas > 1:
             return self._replicated_shard_stats()
         done = self._backend.broadcast("get_stats")

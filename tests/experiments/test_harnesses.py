@@ -266,6 +266,7 @@ class TestThroughputBackendsAndRecords:
             "mode", "backend", "policy", "shards", "replicas", "zipf_s",
             "queries", "distinct", "qps", "seconds", "latency",
             "identity_checked", "hardware_limited", "scale",
+            "store", "memory_budget",
         }
     )
 
@@ -289,6 +290,9 @@ class TestThroughputBackendsAndRecords:
         assert minimal["replicas"] == 1
         assert minimal["zipf_s"] == 1.0
         assert minimal["hardware_limited"] is False
+        # Fully in-memory, unbounded runs carry explicit nulls.
+        assert minimal["store"] is None
+        assert minimal["memory_budget"] is None
 
         rich = build_stats_record(
             "replicated",
@@ -405,3 +409,51 @@ class TestOfflinePipelineHarness:
         assert [
             framework.diversify_query(q).ranking for q in queries[:2]
         ] == [want.diversify_query(q).ranking for q in queries[:2]]
+
+
+class TestColdstartHarness:
+    def test_rebuild_vs_attach_with_identity(self, tmp_path):
+        from repro.experiments.throughput import (
+            run_store_coldstart,
+            summarize_coldstart,
+        )
+
+        result = run_store_coldstart(
+            tmp_path / "cold.sqlite3", scale=TINY, partitions=2
+        )
+        assert result.identity_checked
+        assert result.documents > 0
+        assert result.probe_queries == TINY.num_topics
+        assert result.rebuild_seconds > 0
+        assert result.attach_seconds > 0
+        assert result.store_bytes > 0
+        # Attaching skips tokenising/indexing entirely; even at tiny
+        # scale it must be far cheaper than the rebuild.
+        assert result.attach_speedup > 5
+        assert result.attach_resident_cold_bytes < result.rebuild_resident_bytes
+        assert (
+            result.attach_resident_warm_bytes
+            >= result.attach_resident_cold_bytes
+        )
+        assert len(result.probe_latencies_ms) == result.probe_queries
+        table = summarize_coldstart(result)
+        assert "rebuild from documents" in table
+        assert "attach store (cold)" in table
+
+    def test_memory_budget_arm(self, tmp_path):
+        from repro.experiments.throughput import run_store_coldstart
+
+        result = run_store_coldstart(
+            tmp_path / "cold.sqlite3",
+            scale=TINY,
+            partitions=2,
+            memory_budget=5_000,
+        )
+        assert result.memory_budget == 5_000
+        assert result.identity_checked
+
+    def test_scale_factor_validated(self, tmp_path):
+        from repro.experiments.throughput import run_store_coldstart
+
+        with pytest.raises(ValueError):
+            run_store_coldstart(tmp_path / "x.sqlite3", scale_factor=0)

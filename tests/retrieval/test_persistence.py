@@ -186,3 +186,73 @@ class TestWarmArtifactRoundTrip:
         path.write_text('{"q": "ok", "results": [["d1"]], "vectors": {}}\n')
         with pytest.raises(ValueError, match=":1:.*malformed"):
             load_warm_artifacts(path)
+
+
+class TestAtomicWrites:
+    """Dumpers must never leave a half-written artifact: writes go to a
+    temp file that only replaces the target on success, so a crash
+    mid-dump leaves the previous version intact and no temp litter."""
+
+    def test_partial_write_preserves_original(self, tmp_path, tiny_collection):
+        path = tmp_path / "docs.jsonl"
+        dump_collection(tiny_collection, path)
+        original = path.read_text()
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_docs():
+            yield Document("ok-doc", "written before the crash")
+            raise Boom("disk full, say")
+
+        with pytest.raises(Boom):
+            dump_collection(exploding_docs(), path)
+        # The crashed dump replaced nothing and cleaned up after itself.
+        assert path.read_text() == original
+        assert [p.name for p in tmp_path.iterdir()] == ["docs.jsonl"]
+        assert load_collection(path).doc_ids == tiny_collection.doc_ids
+
+    def test_failed_first_write_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+
+        def exploding():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            dump_collection(exploding(), path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_warm_artifact_encode_decode_is_the_jsonl_line(
+        self, tmp_path, framework_factory, topic_queries
+    ):
+        """encode/decode_warm_artifact are the single source of truth:
+        the JSONL file's lines are exactly the encoded payloads (the
+        same strings the SQLite store's warm_artifacts rows hold)."""
+        from repro.retrieval.persistence import (
+            decode_warm_artifact,
+            dump_warm_artifacts,
+            encode_warm_artifact,
+        )
+        from repro.serving.service import DiversificationService
+
+        service = DiversificationService(framework_factory())
+        service.warm(topic_queries)
+        artifacts = service.framework.export_warm_state()
+        if not artifacts:
+            pytest.skip("no ambiguous queries in the small fixture log")
+        path = tmp_path / "warm.jsonl"
+        dump_warm_artifacts(artifacts, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert sorted(lines) == sorted(
+            encode_warm_artifact(q, results, vectors)
+            for q, (results, vectors) in artifacts.items()
+        )
+        for line in lines:
+            spec_query, (results, vectors) = decode_warm_artifact(line)
+            want_results, want_vectors = artifacts[spec_query]
+            assert results.doc_ids == want_results.doc_ids
+            assert results.scores == want_results.scores
+            assert {d: v.weights for d, v in vectors.items()} == {
+                d: v.weights for d, v in want_vectors.items()
+            }

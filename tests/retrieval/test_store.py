@@ -1,0 +1,373 @@
+"""Tests for the durable index store: write/attach identity, posting
+page cache bounds, the enforced memory budget with LRU partition
+eviction, schema validation, concurrent attach, and the warm-artifact
+round trip through SQLite."""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.persistence import (
+    decode_warm_artifact,
+    encode_warm_artifact,
+)
+from repro.retrieval.sharding import MemoryBudget, PartitionedSearchEngine
+from repro.retrieval.store import (
+    SCHEMA_VERSION,
+    IndexStore,
+    PostingPageCache,
+    StoreBackedCollection,
+    StoreBackedSearchEngine,
+    StoreError,
+    read_warm_payloads,
+    write_store,
+)
+
+K = 20
+
+
+@pytest.fixture(scope="module")
+def built_engine(small_corpus):
+    return PartitionedSearchEngine(small_corpus.collection, 3)
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, built_engine):
+    path = tmp_path_factory.mktemp("store") / "index.sqlite3"
+    write_store(path, built_engine)
+    return path
+
+
+def assert_identical(expected, got, query):
+    __tracebackhide__ = True
+    assert [r.doc_id for r in got] == [r.doc_id for r in expected], query
+    assert got.scores == expected.scores, query
+
+
+class TestWriteAttachIdentity:
+    def test_rankings_and_scores_identical(
+        self, built_engine, store_path, topic_queries
+    ):
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            for query in topic_queries:
+                assert_identical(
+                    built_engine.search(query, K), engine.search(query, K), query
+                )
+        finally:
+            engine.close()
+
+    def test_empty_result_query(self, built_engine, store_path):
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            query = "zzznonexistentterm"
+            assert len(built_engine.search(query, K)) == 0
+            assert len(engine.search(query, K)) == 0
+        finally:
+            engine.close()
+
+    def test_global_statistics_round_trip(self, built_engine, store_path):
+        store = IndexStore(store_path)
+        try:
+            assert store.num_partitions == built_engine.num_partitions
+            assert store.num_documents == len(built_engine.collection)
+            assert store.total_tokens == sum(
+                index.total_tokens for index in built_engine.partitions
+            )
+        finally:
+            store.close()
+
+    def test_average_document_length_matches_exactly(
+        self, built_engine, store_path
+    ):
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            # The DFR model's avg_dl must come out as the *same float*,
+            # or scores drift — exact ints in, exact division out.
+            assert (
+                engine._average_document_length
+                == built_engine._average_document_length
+            )
+        finally:
+            engine.close()
+
+    def test_snippet_vectors_identical(
+        self, built_engine, store_path, topic_queries
+    ):
+        query = topic_queries[0]
+        reference = built_engine.search(query, 5)
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            results = engine.search(query, 5)
+            got = engine.snippet_vectors(query, results)
+            expected = built_engine.snippet_vectors(query, reference)
+            assert {d: v.weights for d, v in got.items()} == {
+                d: v.weights for d, v in expected.items()
+            }
+        finally:
+            engine.close()
+
+    def test_pickle_round_trip_re_attaches(self, store_path, topic_queries):
+        engine = StoreBackedSearchEngine(store_path, memory_budget=10_000_000)
+        try:
+            expected = engine.search(topic_queries[0], K)
+            clone = pickle.loads(pickle.dumps(engine))
+            try:
+                assert clone.memory_budget.limit_bytes == 10_000_000
+                assert_identical(
+                    expected, clone.search(topic_queries[0], K), topic_queries[0]
+                )
+            finally:
+                clone.close()
+        finally:
+            engine.close()
+
+
+class TestPageCache:
+    def test_capacity_is_enforced(self, built_engine, store_path, topic_queries):
+        engine = StoreBackedSearchEngine(store_path, page_cache_bytes=20_000)
+        try:
+            for query in topic_queries:
+                assert_identical(
+                    built_engine.search(query, K), engine.search(query, K), query
+                )
+                stats = engine.page_cache_info()
+                # A single oversized page may be resident alone; otherwise
+                # the cache never exceeds its capacity.
+                assert (
+                    stats.resident_bytes <= 20_000 or stats.pages == 1
+                )
+            assert engine.page_cache_info().evictions > 0
+        finally:
+            engine.close()
+
+    def test_hits_on_repeated_query(self, store_path, topic_queries):
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            engine.search(topic_queries[0], K)
+            misses = engine.page_cache_info().misses
+            engine.search(topic_queries[0], K)
+            stats = engine.page_cache_info()
+            assert stats.misses == misses
+            assert stats.hits > 0
+        finally:
+            engine.close()
+
+    def test_oversized_page_admitted_alone(self):
+        cache = PostingPageCache(capacity_bytes=10)
+        from repro.retrieval.index import PostingList
+
+        page = PostingList()
+        page.ordinals.extend(range(100))
+        page.tfs.extend([1] * 100)
+        cache.put((0, "big"), page, 5000)
+        assert cache.get((0, "big")) is page
+        assert cache.stats().pages == 1
+
+
+class TestMemoryBudget:
+    def test_resident_stays_under_budget_with_identical_results(
+        self, built_engine, store_path, topic_queries
+    ):
+        limit = 5_000
+        engine = StoreBackedSearchEngine(store_path, memory_budget=limit)
+        try:
+            for query in topic_queries:
+                assert_identical(
+                    built_engine.search(query, K), engine.search(query, K), query
+                )
+                resident = sum(p.resident_bytes() for p in engine.partitions)
+                assert resident <= limit
+            budget = engine.memory_budget
+            assert budget.enforcements > 0
+            assert budget.partitions_evicted > 0
+            assert budget.bytes_evicted > 0
+        finally:
+            engine.close()
+
+    def test_eviction_then_repage_identity(
+        self, built_engine, store_path, topic_queries
+    ):
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            query = topic_queries[0]
+            expected = built_engine.search(query, K)
+            assert_identical(expected, engine.search(query, K), query)
+            for partition in engine.partitions:
+                partition.evict()
+            assert sum(p.resident_bytes() for p in engine.partitions) == 0
+            assert_identical(expected, engine.search(query, K), query)
+        finally:
+            engine.close()
+
+    def test_in_memory_engine_rejects_budget(self, built_engine):
+        with pytest.raises(ValueError, match="not evictable"):
+            built_engine.set_memory_budget(1_000_000)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+
+class TestSchemaValidation:
+    def test_malformed_db_names_file(self, tmp_path):
+        path = tmp_path / "garbage.sqlite3"
+        path.write_bytes(b"this is not a sqlite database at all")
+        with pytest.raises(StoreError, match="garbage.sqlite3"):
+            IndexStore(path)
+
+    def test_plain_sqlite_without_meta_fails_fast(self, tmp_path):
+        path = tmp_path / "other.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="other.sqlite3"):
+            IndexStore(path)
+
+    def test_older_schema_names_both_versions(self, tmp_path):
+        path = tmp_path / "old.sqlite3"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        conn.execute(
+            "INSERT INTO meta VALUES ('schema_version', '0')"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError) as excinfo:
+            IndexStore(path)
+        message = str(excinfo.value)
+        assert "old.sqlite3" in message
+        assert "0" in message
+        assert str(SCHEMA_VERSION) in message
+
+    def test_missing_file_fails(self, tmp_path):
+        with pytest.raises(StoreError):
+            IndexStore(tmp_path / "missing.sqlite3")
+
+
+class TestEmptyPartitions:
+    def test_more_partitions_than_documents(self, tmp_path, tiny_collection):
+        built = PartitionedSearchEngine(tiny_collection, 8)
+        path = tmp_path / "sparse.sqlite3"
+        write_store(path, built)
+        engine = StoreBackedSearchEngine(path)
+        try:
+            assert engine.num_partitions == 8
+            for query in ("apple computer", "banana fruit", "orchard"):
+                assert_identical(
+                    built.search(query, 5), engine.search(query, 5), query
+                )
+        finally:
+            engine.close()
+
+
+def _attach_and_search(store_path, query, k, out):
+    engine = StoreBackedSearchEngine(store_path)
+    try:
+        out.put([(r.doc_id, r.score) for r in engine.search(query, k)])
+    finally:
+        engine.close()
+
+
+class TestConcurrentAttach:
+    def test_two_processes_attach_the_same_store(
+        self, built_engine, store_path, topic_queries
+    ):
+        query = topic_queries[0]
+        expected = [
+            (r.doc_id, r.score) for r in built_engine.search(query, K)
+        ]
+        ctx = multiprocessing.get_context()
+        out = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_attach_and_search, args=(store_path, query, K, out)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        results = [out.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+        assert results == [expected, expected]
+
+    def test_parent_attach_survives_fork_use(self, store_path, topic_queries):
+        # The parent's own attached engine must keep working after other
+        # processes opened the same file (WAL read-only attach).
+        engine = StoreBackedSearchEngine(store_path)
+        try:
+            first = engine.search(topic_queries[0], K)
+            second = engine.search(topic_queries[0], K)
+            assert [r.doc_id for r in first] == [r.doc_id for r in second]
+        finally:
+            engine.close()
+
+
+class TestStoreBackedCollection:
+    def test_surface_matches_original(self, small_corpus, store_path):
+        store = IndexStore(store_path)
+        collection = StoreBackedCollection(store)
+        original = small_corpus.collection
+        try:
+            assert len(collection) == len(original)
+            assert collection.doc_ids == original.doc_ids
+            doc_id = original.doc_ids[0]
+            assert doc_id in collection
+            assert collection[doc_id].text == original[doc_id].text
+            assert collection[doc_id].title == original[doc_id].title
+            assert collection[doc_id].metadata == original[doc_id].metadata
+            assert collection.get("not-a-doc") is None
+            assert "not-a-doc" not in collection
+            assert [d.doc_id for d in collection] == original.doc_ids
+        finally:
+            store.close()
+
+    def test_missing_doc_raises_keyerror(self, store_path):
+        store = IndexStore(store_path)
+        try:
+            with pytest.raises(KeyError):
+                StoreBackedCollection(store)["nope"]
+        finally:
+            store.close()
+
+
+class TestWarmArtifactsInStore:
+    def test_payloads_round_trip_exactly(self, tmp_path, tiny_collection):
+        built = PartitionedSearchEngine(tiny_collection, 2)
+        results = built.search("apple computer", 3)
+        vectors = built.snippet_vectors("apple computer", results)
+        payload = encode_warm_artifact("apple computer", results, vectors)
+        path = tmp_path / "warm.sqlite3"
+        write_store(
+            path,
+            built,
+            warm_payloads={0: {"apple computer": payload}, 1: {}},
+        )
+        assert read_warm_payloads(path, 0) == {"apple computer": payload}
+        assert read_warm_payloads(path, 1) == {}
+        spec_query, (loaded_results, loaded_vectors) = decode_warm_artifact(
+            read_warm_payloads(path, 0)["apple computer"]
+        )
+        assert spec_query == "apple computer"
+        assert [r.doc_id for r in loaded_results] == [
+            r.doc_id for r in results
+        ]
+        assert loaded_results.scores == results.scores
+        assert {d: v.weights for d, v in loaded_vectors.items()} == {
+            d: v.weights for d, v in vectors.items()
+        }
+
+    def test_store_without_warm_rows_reads_empty(self, store_path):
+        store = IndexStore(store_path)
+        try:
+            assert store.warm_shards() == []
+            assert store.warm_payloads(0) == {}
+        finally:
+            store.close()
