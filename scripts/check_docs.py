@@ -45,6 +45,9 @@ REQUIRED_SNIPPETS = [
     "--kill-shard",
     "--mode http",
     "--mode coldstart",
+    "--mode ingest",
+    "/documents",
+    "BENCH_ingest_live.json",
     "--store",
     "--memory-budget",
     "BENCH_http_e2e.json",

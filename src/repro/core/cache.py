@@ -133,6 +133,19 @@ class LRUCache(Generic[K, V]):
         with self._lock:
             self._data.clear()
 
+    def delete(self, key: K) -> bool:
+        """Drop one entry if present; returns whether it was there.
+
+        Counters are untouched — a targeted invalidation (the epoch
+        publish path drops exactly the affected warm artifacts) is
+        neither a miss nor an eviction.
+        """
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+                return True
+            return False
+
     def snapshot(self) -> list[tuple[K, V]]:
         """Every ``(key, value)`` pair, least-recently-used first.
 

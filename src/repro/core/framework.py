@@ -24,6 +24,7 @@ then serve queries that only read them.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from repro.core.ambiguity import SpecializationSet
@@ -218,6 +219,42 @@ class DiversificationFramework:
             return self.detector.mine(query)
         return self.detector.detect(query)
 
+    def _pin_engine(self):
+        """Pin the engine to one epoch for the duration of a pipeline pass.
+
+        Epoch-versioned engines
+        (:class:`~repro.retrieval.sharding.PartitionedSearchEngine`)
+        expose ``pinned()``; a query's several engine touches — candidate
+        retrieval, specialization fetches, vectorisation — then all read
+        the same snapshot even when a publish lands mid-query.  Plain
+        engines need no pin.
+        """
+        pin = getattr(self.engine, "pinned", None)
+        if pin is None:
+            return contextlib.nullcontext()
+        return pin()
+
+    def _cache_spec(self, spec_query: str, cached: tuple) -> None:
+        """Insert a freshly computed artifact unless its epoch is gone.
+
+        A query pinned to epoch N may finish computing an artifact after
+        N+1 published and the serving layer already swept the stale
+        entries; inserting then would resurrect epoch-N data.  The check
+        and the put happen under the engine's epoch lock — the same lock
+        a publish holds — so either the insert lands before the publish
+        (and the sweep sees it) or the epoch comparison fails and the
+        artifact is discarded.
+        """
+        engine = self.engine
+        lock = getattr(engine, "_epoch_lock", None)
+        if lock is None:
+            self._spec_cache.put(spec_query, cached)
+            return
+        computed_at = engine._pinned_snapshot().epoch
+        with lock:
+            if engine.epoch == computed_at:
+                self._spec_cache.put(spec_query, cached)
+
     def _spec_results(self, spec_query: str) -> tuple[ResultList, dict]:
         """Step (b): the cached small list R_q' and its snippet vectors."""
         cached = self._spec_cache.get(spec_query)
@@ -225,7 +262,7 @@ class DiversificationFramework:
             results = self.engine.search(spec_query, self.config.spec_results)
             vectors = self.engine.snippet_vectors(spec_query, results)
             cached = (results, vectors)
-            self._spec_cache.put(spec_query, cached)
+            self._cache_spec(spec_query, cached)
         return cached
 
     def prefetch_specializations(self, spec_queries) -> int:
@@ -240,12 +277,51 @@ class DiversificationFramework:
         missing = [q for q in dict.fromkeys(spec_queries) if q not in self._spec_cache]
         if not missing:
             return 0
-        fetched = self.engine.search_batch(missing, self.config.spec_results)
-        for spec_query in missing:
-            results = fetched[spec_query]
-            vectors = self.engine.snippet_vectors(spec_query, results)
-            self._spec_cache.put(spec_query, (results, vectors))
+        with self._pin_engine():
+            fetched = self.engine.search_batch(
+                missing, self.config.spec_results
+            )
+            for spec_query in missing:
+                results = fetched[spec_query]
+                vectors = self.engine.snippet_vectors(spec_query, results)
+                self._cache_spec(spec_query, (results, vectors))
         return len(missing)
+
+    def invalidate_affected(self, delta) -> int:
+        """Drop exactly the warm artifacts an epoch's delta stales.
+
+        The soundness rule: a batch that changes the collection's
+        document count or token total changes ``N`` and ``avg_dl`` and
+        therefore *every* cached score — the whole cache drops.  A
+        stats-preserving swap leaves an artifact byte-valid iff its
+        specialization's terms are disjoint from the changed documents'
+        terms (df/cf untouched) **and** none of the changed documents
+        appear in its results (relative ordinal order of survivors is
+        preserved, so tie-breaks hold).  Returns the number of artifacts
+        dropped.
+        """
+        if delta is None or delta.stats_changed:
+            dropped = len(self._spec_cache)
+            self._spec_cache.clear()
+            return dropped
+        changed_terms = delta.terms
+        changed_ids = delta.changed_ids
+        if not changed_terms and not changed_ids:
+            return 0
+        analyzer = getattr(self.engine, "analyzer", None)
+        if analyzer is None:
+            dropped = len(self._spec_cache)
+            self._spec_cache.clear()
+            return dropped
+        dropped = 0
+        for spec_query, (results, vectors) in self._spec_cache.snapshot():
+            touched = bool(set(analyzer.analyze(spec_query)) & changed_terms)
+            if not touched:
+                artifact_ids = set(results.doc_ids) | set(vectors)
+                touched = bool(artifact_ids & changed_ids)
+            if touched and self._spec_cache.delete(spec_query):
+                dropped += 1
+        return dropped
 
     def cache_info(self) -> CacheStats:
         """Hit/miss/eviction counters of the specialization cache."""
@@ -331,8 +407,16 @@ class DiversificationFramework:
 
         The serving layer batches step (a) across many queries and then
         ranks each one through here, so detection is never run twice for
-        the same query in a batch.
+        the same query in a batch.  The whole pass runs pinned to one
+        engine snapshot, so a concurrent epoch publish cannot leave the
+        result straddling two collections.
         """
+        with self._pin_engine():
+            return self._diversify_pinned(query, specializations)
+
+    def _diversify_pinned(
+        self, query: str, specializations: SpecializationSet
+    ) -> DiversifiedResult:
         if not specializations:
             baseline = self.engine.search(query, self.config.k)
             return DiversifiedResult(

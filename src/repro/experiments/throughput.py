@@ -73,6 +73,15 @@ resident limit on the attached engine via LRU partition eviction, and
 every probe query is asserted byte-identical (ranking and scores)
 between the two arms before anything is reported.
 
+With ``--mode ingest`` the harness serves the Zipf stream in chunks
+while a paced live-ingest stream publishes epochs between them —
+batches of new documents arrive, old documents are removed, and the
+per-epoch cache sweeps keep only provably-unaffected warm artifacts.
+After the stream, the final collection order is asserted equal to a
+from-scratch prediction and every distinct query is re-served on both
+the live service and a cold rebuild of the final collection; rankings
+*and* baseline scores must be byte-identical (the epoch identity gate).
+
 ``--save-stats PATH`` writes the run's benchmark record as JSON — the
 repo's ``BENCH_*.json`` perf trajectory is a series of these records.
 Every mode emits the same core schema (mode, backend, policy, shards,
@@ -89,6 +98,7 @@ Run as a script::
     python -m repro.experiments.throughput --replicas 2 --kill-shard
     python -m repro.experiments.throughput --mode http --save-stats BENCH_http_e2e.json
     python -m repro.experiments.throughput --mode coldstart --paper-scale --scale-factor 10
+    python -m repro.experiments.throughput --mode ingest --save-stats BENCH_ingest_live.json
 """
 
 from __future__ import annotations
@@ -115,6 +125,7 @@ from repro.experiments.workloads import (
     TrecWorkload,
     build_trec_workload,
 )
+from repro.retrieval.documents import DocumentCollection
 from repro.serving import (
     BACKEND_NAMES,
     AsyncDiversificationService,
@@ -137,6 +148,7 @@ __all__ = [
     "FusedThroughputResult",
     "HTTPThroughputResult",
     "ColdstartResult",
+    "IngestThroughputResult",
     "WorkloadFrameworkFactory",
     "zipf_workload",
     "make_framework",
@@ -148,7 +160,9 @@ __all__ = [
     "run_fused_throughput",
     "run_http_throughput",
     "run_store_coldstart",
+    "run_ingest_throughput",
     "summarize_coldstart",
+    "summarize_ingest",
     "build_stats_record",
     "save_stats_record",
     "main",
@@ -1217,6 +1231,228 @@ def summarize_coldstart(result: ColdstartResult) -> str:
     )
 
 
+@dataclass(frozen=True)
+class IngestThroughputResult:
+    """A Zipf query stream interleaved with a paced live-ingest stream.
+
+    The serving arm answers query chunks while epochs publish between
+    them; afterwards, every distinct query is re-served by the *live*
+    service (through whatever survived its per-epoch cache sweeps) and
+    asserted byte-identical — ranking AND baseline scores — to a fresh
+    from-scratch service built over the final collection.  That is the
+    strongest form of the epoch identity gate: it validates not just the
+    incremental index but the surgical invalidation that kept caches
+    warm across publishes.
+    """
+
+    queries: int
+    distinct: int
+    partitions: int
+    seconds: float                 #: wall-clock spent serving query chunks
+    ingest_seconds: float          #: wall-clock spent inside ingest calls
+    ingest_batches: int
+    documents_added: int
+    documents_removed: int
+    epochs_published: int
+    warm_invalidations: int
+    final_documents: int
+    ingest_latencies_ms: tuple[float, ...]
+    service_stats: ServiceStats
+    identity_checked: bool
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.seconds if self.seconds else 0.0
+
+    def ingest_percentile_ms(self, q: float) -> float:
+        return _percentile(list(self.ingest_latencies_ms), q)
+
+
+def run_ingest_throughput(
+    workload: TrecWorkload | None = None,
+    num_queries: int = 100,
+    *,
+    partitions: int = 4,
+    ingest_batches: int = 8,
+    docs_per_batch: int = 4,
+    removes_per_batch: int = 1,
+    seed: int = 13,
+    zipf_s: float = 1.0,
+    log_name: str = "AOL",
+) -> IngestThroughputResult:
+    """Serve a Zipf stream while a paced ingest stream publishes epochs.
+
+    The corpus's last ``ingest_batches * docs_per_batch`` documents are
+    held out of the initial index and arrive as live-ingested batches
+    between query chunks; each batch also removes ``removes_per_batch``
+    still-present original documents, so both mutation paths (append and
+    ordinal-shifting removal) run under load.  Identity gate: the final
+    collection order is asserted equal to the survivors-then-adds
+    prediction, and every distinct query's post-stream result from the
+    live service (warm caches, swept per-epoch) is asserted byte-equal
+    to a from-scratch service over the same final collection.
+    """
+    from repro.retrieval.sharding import PartitionedSearchEngine
+
+    workload = workload or build_trec_workload(SMALL_SCALE)
+    scale = workload.scale
+    queries = zipf_workload(workload, num_queries, seed, s=zipf_s)
+    distinct = sorted(set(queries))
+
+    full_docs = list(workload.corpus.collection)
+    holdout = ingest_batches * docs_per_batch
+    if holdout + ingest_batches * removes_per_batch >= len(full_docs):
+        raise ValueError(
+            "corpus too small for the requested ingest stream: "
+            f"{len(full_docs)} docs, {holdout} held out, "
+            f"{ingest_batches * removes_per_batch} removals"
+        )
+    initial_docs = full_docs[: len(full_docs) - holdout]
+    arrivals = full_docs[len(full_docs) - holdout:]
+
+    engine = PartitionedSearchEngine(
+        DocumentCollection(initial_docs), num_partitions=partitions
+    )
+    framework = DiversificationFramework(
+        engine,
+        workload.miner(log_name),
+        config=FrameworkConfig(
+            k=scale.k, candidates=scale.candidates, spec_results=scale.spec_results
+        ),
+    )
+    service = DiversificationService(framework)
+    service.warm(distinct)
+
+    # Deterministic removal schedule over the still-present originals.
+    rng = random.Random(seed + 1)
+    removable = [doc.doc_id for doc in initial_docs]
+    expected_ids = [doc.doc_id for doc in initial_docs]
+
+    chunks = max(ingest_batches + 1, 1)
+    chunk_size = max(1, (len(queries) + chunks - 1) // chunks)
+    query_chunks = [
+        queries[i:i + chunk_size] for i in range(0, len(queries), chunk_size)
+    ]
+
+    serve_seconds = 0.0
+    ingest_seconds = 0.0
+    ingest_latencies_ms: list[float] = []
+    documents_added = 0
+    documents_removed = 0
+    batch_index = 0
+    for chunk_number, chunk in enumerate(query_chunks):
+        start = time.perf_counter()
+        service.diversify_batch(chunk)
+        serve_seconds += time.perf_counter() - start
+        if batch_index >= ingest_batches or chunk_number == len(query_chunks) - 1:
+            continue
+        adds = arrivals[
+            batch_index * docs_per_batch:(batch_index + 1) * docs_per_batch
+        ]
+        removes = rng.sample(removable, min(removes_per_batch, len(removable)))
+        start = time.perf_counter()
+        epoch = service.ingest(add_documents=adds, remove_doc_ids=removes)
+        elapsed = time.perf_counter() - start
+        ingest_seconds += elapsed
+        ingest_latencies_ms.append(elapsed * 1000.0)
+        assert epoch == batch_index + 1, (epoch, batch_index)
+        documents_added += len(adds)
+        documents_removed += len(removes)
+        removed_set = set(removes)
+        removable = [d for d in removable if d not in removed_set]
+        expected_ids = [d for d in expected_ids if d not in removed_set]
+        expected_ids.extend(doc.doc_id for doc in adds)
+        batch_index += 1
+
+    # Gate 1: the live engine's collection order matches the
+    # survivors-in-original-order-then-adds-in-batch-order prediction —
+    # the ordering a from-scratch build of the final collection has.
+    live_ids = engine.collection.doc_ids
+    if live_ids != expected_ids:
+        raise AssertionError(
+            "live-ingested collection order diverged from the "
+            "from-scratch prediction"
+        )
+
+    # Gate 2: re-serve every distinct query on the live service (warm,
+    # swept caches) and on a cold from-scratch service over the final
+    # collection; rankings AND baseline scores must be byte-identical.
+    reference_engine = PartitionedSearchEngine(
+        DocumentCollection(
+            [workload.corpus.collection[doc_id] for doc_id in expected_ids]
+        ),
+        num_partitions=partitions,
+    )
+    reference = DiversificationService(
+        DiversificationFramework(
+            reference_engine,
+            workload.miner(log_name),
+            config=framework.config,
+        )
+    )
+    live_results = service.diversify_batch(distinct)
+    reference_results = reference.diversify_batch(distinct)
+    for live, fresh in zip(live_results, reference_results):
+        if live.ranking != fresh.ranking:
+            raise AssertionError(
+                f"post-ingest ranking of {live.query!r} diverged from the "
+                "from-scratch rebuild"
+            )
+        live_scored = [(r.doc_id, r.score) for r in live.baseline]
+        fresh_scored = [(r.doc_id, r.score) for r in fresh.baseline]
+        if live_scored != fresh_scored:
+            raise AssertionError(
+                f"post-ingest baseline scores of {live.query!r} diverged "
+                "from the from-scratch rebuild"
+            )
+
+    stats = service.stats
+    return IngestThroughputResult(
+        queries=len(queries),
+        distinct=len(distinct),
+        partitions=partitions,
+        seconds=serve_seconds,
+        ingest_seconds=ingest_seconds,
+        ingest_batches=batch_index,
+        documents_added=documents_added,
+        documents_removed=documents_removed,
+        epochs_published=stats.epochs_published,
+        warm_invalidations=stats.warm_invalidations,
+        final_documents=len(expected_ids),
+        ingest_latencies_ms=tuple(ingest_latencies_ms),
+        service_stats=stats,
+        identity_checked=True,
+    )
+
+
+def summarize_ingest(result: IngestThroughputResult) -> str:
+    headers = ["stream", "events", "seconds", "latency p95 ms"]
+    rows = [
+        [
+            "queries (Zipf chunks)",
+            result.queries,
+            round(result.seconds, 4),
+            round(result.service_stats.percentile_ms(0.95), 3),
+        ],
+        [
+            "ingest epochs",
+            result.ingest_batches,
+            round(result.ingest_seconds, 4),
+            round(result.ingest_percentile_ms(0.95), 3),
+        ],
+    ]
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Live ingest under load — {result.final_documents} final docs, "
+            f"{result.partitions} partitions, +{result.documents_added}/"
+            f"-{result.documents_removed} docs over "
+            f"{result.epochs_published} epochs"
+        ),
+    )
+
+
 def save_stats_record(path: str | Path, record: dict) -> Path:
     """Write one benchmark record as pretty JSON; returns the path.
 
@@ -1715,7 +1951,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--mode",
         default="batch",
-        choices=("batch", "async", "http", "offline", "coldstart"),
+        choices=("batch", "async", "http", "offline", "coldstart", "ingest"),
         help="'batch': pre-formed batches (loop-vs-batch, or 1-vs-N "
         "shards with --shards); 'async': the asyncio micro-batching "
         "front-end under open-loop Zipf arrivals, identity-checked "
@@ -1728,7 +1964,11 @@ def main(argv: list[str] | None = None) -> None:
         "'coldstart': rebuild-from-documents vs attach-the-index-store "
         "cold start, timed and identity-checked at --scale-factor x "
         "the chosen corpus scale (writes BENCH_store_coldstart.json "
-        "shape records via --save-stats)",
+        "shape records via --save-stats); 'ingest': serve a Zipf stream "
+        "while a paced live-ingest stream publishes epochs between "
+        "query chunks, then assert the live service byte-identical "
+        "(rankings and scores) to a from-scratch build of the final "
+        "collection",
     )
     parser.add_argument(
         "--shards",
@@ -1875,7 +2115,7 @@ def main(argv: list[str] | None = None) -> None:
         type=int,
         default=4,
         metavar="N",
-        help="coldstart mode: partitions of both engines",
+        help="coldstart/ingest mode: partitions of both engines",
     )
     args = parser.parse_args(argv)
 
@@ -2000,6 +2240,67 @@ def main(argv: list[str] | None = None) -> None:
         return
 
     workload = build_trec_workload(scale, logs=(args.log,))
+
+    if args.mode == "ingest":
+        result = run_ingest_throughput(
+            workload,
+            args.queries,
+            partitions=args.partitions,
+            zipf_s=args.zipf_s,
+            log_name=args.log,
+        )
+        print(summarize_ingest(result))
+        print()
+        print(
+            f"served {result.queries} queries ({result.distinct} distinct) "
+            f"in {result.seconds:.3f}s ({result.qps:.1f} qps) interleaved "
+            f"with {result.ingest_batches} ingest epochs "
+            f"(+{result.documents_added}/-{result.documents_removed} docs, "
+            f"{result.ingest_seconds:.3f}s in ingest, "
+            f"p95 {result.ingest_percentile_ms(0.95):.2f}ms per epoch)"
+        )
+        print(
+            f"caches: {result.warm_invalidations} warm artifacts "
+            f"invalidated across publishes; {result.service_stats.summary()}"
+        )
+        print(
+            "identity check: final collection order and every distinct "
+            "query's ranking AND baseline scores verified byte-identical "
+            "to a from-scratch build of the final collection."
+        )
+        if args.save_stats:
+            path = save_stats_record(
+                args.save_stats,
+                build_stats_record(
+                    "ingest",
+                    backend="inline",
+                    shards=0,
+                    queries=result.queries,
+                    distinct=result.distinct,
+                    qps=result.qps,
+                    seconds=result.seconds,
+                    latency=_latency_record(result.service_stats),
+                    scale=scale.name,
+                    zipf_s=args.zipf_s,
+                    identity_checked=result.identity_checked,
+                    hardware_limited=False,
+                    partitions=result.partitions,
+                    ingest_batches=result.ingest_batches,
+                    documents_added=result.documents_added,
+                    documents_removed=result.documents_removed,
+                    epochs_published=result.epochs_published,
+                    warm_invalidations=result.warm_invalidations,
+                    final_documents=result.final_documents,
+                    ingest_seconds=round(result.ingest_seconds, 5),
+                    ingest_latency={
+                        "p50_ms": round(result.ingest_percentile_ms(0.50), 4),
+                        "p95_ms": round(result.ingest_percentile_ms(0.95), 4),
+                        "p99_ms": round(result.ingest_percentile_ms(0.99), 4),
+                    },
+                ),
+            )
+            print(f"benchmark record written to {path}")
+        return
 
     if args.replicas > 1:
         if args.backend not in (None, "process"):

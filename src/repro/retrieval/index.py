@@ -115,6 +115,64 @@ class InvertedIndex:
         for document in collection:
             self.index_document(document)
 
+    def remove_document(self, doc_id: str) -> int:
+        """Remove *doc_id* and refresh every derived statistic.
+
+        Ordinals are dense (they double as positions in the length and
+        id tables), so removal *shifts every later document down by
+        one* — exactly the ordinal assignment a from-scratch index over
+        the surviving documents would produce, which is what keeps the
+        epoch-swap's incremental partitions byte-identical to a rebuild.
+        Posting lists are rewritten in one pass per term; terms whose
+        last posting was the removed document leave the vocabulary.
+        Returns the removed document's former ordinal.
+        """
+        ordinal = self._ordinal_by_id.get(doc_id)
+        if ordinal is None:
+            raise ValueError(f"doc_id not indexed: {doc_id!r}")
+        del self._doc_ids[ordinal]
+        self._total_tokens -= self._doc_lengths.pop(ordinal)
+        del self._ordinal_by_id[doc_id]
+        for later_id, later_ordinal in self._ordinal_by_id.items():
+            if later_ordinal > ordinal:
+                self._ordinal_by_id[later_id] = later_ordinal - 1
+        emptied = []
+        for term, postings in self._postings.items():
+            if postings.ordinals[-1] < ordinal:
+                continue
+            kept = PostingList()
+            for o, tf in zip(postings.ordinals, postings.tfs):
+                if o == ordinal:
+                    continue
+                kept.append(o - 1 if o > ordinal else o, tf)
+            if kept.ordinals:
+                self._postings[term] = kept
+            else:
+                emptied.append(term)
+        for term in emptied:
+            del self._postings[term]
+        return ordinal
+
+    def copy(self) -> "InvertedIndex":
+        """An independent deep copy (shared analyzer, copied postings).
+
+        The epoch-swap mutates a *copy* of each affected partition while
+        the published snapshot keeps serving the original, so the copy
+        must share no mutable structure with its source.
+        """
+        clone = InvertedIndex(self.analyzer)
+        clone._doc_lengths = list(self._doc_lengths)
+        clone._doc_ids = list(self._doc_ids)
+        clone._ordinal_by_id = dict(self._ordinal_by_id)
+        clone._total_tokens = self._total_tokens
+        for term, postings in self._postings.items():
+            copied = PostingList()
+            copied.ordinals = list(postings.ordinals)
+            copied.tfs = list(postings.tfs)
+            copied.collection_frequency = postings.collection_frequency
+            clone._postings[term] = copied
+        return clone
+
     @classmethod
     def from_collection(
         cls, collection: DocumentCollection, analyzer: Analyzer | None = None

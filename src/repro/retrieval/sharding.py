@@ -34,15 +34,17 @@ results that merge back losslessly.  This module provides both halves:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import heapq
+import threading
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from repro.core.cache import LRUCache
 from repro.retrieval.analysis import Analyzer
-from repro.retrieval.documents import DocumentCollection
+from repro.retrieval.documents import Document, DocumentCollection
 from repro.retrieval.engine import ResultList, SearchEngine
 from repro.retrieval.index import InvertedIndex
 from repro.retrieval.models import DPH, WeightingModel
@@ -52,6 +54,8 @@ __all__ = [
     "stable_shard",
     "partition_collection",
     "BuildReport",
+    "EpochDelta",
+    "EngineSnapshot",
     "MemoryBudget",
     "PartitionedSearchEngine",
 ]
@@ -241,6 +245,62 @@ class BuildReport:
         return text
 
 
+@dataclasses.dataclass(frozen=True)
+class EpochDelta:
+    """What changed between an epoch and its predecessor.
+
+    Carried by the :class:`EngineSnapshot` the change produced, so every
+    consumer of a publish (warm caches, result caches, stores) can
+    decide *surgically* what it must invalidate instead of flushing
+    wholesale:
+
+    * ``added`` / ``removed`` — the doc_ids the epoch ingested/dropped
+      (a re-ingested id appears in both);
+    * ``terms`` — the union of analysed terms of every changed document,
+      i.e. every term whose df/cf could differ from the previous epoch;
+    * ``stats_changed`` — whether the collection-global scalars (N,
+      total tokens, hence avg_dl) moved.  When they did, *every* cached
+      score is stale — DFR/BM25 contributions read them — and consumers
+      must invalidate everything.
+    """
+
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    terms: frozenset[str] = frozenset()
+    stats_changed: bool = True
+
+    @property
+    def changed_ids(self) -> frozenset[str]:
+        return frozenset(self.added) | frozenset(self.removed)
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSnapshot:
+    """One immutable, epoch-versioned view of the partitioned index.
+
+    Everything a query touches — partitions, the ordinal maps, the
+    collection-global statistics, the document collection itself — lives
+    here, so a query that pins a snapshot at entry sees exactly one
+    epoch no matter how many publishes happen while it runs.  Publishing
+    the next epoch is a single reference assignment on the engine; the
+    previous snapshot keeps serving every query already pinned to it.
+
+    ``delta`` describes the change that produced this snapshot (empty
+    for epoch 0 / a fresh build), which is what the serving layer's
+    per-affected-specialization warm invalidation reads.
+    """
+
+    epoch: int
+    collection: DocumentCollection
+    partition_collections: tuple[DocumentCollection, ...]
+    partitions: tuple[InvertedIndex, ...]
+    global_ordinals: tuple[tuple[int, ...], ...]
+    num_documents: int
+    total_tokens: int
+    average_document_length: float
+    delta: EpochDelta = EpochDelta((), (), frozenset(), False)
+
+
 class PartitionedSearchEngine(SearchEngine):
     """A :class:`SearchEngine` whose inverted index is split into shards.
 
@@ -288,7 +348,6 @@ class PartitionedSearchEngine(SearchEngine):
         self.seed = seed
         # Deliberately not calling super().__init__: it would build the
         # single global index this class exists to avoid holding.
-        self.collection = collection
         self.analyzer = analyzer or Analyzer()
         self.model = model or DPH()
         if partition_collections is None:
@@ -318,11 +377,10 @@ class PartitionedSearchEngine(SearchEngine):
                     "partition collections do not cover the collection "
                     "exactly once (missing, extra or duplicated documents)"
                 )
-        self.partition_collections = partition_collections
         if partition_indexes is None:
-            self.partitions = [
+            partition_indexes = [
                 InvertedIndex.from_collection(part, self.analyzer)
-                for part in self.partition_collections
+                for part in partition_collections
             ]
         else:
             partition_indexes = list(partition_indexes)
@@ -332,7 +390,7 @@ class PartitionedSearchEngine(SearchEngine):
                     f"got {len(partition_indexes)}"
                 )
             for shard, (part, index) in enumerate(
-                zip(self.partition_collections, partition_indexes)
+                zip(partition_collections, partition_indexes)
             ):
                 if [
                     index.doc_id(o) for o in range(index.num_documents)
@@ -342,17 +400,6 @@ class PartitionedSearchEngine(SearchEngine):
                         "partition collection (documents or their order "
                         "differ)"
                     )
-            self.partitions = partition_indexes
-        #: partition-local ordinal → collection-global ordinal, per shard.
-        self._global_ordinals = [
-            [collection.ordinal(index.doc_id(o)) for o in range(index.num_documents)]
-            for index in self.partitions
-        ]
-        self._num_documents = sum(p.num_documents for p in self.partitions)
-        total_tokens = sum(p.total_tokens for p in self.partitions)
-        self._average_document_length = (
-            total_tokens / self._num_documents if self._num_documents else 0.0
-        )
         self.snippets = snippet_extractor or SnippetExtractor(
             analyzer=self.analyzer
         )
@@ -362,8 +409,251 @@ class PartitionedSearchEngine(SearchEngine):
         self.memory_budget: MemoryBudget | None = None
         self._partition_clock = 0
         self._partition_touched = [0] * num_partitions
+        self._pin = threading.local()
+        self._epoch_lock = threading.RLock()
+        self._snapshot = self._assemble_snapshot(
+            0, collection, partition_collections, partition_indexes
+        )
         # ``self.index`` intentionally left unset: there is no single
         # index, and anything reaching for one should fail loudly.
+
+    @staticmethod
+    def _assemble_snapshot(
+        epoch: int,
+        collection: DocumentCollection,
+        partition_collections: Sequence[DocumentCollection],
+        partition_indexes: Sequence[InvertedIndex],
+        delta: EpochDelta | None = None,
+    ) -> EngineSnapshot:
+        """Freeze one epoch's views plus its collection-global statistics."""
+        num_documents = sum(p.num_documents for p in partition_indexes)
+        total_tokens = sum(p.total_tokens for p in partition_indexes)
+        return EngineSnapshot(
+            epoch=epoch,
+            collection=collection,
+            partition_collections=tuple(partition_collections),
+            partitions=tuple(partition_indexes),
+            global_ordinals=tuple(
+                tuple(
+                    collection.ordinal(index.doc_id(o))
+                    for o in range(index.num_documents)
+                )
+                for index in partition_indexes
+            ),
+            num_documents=num_documents,
+            total_tokens=total_tokens,
+            average_document_length=(
+                total_tokens / num_documents if num_documents else 0.0
+            ),
+            delta=delta or EpochDelta((), (), frozenset(), False),
+        )
+
+    # -- epoch-versioned snapshots ------------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        """The currently published :class:`EngineSnapshot`."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Epoch id of the currently published snapshot."""
+        return self._snapshot.epoch
+
+    def _pinned_snapshot(self) -> EngineSnapshot:
+        return getattr(self._pin, "snapshot", None) or self._snapshot
+
+    @contextlib.contextmanager
+    def pinned(self, snapshot: EngineSnapshot | None = None):
+        """Pin every read on this thread to one snapshot.
+
+        The framework wraps each query (and each warm pass) in this, so
+        a query whose pipeline touches the engine several times —
+        candidate retrieval, specialization fetches, snippet
+        vectorisation — sees exactly one epoch even when a publish lands
+        halfway through.  Re-entrant: an inner pin restores the outer
+        one on exit.
+        """
+        # An inner unnamed pin inherits the outer one (not the published
+        # snapshot!) — a publish landing between the two must stay
+        # invisible for the rest of the outer pin's scope.
+        pinned = snapshot or self._pinned_snapshot()
+        previous = getattr(self._pin, "snapshot", None)
+        self._pin.snapshot = pinned
+        try:
+            yield pinned
+        finally:
+            self._pin.snapshot = previous
+
+    @property
+    def collection(self) -> DocumentCollection:
+        return self._pinned_snapshot().collection
+
+    @property
+    def partitions(self) -> tuple[InvertedIndex, ...]:
+        return self._pinned_snapshot().partitions
+
+    @property
+    def partition_collections(self) -> tuple[DocumentCollection, ...]:
+        return self._pinned_snapshot().partition_collections
+
+    @property
+    def _global_ordinals(self) -> tuple[tuple[int, ...], ...]:
+        return self._pinned_snapshot().global_ordinals
+
+    @property
+    def _num_documents(self) -> int:
+        return self._pinned_snapshot().num_documents
+
+    @property
+    def _average_document_length(self) -> float:
+        return self._pinned_snapshot().average_document_length
+
+    # -- live ingest ---------------------------------------------------------------
+
+    def prepare_epoch(
+        self,
+        add_documents: Sequence[Document] = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> EngineSnapshot:
+        """Build — off to the side — the snapshot the next epoch publishes.
+
+        Pure with respect to the published snapshot: only the partitions
+        actually touched by the batch are copied and mutated
+        (:meth:`~repro.retrieval.index.InvertedIndex.remove_document` /
+        :meth:`~repro.retrieval.index.InvertedIndex.index_document`);
+        untouched partitions are shared structurally with the current
+        epoch.  The resulting snapshot is *identical* — ordinals, global
+        statistics, scores — to a from-scratch build over the final
+        collection (survivors in their original order, added documents
+        appended in batch order), which is the identity gate every
+        ingest test asserts.  Runs on any thread; serving is undisturbed
+        until :meth:`publish`.
+        """
+        with self._epoch_lock:
+            return self._prepare_epoch_locked(add_documents, remove_doc_ids)
+
+    def _prepare_epoch_locked(
+        self,
+        add_documents: Sequence[Document],
+        remove_doc_ids: Sequence[str],
+    ) -> EngineSnapshot:
+        current = self._snapshot
+        adds = list(add_documents)
+        removes = list(remove_doc_ids)
+        if not adds and not removes:
+            raise ValueError("an epoch must change the collection")
+        removed: set[str] = set()
+        for doc_id in removes:
+            if doc_id in removed:
+                raise ValueError(f"duplicate removal: {doc_id!r}")
+            if doc_id not in current.collection:
+                raise ValueError(f"cannot remove unknown doc_id: {doc_id!r}")
+            removed.add(doc_id)
+        fresh: set[str] = set()
+        for document in adds:
+            if document.doc_id in fresh:
+                raise ValueError(f"duplicate doc_id in batch: {document.doc_id!r}")
+            if document.doc_id in current.collection and (
+                document.doc_id not in removed
+            ):
+                raise ValueError(f"duplicate doc_id: {document.doc_id!r}")
+            fresh.add(document.doc_id)
+
+        changed_terms: set[str] = set()
+        for doc_id in removes:
+            changed_terms.update(
+                self.analyzer.analyze(current.collection[doc_id].full_text)
+            )
+        for document in adds:
+            changed_terms.update(self.analyzer.analyze(document.full_text))
+
+        adds_by_shard: dict[int, list[Document]] = {}
+        for document in adds:
+            shard = stable_shard(document.doc_id, self.num_partitions, self.seed)
+            adds_by_shard.setdefault(shard, []).append(document)
+        removes_by_shard: dict[int, list[str]] = {}
+        for doc_id in removes:
+            shard = stable_shard(doc_id, self.num_partitions, self.seed)
+            removes_by_shard.setdefault(shard, []).append(doc_id)
+
+        collection = DocumentCollection(
+            [d for d in current.collection if d.doc_id not in removed] + adds
+        )
+        partitions = list(current.partitions)
+        parts = list(current.partition_collections)
+        for shard in sorted(set(adds_by_shard) | set(removes_by_shard)):
+            index = partitions[shard].copy()
+            for doc_id in removes_by_shard.get(shard, ()):
+                index.remove_document(doc_id)
+            for document in adds_by_shard.get(shard, ()):
+                index.index_document(document)
+            partitions[shard] = index
+            parts[shard] = DocumentCollection(
+                [d for d in parts[shard] if d.doc_id not in removed]
+                + adds_by_shard.get(shard, [])
+            )
+        prepared = self._assemble_snapshot(
+            current.epoch + 1, collection, parts, partitions
+        )
+        stats_changed = (
+            prepared.num_documents != current.num_documents
+            or prepared.total_tokens != current.total_tokens
+        )
+        return dataclasses.replace(
+            prepared,
+            delta=EpochDelta(
+                added=tuple(d.doc_id for d in adds),
+                removed=tuple(removes),
+                terms=frozenset(changed_terms),
+                stats_changed=stats_changed,
+            ),
+        )
+
+    def publish(self, prepared: EngineSnapshot) -> int:
+        """Atomically publish *prepared* as the current epoch.
+
+        One reference assignment under the epoch lock: queries pinned to
+        the previous snapshot finish on it untouched, queries arriving
+        after this line see the new epoch in full — there is no state in
+        between.  Refuses a stale preparation (another publish won the
+        race).  Snippet-vector cache entries of changed documents are
+        dropped here, since their content may differ under the new
+        epoch.  Returns the published epoch id.
+        """
+        with self._epoch_lock:
+            if prepared.epoch != self._snapshot.epoch + 1:
+                raise ValueError(
+                    f"stale epoch preparation: prepared epoch "
+                    f"{prepared.epoch} cannot follow published epoch "
+                    f"{self._snapshot.epoch}"
+                )
+            self._snapshot = prepared
+        cache = self._vector_cache
+        if cache is not None and prepared.delta.changed_ids:
+            changed = prepared.delta.changed_ids
+            for key in cache:
+                if key[1] in changed:
+                    cache.delete(key)
+        return prepared.epoch
+
+    def apply_updates(
+        self,
+        add_documents: Sequence[Document] = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> EngineSnapshot:
+        """Prepare and publish the next epoch in one call.
+
+        The convenience path for callers without a separate background
+        preparer; serialised against concurrent updates by the epoch
+        lock.  Returns the published snapshot (its ``delta`` drives the
+        serving layer's surgical warm invalidation).
+        """
+        with self._epoch_lock:
+            prepared = self._prepare_epoch_locked(
+                add_documents, remove_doc_ids
+            )
+            self.publish(prepared)
+        return prepared
 
     def search(self, query: str, k: int = 1000) -> ResultList:
         """Scatter the query over every partition, gather the global top-k.
@@ -380,19 +670,22 @@ class PartitionedSearchEngine(SearchEngine):
             return ResultList(query, [])
         weights = Counter(terms)
 
-        n_docs = self._num_documents
-        avg_dl = self._average_document_length
+        # One snapshot read for the whole scatter/gather: a publish that
+        # lands mid-query cannot hand this call a half-new epoch.
+        snapshot = self._pinned_snapshot()
+        n_docs = snapshot.num_documents
+        avg_dl = snapshot.average_document_length
         budget = self.memory_budget
         touched: set[int] = set()
         accumulators: dict[int, float] = {}
         for term, qtf in weights.items():
-            per_partition = [p.postings(term) for p in self.partitions]
+            per_partition = [p.postings(term) for p in snapshot.partitions]
             df = sum(pl.document_frequency for pl in per_partition if pl)
             cf = sum(pl.collection_frequency for pl in per_partition if pl)
             if df == 0:
                 continue
             for shard, (index, postings, to_global) in enumerate(
-                zip(self.partitions, per_partition, self._global_ordinals)
+                zip(snapshot.partitions, per_partition, snapshot.global_ordinals)
             ):
                 if postings is None:
                     continue
@@ -417,7 +710,7 @@ class PartitionedSearchEngine(SearchEngine):
         top = heapq.nsmallest(
             k, accumulators.items(), key=lambda item: (-item[1], item[0])
         )
-        by_ordinal = self.collection.by_ordinal
+        by_ordinal = snapshot.collection.by_ordinal
         results = ResultList(
             query, [(by_ordinal(ordinal).doc_id, score) for ordinal, score in top]
         )
@@ -513,6 +806,19 @@ class PartitionedSearchEngine(SearchEngine):
             BuildReport.from_index(index, 0.0, name=f"partition{shard}")
             for shard, index in enumerate(self.partitions)
         ]
+
+    def __getstate__(self) -> dict:
+        # The pin is thread-local and the epoch lock process-local;
+        # everything else (including the published snapshot) travels.
+        state = self.__dict__.copy()
+        state.pop("_pin", None)
+        state.pop("_epoch_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pin = threading.local()
+        self._epoch_lock = threading.RLock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = "+".join(str(p.num_documents) for p in self.partitions)

@@ -4,9 +4,10 @@ Every index partition and warm artifact used to live fully in RAM, so
 serving capacity was capped by resident memory and every cold start was
 a full rebuild.  This module moves the durable copy into a single SQLite
 file — postings, document metadata, collection-global statistics and the
-serving layer's warm artifacts — written **once** by the offline
-pipeline (:func:`write_store`) and attached **read-only** by any number
-of serving processes (:class:`IndexStore`).  The database follows the
+serving layer's warm artifacts — written by the offline pipeline
+(:func:`write_store`), advanced one epoch at a time by live ingest
+(:func:`append_epoch`), and attached **read-only** by any number of
+serving processes (:class:`IndexStore`).  The database follows the
 paged-store recipe common to the storage designs surveyed in PAPERS.md:
 WAL journal, ``synchronous=NORMAL``, a ``busy_timeout`` so concurrent
 readers never fail spuriously.
@@ -43,22 +44,29 @@ import sqlite3
 import sys
 import threading
 from array import array
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.cache import LRUCache
 from repro.retrieval.analysis import Analyzer
-from repro.retrieval.documents import Document
-from repro.retrieval.index import _INT_BYTES, PostingList
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.index import _INT_BYTES, InvertedIndex, PostingList
 from repro.retrieval.models import DPH, WeightingModel
-from repro.retrieval.sharding import MemoryBudget, PartitionedSearchEngine
+from repro.retrieval.sharding import (
+    EngineSnapshot,
+    MemoryBudget,
+    PartitionedSearchEngine,
+    stable_shard,
+)
 from repro.retrieval.snippets import SnippetExtractor
 
 __all__ = [
     "SCHEMA_VERSION",
     "StoreError",
+    "StaleEpochError",
     "write_store",
+    "append_epoch",
     "IndexStore",
     "PageCacheStats",
     "PostingPageCache",
@@ -70,7 +78,11 @@ __all__ = [
 ]
 
 #: Bump on any on-disk layout change; readers fail fast on a mismatch.
-SCHEMA_VERSION = 1
+#: v2: live-ingest support — ``store_epoch`` in ``meta`` plus a
+#: per-partition ``epoch`` column recording the last epoch that touched
+#: each partition (what lets :meth:`StoreBackedSearchEngine.refresh`
+#: re-page only the partitions an append actually changed).
+SCHEMA_VERSION = 2
 
 #: Default byte capacity of the shared postings page cache (per engine).
 DEFAULT_PAGE_CACHE_BYTES = 64 * 1024 * 1024
@@ -83,6 +95,26 @@ _BUSY_TIMEOUT_MS = 5000
 
 class StoreError(ValueError):
     """A store file is missing, malformed, or from another schema."""
+
+
+class StaleEpochError(StoreError):
+    """A store is behind the epoch the attacher requires.
+
+    Raised when attaching with ``expected_epoch`` and the store's
+    published ``store_epoch`` is older — e.g. a respawned replica whose
+    attach recipe remembers the epoch it was serving, pointed at a store
+    file that was rolled back or never received the appends.  Carries
+    both epochs so operators see exactly how far behind the file is.
+    """
+
+    def __init__(self, path, found: int, expected: int) -> None:
+        self.found = int(found)
+        self.expected = int(expected)
+        super().__init__(
+            f"{path}: store is at stale epoch {self.found}, expected at "
+            f"least epoch {self.expected}; re-apply the missing appends "
+            "or rebuild the store from the current collection"
+        )
 
 
 def _pack_ints(values) -> bytes:
@@ -126,7 +158,8 @@ _SCHEMA_STATEMENTS = (
         num_postings    INTEGER NOT NULL,
         total_tokens    INTEGER NOT NULL,
         lengths         BLOB NOT NULL,
-        global_ordinals BLOB NOT NULL
+        global_ordinals BLOB NOT NULL,
+        epoch           INTEGER NOT NULL DEFAULT 0
     )""",
     """CREATE TABLE documents (
         ordinal  INTEGER PRIMARY KEY,
@@ -185,6 +218,7 @@ def write_store(
         for statement in _SCHEMA_STATEMENTS:
             connection.execute(statement)
         collection = engine.collection
+        store_epoch = getattr(engine, "epoch", 0)
         meta = {
             "schema_version": SCHEMA_VERSION,
             "num_partitions": engine.num_partitions,
@@ -192,6 +226,7 @@ def write_store(
             "num_documents": len(collection),
             "total_tokens": sum(p.total_tokens for p in engine.partitions),
             "model": engine.model.name,
+            "store_epoch": store_epoch,
         }
         connection.executemany(
             "INSERT INTO meta (key, value) VALUES (?, ?)",
@@ -217,8 +252,8 @@ def write_store(
             ]
             connection.execute(
                 "INSERT INTO partitions (partition, num_documents, num_terms,"
-                " num_postings, total_tokens, lengths, global_ordinals)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                " num_postings, total_tokens, lengths, global_ordinals, epoch)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     shard,
                     index.num_documents,
@@ -227,6 +262,7 @@ def write_store(
                     index.total_tokens,
                     _pack_ints(lengths),
                     _pack_ints(engine._global_ordinals[shard]),
+                    store_epoch,
                 ),
             )
             connection.executemany(
@@ -274,6 +310,259 @@ def write_store(
     return path
 
 
+def append_epoch(
+    path: str | Path,
+    add_documents: Sequence[Document] = (),
+    remove_doc_ids: Sequence[str] = (),
+    *,
+    analyzer: Analyzer | None = None,
+) -> int:
+    """Apply one ingest batch to an existing store; returns the new epoch.
+
+    The incremental counterpart of :func:`write_store`: added documents
+    take tail ordinals in batch order, removals compact the ordinal
+    space exactly like a from-scratch build over the survivors, and only
+    the partitions that ``stable_shard`` routes a changed document to
+    have their statistics and postings rows rewritten (tagged with the
+    new epoch, which is what lets a refreshing reader keep the pages of
+    untouched partitions).  ``meta.store_epoch`` advances by one inside
+    the same transaction, so a reader attaching mid-append sees either
+    the old epoch complete or the new epoch complete — never a half-
+    applied batch.
+
+    Stored warm artifacts are pruned by the same soundness rule the
+    serving layer applies: a batch that changes the collection's
+    document count or token total stales *every* cached score (``N`` and
+    ``avg_dl`` feed each one), so all rows drop; a stats-preserving swap
+    drops only rows whose specialization terms or result documents
+    intersect the change.
+
+    *analyzer* must be the pipeline the serving engines use (defaults to
+    the stock :class:`Analyzer`) — postings for rebuilt partitions are
+    re-analysed here.
+    """
+    path = Path(path)
+    adds = list(add_documents)
+    removes = list(remove_doc_ids)
+    if not adds and not removes:
+        raise StoreError("an epoch must change the collection")
+    analyzer = analyzer or Analyzer()
+    connection = sqlite3.connect(path)
+    try:
+        connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        meta = dict(connection.execute("SELECT key, value FROM meta"))
+        version = int(meta.get("schema_version", -1))
+        if version != SCHEMA_VERSION:
+            raise StoreError(
+                f"{path}: store schema version {version} does not match "
+                f"the supported version {SCHEMA_VERSION}; rebuild the "
+                "store with the current offline pipeline"
+            )
+        num_partitions = int(meta["num_partitions"])
+        seed = int(meta["seed"])
+        epoch = int(meta.get("store_epoch", "0"))
+        new_epoch = epoch + 1
+        old_rows = connection.execute(
+            "SELECT ordinal, doc_id, title, text, metadata FROM documents"
+            " ORDER BY ordinal"
+        ).fetchall()
+        known = {row[1] for row in old_rows}
+        removed: set[str] = set()
+        for doc_id in removes:
+            if doc_id in removed:
+                raise StoreError(f"duplicate removal in batch: {doc_id!r}")
+            if doc_id not in known:
+                raise StoreError(f"cannot remove unknown doc_id: {doc_id!r}")
+            removed.add(doc_id)
+        added: set[str] = set()
+        for doc in adds:
+            if doc.doc_id in added:
+                raise StoreError(f"duplicate doc_id in batch: {doc.doc_id!r}")
+            if doc.doc_id in known and doc.doc_id not in removed:
+                raise StoreError(f"doc_id already stored: {doc.doc_id!r}")
+            added.add(doc.doc_id)
+
+        old_documents = {
+            row[1]: Document(
+                doc_id=row[1],
+                text=row[3],
+                title=row[2],
+                metadata=json.loads(row[4]),
+            )
+            for row in old_rows
+            if row[1] in removed
+        }
+        survivors = [row for row in old_rows if row[1] not in removed]
+        new_docs: list[tuple[str, str, str, str]] = [
+            (row[1], row[2], row[3], row[4]) for row in survivors
+        ] + [
+            (
+                doc.doc_id,
+                doc.title,
+                doc.text,
+                json.dumps(doc.metadata, ensure_ascii=False),
+            )
+            for doc in adds
+        ]
+        new_ordinal_by_id = {
+            fields[0]: ordinal for ordinal, fields in enumerate(new_docs)
+        }
+        changed_ids = removed | added
+        affected = {
+            stable_shard(doc_id, num_partitions, seed)
+            for doc_id in changed_ids
+        }
+
+        connection.execute("BEGIN IMMEDIATE")
+        if removes:
+            connection.execute("DELETE FROM documents")
+            connection.executemany(
+                "INSERT INTO documents (ordinal, doc_id, title, text,"
+                " metadata) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (ordinal, *fields)
+                    for ordinal, fields in enumerate(new_docs)
+                ),
+            )
+        else:
+            base = len(survivors)
+            connection.executemany(
+                "INSERT INTO documents (ordinal, doc_id, title, text,"
+                " metadata) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (base + offset, *fields)
+                    for offset, fields in enumerate(new_docs[base:])
+                ),
+            )
+        for shard in range(num_partitions):
+            if shard in affected:
+                part_docs = DocumentCollection(
+                    Document(
+                        doc_id=doc_id,
+                        text=text,
+                        title=title,
+                        metadata=json.loads(metadata),
+                    )
+                    for doc_id, title, text, metadata in new_docs
+                    if stable_shard(doc_id, num_partitions, seed) == shard
+                )
+                index = InvertedIndex.from_collection(part_docs, analyzer)
+                lengths = [
+                    index.document_length(o)
+                    for o in range(index.num_documents)
+                ]
+                ordinals = [
+                    new_ordinal_by_id[index.doc_id(o)]
+                    for o in range(index.num_documents)
+                ]
+                connection.execute(
+                    "DELETE FROM partitions WHERE partition = ?", (shard,)
+                )
+                connection.execute(
+                    "DELETE FROM postings WHERE partition = ?", (shard,)
+                )
+                connection.execute(
+                    "INSERT INTO partitions (partition, num_documents,"
+                    " num_terms, num_postings, total_tokens, lengths,"
+                    " global_ordinals, epoch)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        shard,
+                        index.num_documents,
+                        index.num_terms,
+                        index.num_postings,
+                        index.total_tokens,
+                        _pack_ints(lengths),
+                        _pack_ints(ordinals),
+                        new_epoch,
+                    ),
+                )
+                connection.executemany(
+                    "INSERT INTO postings (partition, term, df, cf,"
+                    " ordinals, tfs) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        (
+                            shard,
+                            term,
+                            postings.document_frequency,
+                            postings.collection_frequency,
+                            _pack_ints(postings.ordinals),
+                            _pack_ints(postings.tfs),
+                        )
+                        for term, postings in (
+                            (term, index.postings(term))
+                            for term in index.vocabulary()
+                        )
+                    ),
+                )
+            elif removes:
+                # Untouched postings, but removals shifted the global
+                # ordinal space — remap this partition's blob through the
+                # old ordinal → doc_id → new ordinal chain.  Lengths,
+                # postings pages and the epoch tag stay valid.
+                row = connection.execute(
+                    "SELECT global_ordinals FROM partitions"
+                    " WHERE partition = ?",
+                    (shard,),
+                ).fetchone()
+                old_by_ordinal = {r[0]: r[1] for r in old_rows}
+                remapped = [
+                    new_ordinal_by_id[old_by_ordinal[g]]
+                    for g in _unpack_ints(row[0])
+                ]
+                connection.execute(
+                    "UPDATE partitions SET global_ordinals = ?"
+                    " WHERE partition = ?",
+                    (_pack_ints(remapped), shard),
+                )
+
+        old_tokens = int(meta["total_tokens"])
+        total_tokens = connection.execute(
+            "SELECT SUM(total_tokens) FROM partitions"
+        ).fetchone()[0]
+        stats_changed = (
+            len(new_docs) != len(old_rows) or total_tokens != old_tokens
+        )
+        if stats_changed:
+            connection.execute("DELETE FROM warm_artifacts")
+        else:
+            changed_terms = set()
+            for doc in adds:
+                changed_terms.update(analyzer.analyze(doc.full_text))
+            for doc in old_documents.values():
+                changed_terms.update(analyzer.analyze(doc.full_text))
+            doomed = []
+            for shard_key, spec_query, payload in connection.execute(
+                "SELECT shard, spec_query, payload FROM warm_artifacts"
+            ):
+                raw = json.loads(payload)
+                spec_terms = set(analyzer.analyze(raw["q"]))
+                result_ids = {doc_id for doc_id, _ in raw.get("results", ())}
+                if spec_terms & changed_terms or result_ids & changed_ids:
+                    doomed.append((shard_key, spec_query))
+            connection.executemany(
+                "DELETE FROM warm_artifacts"
+                " WHERE shard = ? AND spec_query = ?",
+                doomed,
+            )
+
+        connection.executemany(
+            "UPDATE meta SET value = ? WHERE key = ?",
+            (
+                (str(len(new_docs)), "num_documents"),
+                (str(int(total_tokens or 0)), "total_tokens"),
+                (str(new_epoch), "store_epoch"),
+            ),
+        )
+        connection.commit()
+    except BaseException:
+        connection.rollback()
+        raise
+    finally:
+        connection.close()
+    return new_epoch
+
+
 class IndexStore:
     """Read-only attachment to a store written by :func:`write_store`.
 
@@ -282,10 +571,14 @@ class IndexStore:
     lazily if the owning process changes, so an engine inherited across
     ``fork()`` never touches the parent's connection.  Attaching
     validates the schema version and fails fast with the file name and
-    both versions in the error.
+    both versions in the error; passing *expected_epoch* additionally
+    fails fast (:class:`StaleEpochError`) when the store's published
+    epoch is older — newer is fine, a reader always serves the latest.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, *, expected_epoch: int | None = None
+    ) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
         self._connection: sqlite3.Connection | None = None
@@ -293,6 +586,10 @@ class IndexStore:
         self._meta: dict[str, str] = {}
         self._connect()
         self._validate()
+        if expected_epoch is not None and self.store_epoch < expected_epoch:
+            found = self.store_epoch
+            self.close()
+            raise StaleEpochError(self.path, found, expected_epoch)
 
     # -- connection management --------------------------------------------
 
@@ -377,6 +674,18 @@ class IndexStore:
     def total_tokens(self) -> int:
         return int(self._meta["total_tokens"])
 
+    @property
+    def store_epoch(self) -> int:
+        """The last epoch published into this store (0 for a fresh build)."""
+        return int(self._meta.get("store_epoch", "0"))
+
+    def reload(self) -> None:
+        """Re-read the ``meta`` table — how a live engine observes an
+        epoch another process appended after this attachment opened."""
+        rows = self._fetchall("SELECT key, value FROM meta")
+        with self._lock:
+            self._meta = dict(rows)
+
     def partition_stats(self, partition: int) -> dict[str, int]:
         row = self._fetchone(
             "SELECT num_documents, num_terms, num_postings, total_tokens"
@@ -391,6 +700,15 @@ class IndexStore:
             "num_postings": row[2],
             "total_tokens": row[3],
         }
+
+    def partition_epoch(self, partition: int) -> int:
+        """The epoch that last rewrote *partition*'s rows."""
+        row = self._fetchone(
+            "SELECT epoch FROM partitions WHERE partition = ?", (partition,)
+        )
+        if row is None:
+            raise StoreError(f"{self.path}: no partition {partition}")
+        return int(row[0])
 
     def lengths(self, partition: int) -> list[int]:
         row = self._fetchone(
@@ -832,6 +1150,15 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
     Pickles as its store path plus configuration and re-attaches on
     unpickle, so spawn-method process workers and respawned replicas
     hydrate in O(attach) instead of shipping (or rebuilding) the index.
+    The recipe remembers the epoch the donor was serving, so a respawn
+    pointed at a rolled-back store fails fast (:class:`StaleEpochError`)
+    instead of silently serving old data — a *newer* store is fine, the
+    respawn simply rehydrates to the latest published epoch.
+
+    Live ingest reaches this engine through :meth:`refresh`, not
+    ``apply_updates``: a writer appends an epoch to the store file
+    (:func:`append_epoch`) and every attached engine re-snapshots from
+    it, re-paging only the partitions the append actually rewrote.
     """
 
     def __init__(
@@ -845,6 +1172,7 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
         page_cache_bytes: int = DEFAULT_PAGE_CACHE_BYTES,
         document_cache_size: int = DEFAULT_DOCUMENT_CACHE_SIZE,
         memory_budget: MemoryBudget | int | None = None,
+        expected_epoch: int | None = None,
     ) -> None:
         # Deliberately not calling super().__init__ (which would build
         # in-memory partitions); this constructor attaches instead.
@@ -852,27 +1180,13 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
         self._vector_cache_size = vector_cache_size
         self._page_cache_bytes = page_cache_bytes
         self._document_cache_size = document_cache_size
-        store = IndexStore(self.store_path)
+        store = IndexStore(self.store_path, expected_epoch=expected_epoch)
         self.store = store
         self.num_partitions = store.num_partitions
         self.seed = store.seed
         self.analyzer = analyzer or Analyzer()
         self.model = model or DPH()
         self.page_cache = PostingPageCache(page_cache_bytes)
-        self.collection = StoreBackedCollection(store, document_cache_size)
-        self.partitions = [
-            StoreBackedInvertedIndex(store, p, self.page_cache)
-            for p in range(self.num_partitions)
-        ]
-        self._global_ordinals = [
-            store.global_ordinals(p) for p in range(self.num_partitions)
-        ]
-        self._num_documents = store.num_documents
-        self._average_document_length = (
-            store.total_tokens / self._num_documents
-            if self._num_documents
-            else 0.0
-        )
         self.snippets = snippet_extractor or SnippetExtractor(
             analyzer=self.analyzer
         )
@@ -882,8 +1196,79 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
         self.memory_budget = None
         self._partition_clock = 0
         self._partition_touched = [0] * self.num_partitions
+        self._pin = threading.local()
+        self._epoch_lock = threading.RLock()
+        self._snapshot = self._attach_snapshot(previous=None)
         if memory_budget is not None:
             self.set_memory_budget(memory_budget)
+
+    def _attach_snapshot(
+        self, previous: EngineSnapshot | None
+    ) -> EngineSnapshot:
+        """Assemble a snapshot of the store's current epoch.
+
+        With *previous*, partitions whose stored ``epoch`` tag has not
+        advanced past the previous snapshot keep their wrapper (resident
+        lengths and postings pages stay valid — an append never edits an
+        untouched partition's rows); rewritten partitions get a fresh
+        wrapper and their pages evicted.  The document collection view is
+        always rebuilt: removals shift global ordinals, and the row
+        caches are keyed by them.
+        """
+        store = self.store
+        partitions = []
+        for p in range(self.num_partitions):
+            reusable = (
+                previous is not None
+                and store.partition_epoch(p) <= previous.epoch
+            )
+            if reusable:
+                partitions.append(previous.partitions[p])
+            else:
+                if previous is not None:
+                    self.page_cache.evict_partition(p)
+                partitions.append(
+                    StoreBackedInvertedIndex(store, p, self.page_cache)
+                )
+        num_documents = store.num_documents
+        total_tokens = store.total_tokens
+        return EngineSnapshot(
+            epoch=store.store_epoch,
+            collection=StoreBackedCollection(
+                store, self._document_cache_size
+            ),
+            partition_collections=(),
+            partitions=tuple(partitions),
+            global_ordinals=tuple(
+                tuple(store.global_ordinals(p))
+                for p in range(self.num_partitions)
+            ),
+            num_documents=num_documents,
+            total_tokens=total_tokens,
+            average_document_length=(
+                total_tokens / num_documents if num_documents else 0.0
+            ),
+        )
+
+    def refresh(self) -> int:
+        """Re-attach to the latest epoch published into the store.
+
+        Returns the (possibly unchanged) published epoch.  Raises
+        :class:`StaleEpochError` if the store file moved *backwards* —
+        a swapped-in older file — since serving an epoch and then
+        un-serving it would silently break the identity guarantee.
+        """
+        with self._epoch_lock:
+            self.store.reload()
+            current = self._snapshot
+            latest = self.store.store_epoch
+            if latest < current.epoch:
+                raise StaleEpochError(
+                    self.store.path, latest, current.epoch
+                )
+            if latest > current.epoch:
+                self._snapshot = self._attach_snapshot(previous=current)
+            return latest
 
     # -- pickling: ship the attach recipe, not the data ---------------------
 
@@ -899,6 +1284,7 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
             "memory_budget": (
                 self.memory_budget.limit_bytes if self.memory_budget else None
             ),
+            "expected_epoch": self.epoch,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -911,6 +1297,7 @@ class StoreBackedSearchEngine(PartitionedSearchEngine):
             page_cache_bytes=state["page_cache_bytes"],
             document_cache_size=state["document_cache_size"],
             memory_budget=state["memory_budget"],
+            expected_epoch=state.get("expected_epoch"),
         )
 
     # -- reporting ----------------------------------------------------------

@@ -35,8 +35,20 @@ Endpoints (base URL ``http://<host>:<port>``):
     Offset+cursor pagination over a bounded ring of recently served
     results (``limit``/``offset``, or keyset ``cursor`` from the
     previous page's ``next_cursor``).
+``POST /documents``
+    Live ingest: body is one document object (``{"doc_id", "text",
+    "title"?, "metadata"?}``) or a batch ``{"documents": [...],
+    "remove": [...]}``.  The whole body is applied as ONE epoch — the
+    response names the epoch that includes the change, and every query
+    served afterwards sees either the previous epoch or this one, never
+    a half-applied batch.  Errors: ``404`` removing an unknown doc_id,
+    ``409`` duplicate doc_id or an engine without live-ingest support.
+``DELETE /documents/{id}``
+    Remove one document (an epoch of its own); responds with the epoch
+    that excludes it.
 ``GET /health``
-    Liveness plus per-shard replica health when the cluster runs a
+    Liveness plus the currently published ``epoch`` and per-shard
+    replica health when the cluster runs a
     :class:`~repro.serving.replication.ReplicatedBackend`.
 ``GET /stats``
     Merged :class:`~repro.serving.service.ServiceStats` /
@@ -56,9 +68,10 @@ import threading
 from collections import deque
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.framework import DiversifiedResult
+from repro.retrieval.documents import Document
 
 
 class _Listener(ThreadingHTTPServer):
@@ -178,6 +191,12 @@ def stats_payload(stats: ServiceStats) -> dict:
             "evictions": stats.page_evictions,
             "resident_bytes": stats.page_resident_bytes,
         },
+        "ingest": {
+            "documents_ingested": stats.documents_ingested,
+            "documents_removed": stats.documents_removed,
+            "epochs_published": stats.epochs_published,
+            "warm_invalidations": stats.warm_invalidations,
+        },
     }
     if stats.shards:
         payload["shards"] = [stats_payload(s) for s in stats.shards]
@@ -269,6 +288,9 @@ class DiversificationHTTPServer:
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._drain_lock = threading.Lock()
+        #: Serialises concurrent POST /documents handler threads so each
+        #: body becomes exactly one epoch, in arrival order.
+        self._ingest_lock = threading.Lock()
         self._drain_report: dict | None = None
         self._draining = False
         self._closed = False
@@ -455,6 +477,35 @@ class DiversificationHTTPServer:
             },
         }
 
+    def handle_ingest(self, body: dict) -> dict:
+        documents, removals = _validate_ingest(body)
+        if self._draining:
+            raise ApiError(503, "draining", "service is draining; no writes")
+        with self._ingest_lock:
+            try:
+                epoch = self.service.ingest(
+                    add_documents=documents, remove_doc_ids=removals
+                )
+            except ValueError as exc:
+                raise _ingest_error(exc) from None
+        return {
+            "epoch": epoch,
+            "ingested": len(documents),
+            "removed": len(removals),
+        }
+
+    def handle_remove(self, doc_id: str) -> dict:
+        if not doc_id:
+            raise ApiError(404, "not_found", "no document id in path")
+        if self._draining:
+            raise ApiError(503, "draining", "service is draining; no writes")
+        with self._ingest_lock:
+            try:
+                epoch = self.service.ingest(remove_doc_ids=[doc_id])
+            except ValueError as exc:
+                raise _ingest_error(exc) from None
+        return {"epoch": epoch, "ingested": 0, "removed": 1}
+
     def handle_health(self) -> dict:
         if self._drain_report is not None:
             status = "drained"
@@ -466,6 +517,9 @@ class DiversificationHTTPServer:
             "status": status,
             "running": bool(self.front is not None and self.front.running),
         }
+        current_epoch = getattr(self.service, "current_epoch", None)
+        if callable(current_epoch):
+            payload["epoch"] = current_epoch()
         backend = getattr(self.service, "backend", None)
         if backend is not None and hasattr(backend, "num_shards"):
             payload["kind"] = "sharded"
@@ -556,6 +610,80 @@ def _validate_diversify(body: dict, max_batch: int) -> tuple[list[str], bool]:
     return list(queries), False
 
 
+def _validate_ingest(body: dict) -> tuple[list[Document], list[str]]:
+    """Validate a ``POST /documents`` body.
+
+    Accepts either one document object or the batch form
+    ``{"documents": [...], "remove": [...]}`` (both keys optional, not
+    both empty).  Returns ``(documents, remove_doc_ids)``.
+    """
+    if not isinstance(body, dict):
+        raise ApiError(422, "invalid_body", "body must be a JSON object")
+    if "documents" in body or "remove" in body:
+        unknown = set(body) - {"documents", "remove"}
+        if unknown:
+            raise ApiError(
+                422, "unknown_field",
+                f"unknown field(s): {', '.join(sorted(unknown))}",
+            )
+        raw_docs = body.get("documents", [])
+        removals = body.get("remove", [])
+        if not isinstance(raw_docs, list):
+            raise ApiError(
+                422, "invalid_documents", "'documents' must be a list of objects"
+            )
+        if not isinstance(removals, list) or any(
+            not isinstance(doc_id, str) or not doc_id for doc_id in removals
+        ):
+            raise ApiError(
+                422, "invalid_remove", "'remove' must be a list of doc_id strings"
+            )
+        if not raw_docs and not removals:
+            raise ApiError(
+                422, "invalid_body", "an ingest batch must change the collection"
+            )
+        return [_validate_document(raw) for raw in raw_docs], list(removals)
+    return [_validate_document(body)], []
+
+
+def _validate_document(raw) -> Document:
+    if not isinstance(raw, dict):
+        raise ApiError(422, "invalid_document", "each document must be an object")
+    unknown = set(raw) - {"doc_id", "text", "title", "metadata"}
+    if unknown:
+        raise ApiError(
+            422, "unknown_field",
+            f"unknown document field(s): {', '.join(sorted(unknown))}",
+        )
+    doc_id = raw.get("doc_id")
+    text = raw.get("text")
+    if not isinstance(doc_id, str) or not doc_id:
+        raise ApiError(
+            422, "invalid_document", "'doc_id' must be a non-empty string"
+        )
+    if not isinstance(text, str) or not text.strip():
+        raise ApiError(422, "invalid_document", "'text' must be a non-empty string")
+    title = raw.get("title", "")
+    if not isinstance(title, str):
+        raise ApiError(422, "invalid_document", "'title' must be a string")
+    metadata = raw.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ApiError(422, "invalid_document", "'metadata' must be an object")
+    return Document(doc_id, text, title=title, metadata=metadata)
+
+
+def _ingest_error(exc: ValueError) -> ApiError:
+    """Map serving-layer ingest rejections onto documented HTTP errors."""
+    message = str(exc)
+    if "unknown doc_id" in message:
+        return ApiError(404, "unknown_document", message)
+    if "does not support live ingest" in message:
+        return ApiError(409, "ingest_unsupported", message)
+    if "duplicate" in message or "already stored" in message:
+        return ApiError(409, "conflict", message)
+    return ApiError(400, "invalid_ingest", message)
+
+
 def _validate_timeout(body: dict, default_s: float) -> float:
     timeout_ms = body.get("timeout_ms")
     if timeout_ms is None:
@@ -631,6 +759,17 @@ def _make_handler(api: DiversificationHTTPServer):
             url = urlsplit(self.path)
             params = parse_qs(url.query)
             try:
+                # /documents/{id} is the one non-exact route: the
+                # trailing path segment is the document id.
+                if url.path.startswith("/documents/"):
+                    doc_id = unquote(url.path[len("/documents/"):])
+                    if method != "DELETE":
+                        raise ApiError(
+                            405, "method_not_allowed",
+                            f"{method} is not supported on /documents/{{id}}",
+                        )
+                    self._reply(200, api.handle_remove(doc_id))
+                    return
                 route = ROUTES.get((method, url.path))
                 if route is None:
                     if any(path == url.path for _, path in ROUTES):
@@ -651,10 +790,16 @@ def _make_handler(api: DiversificationHTTPServer):
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             self._dispatch("POST")
 
+        def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+            self._dispatch("DELETE")
+
         # -- routes --------------------------------------------------------------
 
         def _route_diversify(self, params):
             return api.handle_diversify(self._read_body())
+
+        def _route_ingest(self, params):
+            return api.handle_ingest(self._read_body())
 
         def _route_results(self, params):
             return api.handle_results(params)
@@ -670,6 +815,7 @@ def _make_handler(api: DiversificationHTTPServer):
 
     ROUTES = {
         ("POST", "/diversify"): Handler._route_diversify,
+        ("POST", "/documents"): Handler._route_ingest,
         ("GET", "/results"): Handler._route_results,
         ("GET", "/health"): Handler._route_health,
         ("GET", "/stats"): Handler._route_stats,

@@ -70,7 +70,12 @@ REPLICA_POLICIES = ("round-robin", "least-outstanding")
 
 #: Methods that mutate per-replica state and must reach *every* replica,
 #: or the caches would diverge and a failover would change behaviour.
-REPLICATED_STATE_METHODS = frozenset({"warm", "load_warm", "invalidate"})
+#: ``apply_updates`` is the live-ingest epoch publish: every replica must
+#: advance to the new epoch, or a failover would time-travel the
+#: collection.
+REPLICATED_STATE_METHODS = frozenset(
+    {"warm", "load_warm", "invalidate", "apply_updates"}
+)
 
 #: Methods worth hedging: read-only serving calls where a duplicate
 #: execution is wasted work, never wrong work.  State mutators and

@@ -296,6 +296,15 @@ class ServiceStats:
     page_evictions: int = 0
     #: estimated bytes of postings resident in the page cache
     page_resident_bytes: int = 0
+    #: -- live ingest (zero until apply_updates runs) --------------------
+    #: documents added across every published epoch
+    documents_ingested: int = 0
+    #: documents removed across every published epoch
+    documents_removed: int = 0
+    #: epochs this service published (or refreshed to, store-backed)
+    epochs_published: int = 0
+    #: warm specialization artifacts dropped by epoch invalidation
+    warm_invalidations: int = 0
     #: per-replica breakdown of one shard's merged stats (empty unless
     #: the shard ran replicated).  Replicas are *copies* of one shard —
     #: not partitions of the cluster — so they get their own slot
@@ -408,6 +417,21 @@ class ServiceStats:
             page_misses=sum(s.page_misses for s in stats),
             page_evictions=sum(s.page_evictions for s in stats),
             page_resident_bytes=sum(s.page_resident_bytes for s in stats),
+            # Every shard (and replica) applies every ingest batch to its
+            # own engine copy, so the batch counters agree across inputs
+            # — max, not sum, is the cluster-level truth.  Dropped warm
+            # artifacts live in per-shard caches and are genuinely
+            # additive.
+            documents_ingested=max(
+                (s.documents_ingested for s in stats), default=0
+            ),
+            documents_removed=max(
+                (s.documents_removed for s in stats), default=0
+            ),
+            epochs_published=max(
+                (s.epochs_published for s in stats), default=0
+            ),
+            warm_invalidations=sum(s.warm_invalidations for s in stats),
             shards=tuple(copy.deepcopy(s) for s in stats),
         )
         for s in stats:
@@ -466,6 +490,17 @@ class ServiceStats:
                 f" pages={self.page_hits}/{self.page_misses} "
                 f"evicted={self.page_evictions} "
                 f"resident={self.page_resident_bytes}B"
+            )
+        if (
+            self.epochs_published
+            or self.documents_ingested
+            or self.documents_removed
+        ):
+            text += (
+                f" epochs={self.epochs_published} "
+                f"ingested={self.documents_ingested} "
+                f"removed={self.documents_removed} "
+                f"warm_invalidated={self.warm_invalidations}"
             )
         if (
             self.replicas
@@ -648,25 +683,29 @@ class DiversificationService:
                 by_query[query] = cached
 
         detected = {query: self._detect(query) for query in to_rank}
-        self.framework.prefetch_specializations(
-            spec
-            for specializations in detected.values()
-            for spec, _ in specializations
-        )
-        if self._use_fused():
-            self._rank_fused(to_rank, detected, by_query)
-        else:
-            for query in to_rank:
-                ranked_at = time.perf_counter()
-                result = self.framework.diversify_detected(
-                    query, detected[query]
-                )
-                self._finish(
-                    query,
-                    result,
-                    (time.perf_counter() - ranked_at) * 1000.0,
-                    by_query,
-                )
+        # One engine pin around the whole compute phase: every uncached
+        # query in the batch reads the same epoch even when an ingest
+        # publishes mid-batch (inner pins inherit this one).
+        with self.framework._pin_engine():
+            self.framework.prefetch_specializations(
+                spec
+                for specializations in detected.values()
+                for spec, _ in specializations
+            )
+            if self._use_fused():
+                self._rank_fused(to_rank, detected, by_query)
+            else:
+                for query in to_rank:
+                    ranked_at = time.perf_counter()
+                    result = self.framework.diversify_detected(
+                        query, detected[query]
+                    )
+                    self._finish(
+                        query,
+                        result,
+                        (time.perf_counter() - ranked_at) * 1000.0,
+                        by_query,
+                    )
 
         results = [by_query[query] for query in queries]
         self.stats.batches += 1
@@ -683,8 +722,28 @@ class DiversificationService:
     ) -> None:
         """Shared tail of ranking one query: stats, cache, batch map."""
         self.stats.record(latency_ms, result.diversified)
-        self._result_cache.put(query, result)
+        self._cache_result(query, result)
         by_query[query] = result
+
+    def _cache_result(self, query: str, result: DiversifiedResult) -> None:
+        """Insert into the result cache unless the engine has moved past
+        the epoch this result was computed at.
+
+        Without the epoch check an in-flight query pinned to epoch N can
+        re-insert its (now stale) result *after* epoch N+1's sweep
+        already cleared the cache — the same refill race the spec cache
+        guards against.  The check-and-put runs under the engine's epoch
+        lock so no publish can slip between the comparison and the put.
+        """
+        engine = self.framework.engine
+        lock = getattr(engine, "_epoch_lock", None)
+        if lock is None:
+            self._result_cache.put(query, result)
+            return
+        computed_at = engine._pinned_snapshot().epoch
+        with lock:
+            if engine.epoch == computed_at:
+                self._result_cache.put(query, result)
 
     def _use_fused(self) -> bool:
         """Fusion policy: enabled unless pinned off, and only when the
@@ -897,6 +956,158 @@ class DiversificationService:
         from repro.retrieval.persistence import estimate_warm_memory
 
         return estimate_warm_memory(self.framework.export_warm_state())
+
+    # -- live ingest --------------------------------------------------------------
+
+    def apply_updates(
+        self,
+        add_documents: Sequence = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> int:
+        """Apply one ingest batch and publish the next epoch.
+
+        In-memory engines prepare-and-publish the epoch here
+        (:meth:`~repro.retrieval.sharding.PartitionedSearchEngine.apply_updates`);
+        store-backed engines re-attach to the epoch a coordinator already
+        appended to the store file
+        (:meth:`~repro.retrieval.store.StoreBackedSearchEngine.refresh`)
+        — the writer appends once, every attached service refreshes.
+        Either way the published delta then drives the warm
+        invalidation: per-affected-specialization when the batch
+        preserved the collection statistics, wholesale when it changed
+        ``N`` or the token total (every cached score embeds both).
+        Cached end-to-end results are swept by the same rule.  Returns
+        the epoch that includes the batch.
+        """
+        adds = list(add_documents)
+        removes = list(remove_doc_ids)
+        epoch, delta = self._advance_engine(adds, removes)
+        return self._after_epoch(epoch, delta, len(adds), len(removes))
+
+    def _advance_engine(self, adds: list, removes: list[str]):
+        """Make the engine serve the batch; returns ``(epoch, delta)``.
+
+        Split out of :meth:`apply_updates` so a sharded cluster whose
+        shard services *share* one engine object can advance it once and
+        still run every shard's cache sweep (:meth:`_after_epoch`).
+        """
+        from repro.retrieval.sharding import EpochDelta
+
+        engine = self.framework.engine
+        refresh = getattr(engine, "refresh", None)
+        if callable(refresh):
+            # Store-backed: the batch was already appended to the store
+            # file (see :meth:`ingest`); re-attach to it.  The store no
+            # longer holds the removed rows, so the term analysis behind
+            # surgical invalidation is impossible here — a conservative
+            # stats_changed delta drops all warm state instead.
+            epoch = refresh()
+            delta = EpochDelta(
+                added=tuple(doc.doc_id for doc in adds),
+                removed=tuple(removes),
+                terms=frozenset(),
+                stats_changed=True,
+            )
+            return epoch, delta
+        apply = getattr(engine, "apply_updates", None)
+        if not callable(apply):
+            raise ValueError(
+                "engine does not support live ingest: it has neither "
+                "apply_updates (epoch-versioned in-memory engine) nor "
+                "refresh (store-backed engine)"
+            )
+        snapshot = apply(adds, removes)
+        return snapshot.epoch, snapshot.delta
+
+    def _after_epoch(
+        self, epoch: int, delta, added: int, removed: int
+    ) -> int:
+        """Cache sweeps + counters for one published epoch."""
+        dropped = self.framework.invalidate_affected(delta)
+        self._sweep_results(delta)
+        self.stats.documents_ingested += added
+        self.stats.documents_removed += removed
+        self.stats.epochs_published += 1
+        self.stats.warm_invalidations += dropped
+        return epoch
+
+    def ingest(
+        self,
+        add_documents: Sequence = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> int:
+        """Coordinator entry point: make the batch durable, then apply.
+
+        For a store-backed engine the batch is first appended to the
+        store file (:func:`repro.retrieval.store.append_epoch`) —
+        exactly once, here — and :meth:`apply_updates` then merely
+        refreshes; replicas receiving the broadcast refresh too, without
+        re-appending.  In-memory engines have no durable side, so this
+        is :meth:`apply_updates` directly.  Returns the epoch that
+        includes the batch.
+        """
+        store_path = self.engine_store_path()
+        if store_path is not None:
+            from repro.retrieval.store import append_epoch
+
+            append_epoch(
+                store_path,
+                add_documents,
+                remove_doc_ids,
+                analyzer=getattr(self.framework.engine, "analyzer", None),
+            )
+        return self.apply_updates(add_documents, remove_doc_ids)
+
+    def engine_store_path(self) -> str | None:
+        """The engine's backing store file, or ``None`` when in-memory —
+        how a coordinator decides whether an ingest batch needs a
+        durable append before the apply broadcast."""
+        engine = self.framework.engine
+        if callable(getattr(engine, "refresh", None)):
+            return getattr(engine, "store_path", None)
+        return None
+
+    def current_epoch(self) -> int:
+        """Epoch of the engine's currently published snapshot (0 for
+        engines that never ingested)."""
+        return int(getattr(self.framework.engine, "epoch", 0))
+
+    def _sweep_results(self, delta) -> None:
+        """Drop cached end-to-end results an epoch's delta stales.
+
+        Same soundness rule as the framework's warm sweep: a
+        stats-changing batch stales every score, so everything drops; a
+        stats-preserving swap keeps a result iff the changed documents'
+        terms are disjoint from the query *and* from every specialization
+        it ranked under (a changed document matching any of those terms
+        could alter candidates, spec lists, or utilities) and no changed
+        document appears in its ranking or baseline.  Detections are
+        never swept — Algorithm 1 reads the query-log model, not the
+        collection.
+        """
+        if delta is None or delta.stats_changed:
+            self._result_cache.clear()
+            return
+        changed_terms = delta.terms
+        changed_ids = delta.changed_ids
+        if not changed_terms and not changed_ids:
+            return
+        analyzer = getattr(self.framework.engine, "analyzer", None)
+        if analyzer is None:
+            self._result_cache.clear()
+            return
+        for query, result in self._result_cache.snapshot():
+            terms = set(analyzer.analyze(query))
+            for spec_query, _p in result.specializations:
+                terms.update(analyzer.analyze(spec_query))
+            touched = bool(terms & changed_terms)
+            if not touched:
+                result_ids = set(result.ranking) | set(
+                    result.baseline.doc_ids
+                )
+                touched = bool(result_ids & changed_ids)
+            if touched:
+                self._result_cache.delete(query)
 
     # -- maintenance -------------------------------------------------------------
 

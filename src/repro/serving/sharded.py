@@ -464,6 +464,76 @@ class ShardedDiversificationService:
         self._online_seconds += time.perf_counter() - start
         return merged
 
+    # -- live ingest --------------------------------------------------------------
+
+    def ingest(
+        self,
+        add_documents: Sequence = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> int:
+        """Coordinator entry point for one ingest batch.
+
+        When the shards serve from a store file, the batch is appended
+        to it exactly once here
+        (:func:`repro.retrieval.store.append_epoch`); the
+        :meth:`apply_updates` broadcast then makes every shard — and
+        every replica of every shard — serve the new epoch.  Returns the
+        epoch that includes the batch.
+        """
+        adds = list(add_documents)
+        removes = list(remove_doc_ids)
+        store_path = self._engine_store_path()
+        if store_path is not None:
+            from repro.retrieval.store import append_epoch
+
+            append_epoch(store_path, adds, removes)
+        return self.apply_updates(adds, removes)
+
+    def _engine_store_path(self) -> str | None:
+        local = self._backend.local_services
+        if local is not None:
+            return local[0].engine_store_path()
+        return self._backend.invoke(0, "engine_store_path")
+
+    def apply_updates(
+        self,
+        add_documents: Sequence = (),
+        remove_doc_ids: Sequence[str] = (),
+    ) -> int:
+        """Apply an (already durable) ingest batch on every shard.
+
+        Each shard applies the batch to its own engine copy and sweeps
+        its caches; replicated backends route this to *every* replica
+        (it is in ``REPLICATED_STATE_METHODS``), so no failover can
+        time-travel the collection.  In-process shards commonly *share*
+        one engine object — the engine advances once and every shard
+        still runs its own cache sweep.  Returns the published epoch.
+        """
+        adds = list(add_documents)
+        removes = list(remove_doc_ids)
+        local = self._backend.local_services
+        if local is not None:
+            epochs = []
+            advanced: dict[int, tuple[int, object]] = {}
+            for service in local:
+                key = id(service.framework.engine)
+                if key not in advanced:
+                    advanced[key] = service._advance_engine(adds, removes)
+                epoch, delta = advanced[key]
+                service._after_epoch(epoch, delta, len(adds), len(removes))
+                epochs.append(epoch)
+            return max(epochs)
+        done = self._backend.broadcast("apply_updates", adds, removes)
+        return max(done[shard] for shard in range(self.num_shards))
+
+    def current_epoch(self) -> int:
+        """The epoch every shard serves (shards advance in lockstep —
+        probe shard 0)."""
+        local = self._backend.local_services
+        if local is not None:
+            return local[0].current_epoch()
+        return self._backend.invoke(0, "current_epoch")
+
     # -- maintenance & cluster summaries -----------------------------------------
 
     def invalidate(self) -> None:

@@ -1,0 +1,482 @@
+"""Live ingest through the serving layer: epoch-consistent serving.
+
+The serving-side half of the live-ingest identity gate: after any
+interleaved sequence of ingest batches and queries, a service (single,
+sharded under any backend, replicated through a respawn, or fronted by
+HTTP) must serve results field-identical — rankings *and* baseline
+scores — to a cold service built from scratch over the final
+collection.  The concurrency half is snapshot isolation: a query in
+flight when an epoch publishes returns results consistent with exactly
+one epoch, and its (now stale) result never re-enters the caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.framework import DiversificationFramework
+from repro.retrieval.analysis import Analyzer
+from repro.retrieval.documents import Document, DocumentCollection
+from repro.retrieval.sharding import PartitionedSearchEngine
+from repro.retrieval.store import StoreBackedSearchEngine, write_store
+from repro.serving import (
+    BACKEND_NAMES,
+    AsyncDiversificationService,
+    DiversificationHTTPServer,
+    DiversificationService,
+    ShardedDiversificationService,
+)
+
+from tests.conftest import STANDARD_CONFIG
+
+from .aio import ManualClock, RecordingBackend, run
+from .faults import FaultInjectingBackend
+from .test_http import error_code, get, post
+
+PARTITIONS = 3
+NUM_SHARDS = 3
+HOLDOUT = 8
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process-backend tests rely on fork inheriting the fixtures",
+)
+
+
+# -- corpus split and identity helpers -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_docs(small_corpus):
+    collection = small_corpus.collection
+    return [collection[doc_id] for doc_id in collection.doc_ids]
+
+
+@pytest.fixture(scope="module")
+def initial_docs(corpus_docs):
+    """The collection every service starts from: all but the holdout."""
+    return corpus_docs[:-HOLDOUT]
+
+
+@pytest.fixture(scope="module")
+def holdout_docs(corpus_docs):
+    """Real corpus documents kept back to be ingested live."""
+    return corpus_docs[-HOLDOUT:]
+
+
+@pytest.fixture(scope="module")
+def batches(initial_docs, holdout_docs):
+    """Two ingest batches: adds from the holdout plus removals of both
+    an original document and a document added by the previous batch."""
+    return [
+        (holdout_docs[:4], [initial_docs[5].doc_id]),
+        (
+            holdout_docs[4:],
+            [initial_docs[17].doc_id, holdout_docs[0].doc_id],
+        ),
+    ]
+
+
+def apply_to_docs(docs, batches):
+    """The from-scratch view of the final collection: survivors in their
+    original order, added documents appended in batch order."""
+    docs = list(docs)
+    for adds, removes in batches:
+        removed = set(removes)
+        docs = [d for d in docs if d.doc_id not in removed] + list(adds)
+    return docs
+
+
+def make_engine(docs):
+    return PartitionedSearchEngine(
+        DocumentCollection(docs), num_partitions=PARTITIONS
+    )
+
+
+def make_service(miner, docs):
+    return DiversificationService(
+        DiversificationFramework(
+            make_engine(docs), miner, config=STANDARD_CONFIG
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(small_corpus):
+    queries = [topic.query for topic in small_corpus.topics]
+    return queries + list(reversed(queries))
+
+
+@pytest.fixture(scope="module")
+def reference(small_miner, initial_docs, batches, workload):
+    """The cold from-scratch run over the final collection — what every
+    live-ingested service must serve byte-identically."""
+    service = make_service(small_miner, apply_to_docs(initial_docs, batches))
+    return service.diversify_batch(workload)
+
+
+def assert_results_equal(got, want):
+    __tracebackhide__ = True
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.query == w.query
+        assert g.ranking == w.ranking
+        assert g.diversified == w.diversified
+        assert g.algorithm == w.algorithm
+        assert g.baseline.doc_ids == w.baseline.doc_ids
+        assert g.baseline.scores == w.baseline.scores
+
+
+# -- single service --------------------------------------------------------------
+
+
+class TestServiceIngest:
+    def test_ingest_identical_to_cold_rebuild(
+        self, small_miner, initial_docs, batches, workload, reference
+    ):
+        service = make_service(small_miner, initial_docs)
+        service.warm(set(workload))
+        service.diversify_batch(workload)  # serve (and cache) epoch 0
+        for index, (adds, removes) in enumerate(batches):
+            epoch = service.ingest(
+                add_documents=adds, remove_doc_ids=removes
+            )
+            assert epoch == index + 1
+        assert service.current_epoch() == len(batches)
+        assert_results_equal(service.diversify_batch(workload), reference)
+        stats = service.get_stats()
+        assert stats.epochs_published == len(batches)
+        assert stats.documents_ingested == sum(len(a) for a, _ in batches)
+        assert stats.documents_removed == sum(len(r) for _, r in batches)
+
+    def test_plain_engine_rejects_ingest(self, framework_factory):
+        service = DiversificationService(framework_factory())
+        with pytest.raises(ValueError, match="does not support live ingest"):
+            service.ingest(add_documents=[Document("x", "apple")])
+        assert service.get_stats().epochs_published == 0
+
+    def test_balanced_alien_swap_keeps_warm_state(
+        self, small_miner, initial_docs, workload
+    ):
+        """A stats-preserving swap whose vocabulary is disjoint from the
+        query space invalidates nothing: zero warm drops, and cached
+        end-to-end results keep serving as hits."""
+        service = make_service(small_miner, initial_docs)
+        service.warm(set(workload))
+        alien = Document("alien0", "zzqa wwxo vvrt")
+        service.ingest(add_documents=[alien])  # N changed: wholesale drop
+        assert service.stats.warm_invalidations > 0
+        service.diversify_batch(workload)  # refill every cache at epoch 1
+        invalidations = service.stats.warm_invalidations
+        hits_before = service.result_cache_info().hits
+        misses_before = service.result_cache_info().misses
+
+        length = len(Analyzer().analyze(alien.full_text))
+        swap = Document("alien1", " ".join(["qqzb"] * length))
+        epoch = service.ingest(
+            add_documents=[swap], remove_doc_ids=[alien.doc_id]
+        )
+        assert epoch == 2
+        # The surgical path fired: no warm artifact was dropped ...
+        assert service.stats.warm_invalidations == invalidations
+        served = service.diversify_batch(workload)
+        # ... and every result survived the sweep to serve from cache:
+        # one hit per distinct query, not a single new miss.
+        assert (
+            service.result_cache_info().hits
+            == hits_before + len(set(workload))
+        )
+        assert service.result_cache_info().misses == misses_before
+        fresh = make_service(
+            small_miner,
+            apply_to_docs(initial_docs, [([alien], []), ([swap], ["alien0"])]),
+        )
+        assert_results_equal(served, fresh.diversify_batch(workload))
+
+
+# -- sharded clusters ------------------------------------------------------------
+
+
+class TestShardedIngest:
+    def test_shared_engine_advances_once(
+        self, small_miner, initial_docs, holdout_docs
+    ):
+        """In-process shards share one engine object: an ingest batch
+        publishes ONE epoch, while every shard still sweeps its caches
+        and counts the batch."""
+        engine = make_engine(initial_docs)
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: DiversificationFramework(
+                engine, small_miner, config=STANDARD_CONFIG
+            ),
+            num_shards=NUM_SHARDS,
+            backend="inline",
+        )
+        try:
+            epoch = cluster.ingest(add_documents=holdout_docs[:2])
+            assert epoch == 1
+            assert cluster.current_epoch() == 1
+            stats = cluster.cluster_stats()
+            assert stats.epochs_published == 1  # max-merged, not summed
+            assert stats.documents_ingested == 2
+            for shard_stats in cluster.shard_stats():
+                assert shard_stats.epochs_published == 1
+        finally:
+            cluster.close()
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_identity_under_every_backend(
+        self, small_miner, initial_docs, batches, workload, reference, backend
+    ):
+        if backend == "process" and "fork" not in (
+            multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("no fork on this platform")
+        cluster = ShardedDiversificationService.from_factory(
+            lambda shard: DiversificationFramework(
+                make_engine(initial_docs), small_miner, config=STANDARD_CONFIG
+            ),
+            num_shards=NUM_SHARDS,
+            backend=backend,
+        )
+        try:
+            cluster.diversify_batch(workload)  # pre-ingest traffic
+            for adds, removes in batches:
+                cluster.ingest(add_documents=adds, remove_doc_ids=removes)
+            assert cluster.current_epoch() == len(batches)
+            assert_results_equal(cluster.diversify_batch(workload), reference)
+        finally:
+            cluster.close()
+
+
+# -- replicated serving: respawn rehydrates to the latest epoch ------------------
+
+
+class TestReplicatedIngest:
+    def test_respawn_rehydrates_to_latest_epoch(
+        self, tmp_path, small_miner, initial_docs, batches, workload, reference
+    ):
+        """The coordinator appends each batch to the store once; every
+        replica refreshes.  A replica killed after the ingests respawns
+        from the store already at the latest epoch — no failover can
+        time-travel the collection."""
+        store_path = tmp_path / "ingest.sqlite3"
+        write_store(store_path, make_engine(initial_docs))
+
+        def factory(shard):
+            return DiversificationFramework(
+                StoreBackedSearchEngine(store_path),
+                small_miner,
+                config=STANDARD_CONFIG,
+            )
+
+        backend = FaultInjectingBackend(replicas=2)
+        cluster = ShardedDiversificationService.from_factory(
+            factory, num_shards=2, backend=backend
+        )
+        try:
+            for adds, removes in batches:
+                cluster.ingest(add_documents=adds, remove_doc_ids=removes)
+            assert cluster.current_epoch() == len(batches)
+            spawned_before = len(backend.spawned)
+            backend.kill_replica(0)
+            got = cluster.diversify_batch(workload)
+            assert_results_equal(got, reference)
+            # The kill really forced a respawn (a fresh store attach).
+            assert len(backend.spawned) > spawned_before
+            assert cluster.current_epoch() == len(batches)
+        finally:
+            cluster.close()
+
+
+# -- snapshot isolation under a concurrent publish -------------------------------
+
+
+class TestPublishRace:
+    def test_in_flight_query_serves_exactly_one_epoch(
+        self, small_miner, initial_docs, topic_queries
+    ):
+        """A query mid-flight when an epoch publishes returns results
+        consistent with the epoch it pinned — and its stale result is
+        refused by the cache, so the next serve computes the new epoch."""
+        target = topic_queries[0]
+        alien = Document("racer", "zzqa zzqa zzqa")
+        ref_epoch0 = make_service(small_miner, initial_docs).diversify(target)
+        ref_epoch1 = make_service(
+            small_miner, list(initial_docs) + [alien]
+        ).diversify(target)
+
+        service = make_service(small_miner, initial_docs)
+        engine = service.framework.engine
+        original = engine.search
+        entered, release = threading.Event(), threading.Event()
+        state = {"fired": False}
+
+        def blocking_search(query, *args, **kwargs):
+            # Block the first search of the target *before* it computes:
+            # the publish lands while we wait, yet the pinned snapshot
+            # must still serve the old epoch in full.
+            if query == target and not state["fired"]:
+                state["fired"] = True
+                entered.set()
+                assert release.wait(10)
+            return original(query, *args, **kwargs)
+
+        engine.search = blocking_search
+        result_box = {}
+        thread = threading.Thread(
+            target=lambda: result_box.update(got=service.diversify(target))
+        )
+        thread.start()
+        assert entered.wait(10)
+        assert service.ingest(add_documents=[alien]) == 1
+        release.set()
+        thread.join(10)
+        assert not thread.is_alive()
+
+        # The in-flight query saw epoch 0, entirely.
+        assert_results_equal([result_box["got"]], [ref_epoch0])
+        # Its stale result was refused by the cache: re-serving computes
+        # epoch 1 (N changed, so even an identical ranking has new scores).
+        assert_results_equal([service.diversify(target)], [ref_epoch1])
+
+
+# -- async front-end: each admitted batch sees one epoch -------------------------
+
+
+class TestAsyncEpochConsistency:
+    def test_each_window_serves_one_epoch(
+        self, small_miner, initial_docs, holdout_docs, topic_queries
+    ):
+        queries = topic_queries[:3]
+        service = make_service(small_miner, initial_docs)
+        backend = RecordingBackend(service)
+        ref_epoch0 = make_service(
+            small_miner, initial_docs
+        ).diversify_batch(queries)
+        ref_epoch1 = make_service(
+            small_miner, list(initial_docs) + list(holdout_docs[:2])
+        ).diversify_batch(queries)
+
+        async def scenario():
+            clock = ManualClock()
+            front = AsyncDiversificationService(
+                backend,
+                inline=True,
+                clock=clock,
+                max_batch_size=10,
+                max_wait_s=0.005,
+            )
+            async with front:
+                first = [
+                    asyncio.create_task(front.submit(q)) for q in queries
+                ]
+                await clock.advance(0.005)
+                assert all(task.done() for task in first)
+                # The publish lands between admission windows.
+                assert service.ingest(add_documents=holdout_docs[:2]) == 1
+                second = [
+                    asyncio.create_task(front.submit(q)) for q in queries
+                ]
+                await clock.advance(0.005)
+                assert all(task.done() for task in second)
+                return (
+                    [task.result() for task in first],
+                    [task.result() for task in second],
+                )
+
+        got_first, got_second = run(scenario())
+        assert backend.batches == [queries, queries]
+        assert_results_equal(got_first, ref_epoch0)
+        assert_results_equal(got_second, ref_epoch1)
+
+
+# -- HTTP ingest surface ---------------------------------------------------------
+
+
+def delete(url: str) -> tuple[int, dict]:
+    request = urllib.request.Request(url, method="DELETE")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as rsp:
+            return rsp.status, json.load(rsp)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+@pytest.fixture()
+def ingest_server(small_miner, initial_docs):
+    service = make_service(small_miner, initial_docs)
+    with DiversificationHTTPServer(service) as srv:
+        yield srv
+
+
+class TestHTTPIngest:
+    def test_ingest_lifecycle(self, ingest_server, holdout_docs):
+        url = ingest_server.base_url
+        doc = holdout_docs[0]
+        status, body = post(
+            f"{url}/documents",
+            {"doc_id": doc.doc_id, "text": doc.text, "title": doc.title},
+        )
+        assert (status, body["epoch"]) == (200, 1)
+        assert (body["ingested"], body["removed"]) == (1, 0)
+
+        status, body = post(
+            f"{url}/documents",
+            {
+                "documents": [
+                    {"doc_id": d.doc_id, "text": d.text}
+                    for d in holdout_docs[1:3]
+                ],
+                "remove": [doc.doc_id],
+            },
+        )
+        assert (status, body["epoch"]) == (200, 2)
+        assert (body["ingested"], body["removed"]) == (2, 1)
+
+        status, body = delete(f"{url}/documents/{holdout_docs[1].doc_id}")
+        assert (status, body["epoch"]) == (200, 3)
+
+        status, health = get(f"{url}/health")
+        assert (status, health["epoch"]) == (200, 3)
+        status, stats = get(f"{url}/stats")
+        assert status == 200
+        ingest = stats["backend"]["ingest"]
+        assert ingest["documents_ingested"] == 3
+        assert ingest["documents_removed"] == 2
+        assert ingest["epochs_published"] == 3
+
+    def test_error_paths(self, ingest_server, holdout_docs):
+        url = ingest_server.base_url
+        status, body = post(f"{url}/documents", {"documents": [], "remove": []})
+        assert (status, error_code(body)) == (422, "invalid_body")
+        status, body = delete(f"{url}/documents/ghost")
+        assert (status, error_code(body)) == (404, "unknown_document")
+        doc = holdout_docs[0]
+        post(f"{url}/documents", {"doc_id": doc.doc_id, "text": doc.text})
+        status, body = post(
+            f"{url}/documents", {"doc_id": doc.doc_id, "text": doc.text}
+        )
+        assert (status, error_code(body)) == (409, "conflict")
+        status, body = post(f"{url}/documents", {"doc_id": "x"})
+        assert (status, error_code(body)) == (422, "invalid_document")
+        status, body = get(f"{url}/documents")
+        assert status == 405
+
+    def test_plain_engine_reports_unsupported(self, framework_factory):
+        service = DiversificationService(framework_factory())
+        with DiversificationHTTPServer(service) as srv:
+            status, body = post(
+                f"{srv.base_url}/documents", {"doc_id": "x", "text": "apple"}
+            )
+            assert (status, error_code(body)) == (409, "ingest_unsupported")
+            status, health = get(f"{srv.base_url}/health")
+            assert status == 200
+            assert health["epoch"] == 0
